@@ -1,0 +1,248 @@
+// Package aviv is a reproduction of the AVIV retargetable code generator
+// (Hanono & Devadas, DAC 1998). It compiles basic-block expression DAGs
+// onto user-described VLIW/ILP target processors, optimizing for minimum
+// code size by performing instruction selection, resource allocation, and
+// scheduling concurrently over a Split-Node DAG.
+//
+// The high-level flow mirrors the paper's Fig. 1:
+//
+//	source (mini-C) ──lang──▶ ir.Func (basic-block DAGs + control flow)
+//	ISDL description ──isdl──▶ machine model + databases
+//	per block: sndag.Build ──▶ Split-Node DAG
+//	           cover.CoverDAG ─▶ concurrent selection/allocation/scheduling
+//	           regalloc.Allocate ─▶ detailed register allocation
+//	           peephole.Optimize ─▶ spill cleanup + schedule compaction
+//	           asm.EmitBlock ──▶ VLIW assembly
+//	asm.Encode ──▶ binary object ──sim──▶ instruction-level simulation
+package aviv
+
+import (
+	"fmt"
+
+	"aviv/internal/asm"
+	"aviv/internal/cover"
+	"aviv/internal/ir"
+	"aviv/internal/isdl"
+	"aviv/internal/lang"
+	"aviv/internal/opt"
+	"aviv/internal/peephole"
+	"aviv/internal/place"
+	"aviv/internal/regalloc"
+	"aviv/internal/sndag"
+)
+
+// Options configure compilation.
+type Options struct {
+	// Cover tunes the concurrent covering step (beam width, heuristics).
+	Cover cover.Options
+	// Peephole enables the post-register-allocation cleanup pass
+	// (Sec. IV-G): removal of unnecessary loads/spills and schedule
+	// compaction.
+	Peephole bool
+	// AutoPlace runs the memory-bank placement pass (package place) on
+	// machines with multiple data memories, assigning variables so
+	// co-accessed operands load from different banks. Explicit
+	// Cover.VarPlacement entries win over the automatic assignment.
+	AutoPlace bool
+}
+
+// DefaultOptions returns the paper's heuristics-on configuration with the
+// peephole pass enabled.
+func DefaultOptions() Options {
+	return Options{Cover: cover.DefaultOptions(), Peephole: true, AutoPlace: true}
+}
+
+// ExhaustiveOptions returns the heuristics-off configuration of the
+// paper's parenthesised result columns.
+func ExhaustiveOptions() Options {
+	return Options{Cover: cover.ExhaustiveOptions(), Peephole: true, AutoPlace: true}
+}
+
+// LoadMachine parses a textual ISDL-flavored machine description.
+func LoadMachine(src string) (*isdl.Machine, error) { return isdl.Parse(src) }
+
+// BlockResult is the compilation outcome for one basic block.
+type BlockResult struct {
+	Block *ir.Block
+	// DAG is the Split-Node DAG (node counts reproduce the paper's
+	// "#Nodes" columns).
+	DAG *sndag.DAG
+	// Solution is the covering (instruction count = code size metric).
+	Solution *cover.Solution
+	// Allocation is the detailed register allocation.
+	Allocation *regalloc.Allocation
+	// Code is the emitted assembly block.
+	Code *asm.Block
+	// AssignmentsExplored counts functional-unit assignments covered in
+	// detail.
+	AssignmentsExplored int
+	// PeepholeSaved counts instructions removed by the peephole pass.
+	PeepholeSaved int
+}
+
+// CompileResult is a fully compiled function.
+type CompileResult struct {
+	Func    *ir.Func
+	Machine *isdl.Machine
+	Program *asm.Program
+	Blocks  []*BlockResult
+}
+
+// CodeSize returns the total program code size in instructions,
+// including control-flow instructions.
+func (r *CompileResult) CodeSize() int { return r.Program.CodeSize() }
+
+// CompileBlock compiles a single basic block.
+func CompileBlock(b *ir.Block, m *isdl.Machine, opts Options) (*BlockResult, error) {
+	res, err := cover.CoverBlock(b, m, opts.Cover)
+	if err != nil {
+		return nil, fmt.Errorf("aviv: block %s: %w", b.Name, err)
+	}
+	sol := res.Best
+	saved := 0
+	if opts.Peephole {
+		before := sol.Cost()
+		sol = peephole.Optimize(sol)
+		saved = before - sol.Cost()
+	}
+	alloc, err := regalloc.Allocate(sol)
+	if err != nil {
+		return nil, fmt.Errorf("aviv: block %s: %w", b.Name, err)
+	}
+	code, err := asm.EmitBlock(sol, alloc)
+	if err != nil {
+		return nil, fmt.Errorf("aviv: block %s: %w", b.Name, err)
+	}
+	return &BlockResult{
+		Block:               b,
+		DAG:                 res.DAG,
+		Solution:            sol,
+		Allocation:          alloc,
+		Code:                code,
+		AssignmentsExplored: res.AssignmentsExplored,
+		PeepholeSaved:       saved,
+	}, nil
+}
+
+// Compile compiles a whole function: every basic block through the
+// concurrent covering pipeline, plus one control-flow instruction per
+// block terminator (Sec. III-C).
+func Compile(f *ir.Func, m *isdl.Machine, opts Options) (*CompileResult, error) {
+	if err := f.Verify(); err != nil {
+		return nil, fmt.Errorf("aviv: %w", err)
+	}
+	if opts.AutoPlace && len(m.Memories) > 1 {
+		auto := place.Assign(f, m)
+		merged := make(map[string]string, len(auto)+len(opts.Cover.VarPlacement))
+		for k, v := range auto {
+			merged[k] = v
+		}
+		for k, v := range opts.Cover.VarPlacement {
+			merged[k] = v // explicit placement wins
+		}
+		opts.Cover.VarPlacement = merged
+	}
+	out := &CompileResult{
+		Func:    f,
+		Machine: m,
+		Program: &asm.Program{Machine: m},
+	}
+	for _, b := range f.Blocks {
+		br, err := CompileBlock(b, m, opts)
+		if err != nil {
+			return nil, err
+		}
+		out.Blocks = append(out.Blocks, br)
+		out.Program.Blocks = append(out.Program.Blocks, br.Code)
+	}
+	layoutBlocks(out.Program)
+	return out, nil
+}
+
+// layoutBlocks orders the program's blocks to maximize fallthroughs,
+// converting unconditional jumps to implicit falls when the target can be
+// placed immediately after — a code-size optimization in the same spirit
+// as the paper's minimum-size objective (each eliminated jump is one
+// fewer ROM word).
+func layoutBlocks(p *asm.Program) {
+	if len(p.Blocks) == 0 {
+		return
+	}
+	byName := make(map[string]*asm.Block, len(p.Blocks))
+	for _, b := range p.Blocks {
+		byName[b.Name] = b
+	}
+	placed := make(map[string]bool, len(p.Blocks))
+	var order []*asm.Block
+	place := func(b *asm.Block) {
+		order = append(order, b)
+		placed[b.Name] = true
+	}
+	// Greedy chaining from the entry: follow jump/fallthrough targets.
+	for _, start := range p.Blocks {
+		if placed[start.Name] {
+			continue
+		}
+		cur := start
+		for cur != nil && !placed[cur.Name] {
+			place(cur)
+			var nextName string
+			switch cur.Branch.Kind {
+			case asm.BranchJump, asm.BranchNone:
+				nextName = cur.Branch.Target
+			case asm.BranchCond:
+				// Chain the else arm: the taken branch needs its explicit
+				// target anyway.
+				nextName = cur.Branch.Else
+			}
+			if nextName == "" || placed[nextName] {
+				break
+			}
+			cur = byName[nextName]
+		}
+	}
+	// Convert jumps-to-next into fallthroughs.
+	for i, b := range order {
+		if b.Branch.Kind == asm.BranchJump && i+1 < len(order) && order[i+1].Name == b.Branch.Target {
+			b.Branch = asm.Branch{Kind: asm.BranchNone, Target: b.Branch.Target}
+		}
+	}
+	p.Blocks = order
+}
+
+// CompileSource compiles a mini-C source program end to end: parse,
+// optional loop unrolling by unrollFactor (0 or 1 disables; the paper's
+// Ex3–Ex5 use 2), lowering to basic-block DAGs, machine-independent
+// optimization, and retargetable code generation.
+func CompileSource(src string, m *isdl.Machine, unrollFactor int, opts Options) (*CompileResult, error) {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if unrollFactor > 1 {
+		prog = lang.Unroll(prog, unrollFactor)
+	}
+	f, err := lang.Lower(prog, "main")
+	if err != nil {
+		return nil, err
+	}
+	f = opt.Optimize(f)
+	return Compile(f, m, opts)
+}
+
+// ParseAndLower exposes the front-end half of CompileSource for tools
+// that want the optimized IR without generating code.
+func ParseAndLower(src string, unrollFactor int) (*ir.Func, error) {
+	prog, err := lang.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if unrollFactor > 1 {
+		prog = lang.Unroll(prog, unrollFactor)
+	}
+	f, err := lang.Lower(prog, "main")
+	if err != nil {
+		return nil, err
+	}
+	return opt.Optimize(f), nil
+}

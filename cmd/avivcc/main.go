@@ -1,0 +1,157 @@
+// Command avivcc is the AVIV compiler driver (the paper's Fig. 1 flow):
+// it compiles a mini-C source program for a target processor described in
+// the ISDL-flavored format, emitting VLIW assembly, optionally a binary
+// object, and optionally running the result on the instruction-level
+// simulator.
+//
+//	avivcc -march machine.isdl prog.c
+//	avivcc -march machine.isdl -unroll 2 -S prog.c        # assembly only
+//	avivcc -march machine.isdl -o prog.avob prog.c        # binary object
+//	avivcc -march machine.isdl -run -mem "a=3,b=4" prog.c # compile + simulate
+//	avivcc -example                                       # built-in Fig. 3 machine
+//	avivcc -exhaustive ...                                # heuristics off
+//	avivcc -stats ...                                     # per-block statistics
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"aviv"
+	"aviv/internal/asm"
+	"aviv/internal/isdl"
+	"aviv/internal/sim"
+)
+
+func main() {
+	march := flag.String("march", "", "path to the ISDL machine description")
+	example := flag.Bool("example", false, "use the built-in example architecture (Fig. 3 + compares)")
+	regs := flag.Int("regs", 4, "registers per file for -example")
+	unroll := flag.Int("unroll", 1, "loop unrolling factor (machine-independent front-end pass)")
+	emitAsm := flag.Bool("S", true, "print assembly")
+	out := flag.String("o", "", "write the assembled binary object to this file")
+	run := flag.Bool("run", false, "simulate the compiled program")
+	memFlag := flag.String("mem", "", "initial data memory for -run, e.g. \"a=3,b=4\"")
+	exhaustive := flag.Bool("exhaustive", false, "disable the covering heuristics (paper's parenthesised mode)")
+	place := flag.String("place", "", "variable memory placement, e.g. \"x=XM,c=YM\" (dual-memory machines)")
+	stats := flag.Bool("stats", false, "print per-block code generation statistics")
+	trace := flag.Bool("trace", false, "trace simulated instructions")
+	flag.Parse()
+
+	die := func(err error) {
+		fmt.Fprintln(os.Stderr, "avivcc:", err)
+		os.Exit(1)
+	}
+
+	var machine *isdl.Machine
+	switch {
+	case *example:
+		machine = isdl.ExampleArchFull(*regs)
+	case *march != "":
+		src, err := os.ReadFile(*march)
+		if err != nil {
+			die(err)
+		}
+		machine, err = aviv.LoadMachine(string(src))
+		if err != nil {
+			die(err)
+		}
+	default:
+		die(fmt.Errorf("need -march <file> or -example"))
+	}
+
+	if flag.NArg() != 1 {
+		die(fmt.Errorf("need exactly one source file"))
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		die(err)
+	}
+
+	opts := aviv.DefaultOptions()
+	if *exhaustive {
+		opts = aviv.ExhaustiveOptions()
+	}
+	if *place != "" {
+		placement := map[string]string{}
+		for _, kv := range strings.Split(*place, ",") {
+			parts := strings.SplitN(strings.TrimSpace(kv), "=", 2)
+			if len(parts) != 2 {
+				die(fmt.Errorf("bad -place entry %q", kv))
+			}
+			placement[parts[0]] = parts[1]
+		}
+		opts.Cover.VarPlacement = placement
+	}
+	res, err := aviv.CompileSource(string(src), machine, *unroll, opts)
+	if err != nil {
+		die(err)
+	}
+
+	if *stats {
+		fmt.Printf("; machine %s, code size %d instructions (incl. control flow)\n",
+			machine.Name, res.CodeSize())
+		for _, br := range res.Blocks {
+			fmt.Printf("; block %-8s DAG %3d nodes -> SN-DAG %4d nodes, %2d instrs, %d spills, %d assignments explored, peephole saved %d\n",
+				br.Block.Name, len(br.Block.Nodes), br.DAG.Counts.Total(),
+				br.Solution.Cost(), br.Solution.SpillCount, br.AssignmentsExplored, br.PeepholeSaved)
+		}
+	}
+	if *emitAsm {
+		fmt.Print(res.Program.String())
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, asm.Encode(res.Program), 0o644); err != nil {
+			die(err)
+		}
+		fmt.Fprintf(os.Stderr, "avivcc: wrote %s\n", *out)
+	}
+	if *run {
+		mem, err := parseMem(*memFlag)
+		if err != nil {
+			die(err)
+		}
+		machineSim := sim.New(res.Program, mem)
+		if *trace {
+			machineSim.TraceFn = func(s string) { fmt.Fprintln(os.Stderr, s) }
+		}
+		if err := machineSim.Run(0); err != nil {
+			die(err)
+		}
+		fmt.Printf("; simulated %d cycles\n", machineSim.Cycles)
+		final := machineSim.Mem()
+		keys := make([]string, 0, len(final))
+		for k := range final {
+			if !strings.HasPrefix(k, "$") {
+				keys = append(keys, k)
+			}
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Printf("; mem[%s] = %d\n", k, final[k])
+		}
+	}
+}
+
+func parseMem(s string) (map[string]int64, error) {
+	mem := map[string]int64{}
+	if s == "" {
+		return mem, nil
+	}
+	for _, kv := range strings.Split(s, ",") {
+		parts := strings.SplitN(strings.TrimSpace(kv), "=", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("bad -mem entry %q", kv)
+		}
+		v, err := strconv.ParseInt(parts[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -mem value %q: %v", kv, err)
+		}
+		mem[parts[0]] = v
+	}
+	return mem, nil
+}

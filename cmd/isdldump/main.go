@@ -1,0 +1,54 @@
+// Command isdldump parses an ISDL-flavored machine description and dumps
+// the databases the code generator derives from it (Sec. II of the
+// paper): unit repertoires, the op→unit correlation, and the expanded
+// (multi-hop) transfer-path database.
+//
+//	isdldump machine.isdl
+//	isdldump -example      # the paper's Fig. 3 machine
+//	isdldump -arch2        # the paper's Table II machine
+//	isdldump -wide         # the 4-unit MAC machine
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aviv/internal/asm"
+	"aviv/internal/isdl"
+)
+
+func main() {
+	example := flag.Bool("example", false, "dump the paper's example architecture")
+	arch2 := flag.Bool("arch2", false, "dump Architecture II")
+	wide := flag.Bool("wide", false, "dump the 4-unit WideDSP machine")
+	regs := flag.Int("regs", 4, "registers per file for built-in machines")
+	flag.Parse()
+
+	var m *isdl.Machine
+	switch {
+	case *example:
+		m = isdl.ExampleArch(*regs)
+	case *arch2:
+		m = isdl.ArchitectureII(*regs)
+	case *wide:
+		m = isdl.WideDSP(*regs)
+	case flag.NArg() == 1:
+		src, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "isdldump:", err)
+			os.Exit(1)
+		}
+		m, err = isdl.Parse(string(src))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "isdldump:", err)
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	fmt.Print(m.Describe())
+	fmt.Printf("hardware area estimate: %d\n", m.HardwareCost())
+	fmt.Print(asm.NewWordLayout(m).Describe())
+}

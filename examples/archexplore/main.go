@@ -1,0 +1,88 @@
+// archexplore: the hardware/software co-design loop of the paper's
+// Sec. I and VI — evaluate candidate ASIP architectures by retargeting
+// the same application code and comparing the resulting code size. This
+// reproduces the paper's own experiment ("we changed the target
+// architecture by removing the SUB operation from U1 and completely
+// removing functional unit U3") and extends it across a small design
+// space: unit counts, register file sizes, and bus widths.
+//
+//	go run ./examples/archexplore
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aviv/internal/bench"
+	"aviv/internal/cover"
+	"aviv/internal/ir"
+	"aviv/internal/isdl"
+)
+
+func main() {
+	workloads := bench.PaperWorkloads()
+
+	type candidate struct {
+		name string
+		m    *isdl.Machine
+	}
+	candidates := []candidate{
+		{"ExampleArch (3 units)", isdl.ExampleArch(4)},
+		{"ArchitectureII (2 units)", isdl.ArchitectureII(4)},
+		{"SingleIssue (1 unit)", isdl.SingleIssueDSP(4)},
+		{"ExampleArch, 2 regs", isdl.ExampleArch(2)},
+		{"ExampleArch, wide bus", wideBus()},
+		{"No-MUL-on-U3", noMulU3()},
+		{"ClusteredVLIW (2x2 units)", isdl.ClusteredVLIW(4)},
+		{"DualMemDSP (X/Y memory)", isdl.DualMemDSP(4)},
+	}
+
+	fmt.Println("Design-space exploration: code size (instructions) per block per machine")
+	fmt.Printf("%-26s", "machine")
+	for _, w := range workloads {
+		fmt.Printf("%6s", w.Name)
+	}
+	fmt.Printf("%8s\n", "total")
+	for _, c := range candidates {
+		fmt.Printf("%-26s", c.name)
+		total := 0
+		for _, w := range workloads {
+			res, err := cover.CoverBlock(w.Block, c.m, cover.DefaultOptions())
+			if err != nil {
+				log.Fatalf("%s / %s: %v", c.name, w.Name, err)
+			}
+			fmt.Printf("%6d", res.Best.Cost())
+			total += res.Best.Cost()
+		}
+		fmt.Printf("%8d\n", total)
+	}
+
+	fmt.Println(`
+Reading the table like the paper's Sec. VI: dropping U3 and SUB-on-U1
+(ArchitectureII) costs little on several blocks — the covering reroutes
+work to the remaining units — while the single-issue machine pays the
+full serialization price. Halving the register files forces spills and
+extra instructions; widening the bus helps transfer-bound blocks. This
+is the retargetable-compilation loop that lets a designer pick the
+cheapest architecture that still meets the code-size budget.`)
+}
+
+// wideBus is the example architecture with a 2-transfer bus.
+func wideBus() *isdl.Machine {
+	m := isdl.ExampleArch(4).Clone("ExampleWideBus")
+	m.Buses[0].Width = 2
+	if err := m.Finalize(); err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// noMulU3 removes MUL from U3, leaving it an adder.
+func noMulU3() *isdl.Machine {
+	m := isdl.ExampleArch(4).Clone("NoMulU3")
+	delete(m.Unit("U3").Ops, ir.OpMul)
+	if err := m.Finalize(); err != nil {
+		panic(err)
+	}
+	return m
+}

@@ -1,0 +1,119 @@
+// dspfir: the workload the paper's introduction motivates — DSP kernel
+// code for an embedded VLIW. A FIR filter written in the mini-C front-end
+// language is unrolled (the machine-independent transformation of
+// Sec. II), compiled for the example architecture, simulated, and checked
+// against a plain Go implementation. The example also shows what loop
+// unrolling buys in cycles and costs in code size — exactly the
+// trade-off a code-size-constrained embedded design cares about.
+//
+//	go run ./examples/dspfir
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"aviv"
+	"aviv/internal/isdl"
+	"aviv/internal/sim"
+)
+
+const taps = 8
+
+// One output of an 8-tap FIR: y = sum_k c[k] * x[n-k], with the delay
+// line laid out as x0..x7 and coefficients c0..c7 in data memory.
+const firSrc = `
+y = 0;
+for (k = 0; k < 8; k = k + 1) {
+  y = y + c * x;   # placeholder; the real kernel is generated below
+}
+`
+
+func main() {
+	machine := isdl.ExampleArchFull(4)
+
+	// Generate the unrolled-friendly kernel source: the mini-C language
+	// has scalar variables, so the delay line is expressed as x0..x7.
+	src := "y = 0;\n"
+	src += "for (k = 0; k < 1; k = k + 1) {\n" // wrapper loop for unroll demo below
+	for i := 0; i < taps; i++ {
+		src += fmt.Sprintf("  y = y + c%d * x%d;\n", i, i)
+	}
+	src += "}\n"
+
+	mem := func() map[string]int64 {
+		m := map[string]int64{}
+		for i := 0; i < taps; i++ {
+			m[fmt.Sprintf("x%d", i)] = int64(i + 1)
+			m[fmt.Sprintf("c%d", i)] = int64(2*i + 1)
+		}
+		return m
+	}
+
+	// Reference result in plain Go.
+	want := int64(0)
+	ref := mem()
+	for i := 0; i < taps; i++ {
+		want += ref[fmt.Sprintf("x%d", i)] * ref[fmt.Sprintf("c%d", i)]
+	}
+
+	fmt.Printf("8-tap FIR on %s (code size vs cycles):\n\n", machine.Name)
+	fmt.Printf("%-28s %10s %8s\n", "configuration", "code size", "cycles")
+	for _, cfg := range []struct {
+		name string
+		opts aviv.Options
+	}{
+		{"heuristics on", aviv.DefaultOptions()},
+		{"heuristics on, no peephole", func() aviv.Options { o := aviv.DefaultOptions(); o.Peephole = false; return o }()},
+	} {
+		res, err := aviv.CompileSource(src, machine, 1, cfg.opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		final, cycles, err := sim.RunProgram(res.Program, mem(), 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if final["y"] != want {
+			log.Fatalf("%s: y = %d, want %d", cfg.name, final["y"], want)
+		}
+		fmt.Printf("%-28s %10d %8d\n", cfg.name, res.CodeSize(), cycles)
+	}
+
+	// Same kernel as a real 8-iteration loop over a single multiply, to
+	// show loop unrolling extracting basic-block parallelism. (Scalar
+	// memory only, so each iteration reads the same cell — the point is
+	// the schedule, not the numerics.)
+	loopSrc := `
+y = 0;
+for (k = 0; k < 8; k = k + 1) {
+  y = y + c * x;
+}
+`
+	fmt.Printf("\nLoop form, unrolled by different factors:\n\n")
+	fmt.Printf("%8s %10s %8s %14s\n", "unroll", "code size", "cycles", "body instrs")
+	for _, factor := range []int{1, 2, 4, 8} {
+		res, err := aviv.CompileSource(loopSrc, machine, factor, aviv.DefaultOptions())
+		if err != nil {
+			log.Fatal(err)
+		}
+		lmem := map[string]int64{"c": 3, "x": 4}
+		final, cycles, err := sim.RunProgram(res.Program, lmem, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if final["y"] != 8*3*4 {
+			log.Fatalf("unroll %d: y = %d, want 96", factor, final["y"])
+		}
+		body := 0
+		for _, br := range res.Blocks {
+			if br.Solution.Cost() > body {
+				body = br.Solution.Cost()
+			}
+		}
+		fmt.Printf("%8d %10d %8d %14d\n", factor, res.CodeSize(), cycles, body)
+	}
+	fmt.Println("\nAs in the paper: unrolling trades code size for cycles by exposing")
+	fmt.Println("basic-block parallelism that the Split-Node DAG covering exploits.")
+	_ = firSrc
+}

@@ -1,0 +1,3 @@
+module aviv
+
+go 1.22

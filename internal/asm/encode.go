@@ -1,0 +1,365 @@
+package asm
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"aviv/internal/ir"
+	"aviv/internal/isdl"
+)
+
+// Binary object format: the automatically generated assembler of the
+// paper's Fig. 1 transforms assembly into a binary consumed by the
+// instruction-level simulator. This codec is that assembler/loader pair.
+//
+// Layout (all multi-byte integers varint, strings length-prefixed):
+//
+//	magic "AVOB", version byte
+//	machine name
+//	#blocks, then per block:
+//	  name, #instrs
+//	  per instr: #ops {unitIdx, op, dst, #srcs {tag, imm|reg}}
+//	             #moves {busIdx, srcTag, ..., dstTag, ...}
+//	  branch {kind, target, else, condUnitIdx, condReg, condConstTag, v}
+const (
+	objMagic   = "AVOB"
+	objVersion = 1
+)
+
+type writer struct{ buf []byte }
+
+func (w *writer) u8(v byte) { w.buf = append(w.buf, v) }
+func (w *writer) varint(v int64) {
+	w.buf = binary.AppendVarint(w.buf, v)
+}
+func (w *writer) uvarint(v uint64) {
+	w.buf = binary.AppendUvarint(w.buf, v)
+}
+func (w *writer) str(s string) {
+	w.uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+type reader struct {
+	buf []byte
+	pos int
+}
+
+func (r *reader) u8() (byte, error) {
+	if r.pos >= len(r.buf) {
+		return 0, fmt.Errorf("asm: truncated object (byte)")
+	}
+	b := r.buf[r.pos]
+	r.pos++
+	return b, nil
+}
+
+func (r *reader) varint() (int64, error) {
+	v, n := binary.Varint(r.buf[r.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("asm: truncated object (varint)")
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *reader) uvarint() (uint64, error) {
+	v, n := binary.Uvarint(r.buf[r.pos:])
+	if n <= 0 {
+		return 0, fmt.Errorf("asm: truncated object (uvarint)")
+	}
+	r.pos += n
+	return v, nil
+}
+
+func (r *reader) str() (string, error) {
+	n, err := r.uvarint()
+	if err != nil {
+		return "", err
+	}
+	// Compare in uint64 space: a hostile length must not overflow int.
+	if n > uint64(len(r.buf)-r.pos) {
+		return "", fmt.Errorf("asm: truncated object (string)")
+	}
+	s := string(r.buf[r.pos : r.pos+int(n)])
+	r.pos += int(n)
+	return s, nil
+}
+
+// Encode assembles the program into its binary object form.
+func Encode(p *Program) []byte {
+	unitIdx := make(map[string]int)
+	for i, u := range p.Machine.Units {
+		unitIdx[u.Name] = i
+	}
+	bankIdx := make(map[string]int)
+	for i, b := range p.Machine.Banks() {
+		bankIdx[b] = i
+	}
+	busIdx := make(map[string]int)
+	for i, b := range p.Machine.Buses {
+		busIdx[b.Name] = i
+	}
+	w := &writer{}
+	w.buf = append(w.buf, objMagic...)
+	w.u8(objVersion)
+	w.str(p.Machine.Name)
+	w.uvarint(uint64(len(p.Blocks)))
+	for _, b := range p.Blocks {
+		w.str(b.Name)
+		w.uvarint(uint64(len(b.Instrs)))
+		for _, in := range b.Instrs {
+			w.uvarint(uint64(len(in.Ops)))
+			for _, op := range in.Ops {
+				w.uvarint(uint64(unitIdx[op.Unit]))
+				w.u8(byte(op.Op))
+				w.uvarint(uint64(op.Dst))
+				w.uvarint(uint64(len(op.Srcs)))
+				for _, s := range op.Srcs {
+					if s.IsImm {
+						w.u8(1)
+						w.varint(s.Imm)
+					} else {
+						w.u8(0)
+						w.uvarint(uint64(s.Reg))
+					}
+				}
+			}
+			w.uvarint(uint64(len(in.Moves)))
+			for _, mv := range in.Moves {
+				w.uvarint(uint64(busIdx[mv.Bus]))
+				if mv.FromUnit == "" {
+					w.u8(1)
+					w.str(mv.FromMem)
+				} else {
+					w.u8(0)
+					w.uvarint(uint64(bankIdx[mv.FromUnit]))
+					w.uvarint(uint64(mv.FromReg))
+				}
+				if mv.ToUnit == "" {
+					w.u8(1)
+					w.str(mv.ToMem)
+				} else {
+					w.u8(0)
+					w.uvarint(uint64(bankIdx[mv.ToUnit]))
+					w.uvarint(uint64(mv.ToReg))
+				}
+			}
+		}
+		w.u8(byte(b.Branch.Kind))
+		w.str(b.Branch.Target)
+		w.str(b.Branch.Else)
+		if b.Branch.CondUnit == "" {
+			w.uvarint(uint64(len(p.Machine.Banks())))
+		} else {
+			w.uvarint(uint64(bankIdx[b.Branch.CondUnit]))
+		}
+		w.uvarint(uint64(b.Branch.CondReg))
+		if b.Branch.CondConst != nil {
+			w.u8(1)
+			w.varint(*b.Branch.CondConst)
+		} else {
+			w.u8(0)
+		}
+	}
+	return w.buf
+}
+
+// Decode loads a binary object back into a Program against the given
+// machine description (the loader checks the machine name matches).
+func Decode(data []byte, m *isdl.Machine) (*Program, error) {
+	if len(data) < len(objMagic)+1 || string(data[:len(objMagic)]) != objMagic {
+		return nil, fmt.Errorf("asm: bad magic")
+	}
+	r := &reader{buf: data, pos: len(objMagic)}
+	ver, err := r.u8()
+	if err != nil {
+		return nil, err
+	}
+	if ver != objVersion {
+		return nil, fmt.Errorf("asm: unsupported object version %d", ver)
+	}
+	name, err := r.str()
+	if err != nil {
+		return nil, err
+	}
+	if name != m.Name {
+		return nil, fmt.Errorf("asm: object built for machine %q, loading on %q", name, m.Name)
+	}
+	unitName := func(i uint64) (string, error) {
+		if int(i) >= len(m.Units) {
+			return "", fmt.Errorf("asm: unit index %d out of range", i)
+		}
+		return m.Units[i].Name, nil
+	}
+	banks := m.Banks()
+	bankName := func(i uint64) (string, error) {
+		if int(i) >= len(banks) {
+			return "", fmt.Errorf("asm: bank index %d out of range", i)
+		}
+		return banks[i], nil
+	}
+	nBlocks, err := r.uvarint()
+	if err != nil {
+		return nil, err
+	}
+	p := &Program{Machine: m}
+	for bi := uint64(0); bi < nBlocks; bi++ {
+		b := &Block{}
+		if b.Name, err = r.str(); err != nil {
+			return nil, err
+		}
+		nInstrs, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		for ii := uint64(0); ii < nInstrs; ii++ {
+			var in Instr
+			nOps, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			for k := uint64(0); k < nOps; k++ {
+				var op MicroOp
+				ui, err := r.uvarint()
+				if err != nil {
+					return nil, err
+				}
+				if op.Unit, err = unitName(ui); err != nil {
+					return nil, err
+				}
+				ob, err := r.u8()
+				if err != nil {
+					return nil, err
+				}
+				op.Op = ir.Op(ob)
+				dst, err := r.uvarint()
+				if err != nil {
+					return nil, err
+				}
+				op.Dst = int(dst)
+				nSrcs, err := r.uvarint()
+				if err != nil {
+					return nil, err
+				}
+				for s := uint64(0); s < nSrcs; s++ {
+					tag, err := r.u8()
+					if err != nil {
+						return nil, err
+					}
+					if tag == 1 {
+						v, err := r.varint()
+						if err != nil {
+							return nil, err
+						}
+						op.Srcs = append(op.Srcs, Operand{IsImm: true, Imm: v})
+					} else {
+						reg, err := r.uvarint()
+						if err != nil {
+							return nil, err
+						}
+						op.Srcs = append(op.Srcs, Operand{Reg: int(reg)})
+					}
+				}
+				in.Ops = append(in.Ops, op)
+			}
+			nMoves, err := r.uvarint()
+			if err != nil {
+				return nil, err
+			}
+			for k := uint64(0); k < nMoves; k++ {
+				var mv Move
+				bi, err := r.uvarint()
+				if err != nil {
+					return nil, err
+				}
+				if int(bi) >= len(m.Buses) {
+					return nil, fmt.Errorf("asm: bus index %d out of range", bi)
+				}
+				mv.Bus = m.Buses[bi].Name
+				tag, err := r.u8()
+				if err != nil {
+					return nil, err
+				}
+				if tag == 1 {
+					if mv.FromMem, err = r.str(); err != nil {
+						return nil, err
+					}
+				} else {
+					ui, err := r.uvarint()
+					if err != nil {
+						return nil, err
+					}
+					if mv.FromUnit, err = bankName(ui); err != nil {
+						return nil, err
+					}
+					fr, err := r.uvarint()
+					if err != nil {
+						return nil, err
+					}
+					mv.FromReg = int(fr)
+				}
+				tag, err = r.u8()
+				if err != nil {
+					return nil, err
+				}
+				if tag == 1 {
+					if mv.ToMem, err = r.str(); err != nil {
+						return nil, err
+					}
+				} else {
+					ui, err := r.uvarint()
+					if err != nil {
+						return nil, err
+					}
+					if mv.ToUnit, err = bankName(ui); err != nil {
+						return nil, err
+					}
+					tr, err := r.uvarint()
+					if err != nil {
+						return nil, err
+					}
+					mv.ToReg = int(tr)
+				}
+				in.Moves = append(in.Moves, mv)
+			}
+			b.Instrs = append(b.Instrs, in)
+		}
+		kb, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		b.Branch.Kind = BranchKind(kb)
+		if b.Branch.Target, err = r.str(); err != nil {
+			return nil, err
+		}
+		if b.Branch.Else, err = r.str(); err != nil {
+			return nil, err
+		}
+		cu, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		if int(cu) < len(banks) {
+			b.Branch.CondUnit = banks[cu]
+		}
+		cr, err := r.uvarint()
+		if err != nil {
+			return nil, err
+		}
+		b.Branch.CondReg = int(cr)
+		tag, err := r.u8()
+		if err != nil {
+			return nil, err
+		}
+		if tag == 1 {
+			v, err := r.varint()
+			if err != nil {
+				return nil, err
+			}
+			b.Branch.CondConst = &v
+		}
+		p.Blocks = append(p.Blocks, b)
+	}
+	return p, nil
+}

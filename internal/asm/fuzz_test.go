@@ -1,0 +1,54 @@
+package asm
+
+import (
+	"testing"
+
+	"aviv/internal/isdl"
+)
+
+// FuzzDecode checks the binary loader never panics on corrupt objects.
+func FuzzDecode(f *testing.F) {
+	m := isdl.ExampleArch(4)
+	blk := &Block{Name: "b", Branch: Branch{Kind: BranchHalt}}
+	obj := Encode(&Program{Machine: m, Blocks: []*Block{blk}})
+	f.Add(obj)
+	f.Add([]byte("AVOB"))
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Decode(data, m)
+		if err != nil {
+			return
+		}
+		_ = p.String() // printing a decoded program must not panic
+	})
+}
+
+// FuzzParseProgram checks the textual assembler never panics, and that
+// accepted programs survive a print/parse round trip.
+func FuzzParseProgram(f *testing.F) {
+	m := isdl.ExampleArch(4)
+	seeds := []string{
+		"b:\n  { NOP }\n  HALT\n",
+		"b:\n  { U1: ADD R0, R1, R2 | DB: [a] -> U2.R0 }\n  JMP b\n",
+		"b:\n  BNZ U1.R0, b else b\n",
+		"; only a comment",
+		"b:\n  { U2: MOVI R0, #-5 }\n  FALL b\n",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := ParseProgram(src, m)
+		if err != nil {
+			return
+		}
+		text := p.String()
+		back, err := ParseProgram(text, m)
+		if err != nil {
+			t.Fatalf("re-parse of emitted text failed: %v\n%s", err, text)
+		}
+		if back.String() != text {
+			t.Fatalf("print/parse not idempotent:\n%s\nvs\n%s", text, back.String())
+		}
+	})
+}

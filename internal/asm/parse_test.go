@@ -1,0 +1,107 @@
+package asm
+
+import (
+	"strings"
+	"testing"
+
+	"aviv/internal/bench"
+	"aviv/internal/isdl"
+)
+
+func TestParseProgramRoundTrip(t *testing.T) {
+	m := isdl.ExampleArch(4)
+	for _, w := range bench.PaperWorkloads() {
+		blk := emit(t, w, m)
+		p := &Program{Machine: m, Blocks: []*Block{blk}}
+		text := p.String()
+		back, err := ParseProgram(text, m)
+		if err != nil {
+			t.Fatalf("%s: ParseProgram: %v\n%s", w.Name, err, text)
+		}
+		if back.String() != text {
+			t.Errorf("%s: text round trip mismatch:\n%s\nvs\n%s", w.Name, text, back)
+		}
+	}
+}
+
+func TestParseProgramHandWritten(t *testing.T) {
+	m := isdl.ExampleArchFull(4)
+	src := `
+; a hand-written program
+entry:
+  { DB: [x] -> U1.R0 }
+  { U1: CMPLT R1, R0, #10 }
+  BNZ U1.R1, small else big
+small:
+  { U2: MOVI R0, #1 }
+  { DB: U2.R0 -> [r] }
+  JMP done
+big:
+  { U2: MOVI R0, #2 | DB: [x] -> U1.R2 }
+  { DB: U2.R0 -> [r] }
+  FALL done
+done:
+  HALT
+`
+	p, err := ParseProgram(src, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Blocks) != 4 {
+		t.Fatalf("got %d blocks, want 4", len(p.Blocks))
+	}
+	if p.Blocks[0].Branch.Kind != BranchCond || p.Blocks[0].Branch.Target != "small" {
+		t.Errorf("entry branch = %+v", p.Blocks[0].Branch)
+	}
+	if p.Blocks[2].Branch.Kind != BranchNone || p.Blocks[2].Branch.Target != "done" {
+		t.Errorf("big fallthrough = %+v", p.Blocks[2].Branch)
+	}
+	big := p.Blocks[2]
+	if len(big.Instrs[0].Ops) != 1 || len(big.Instrs[0].Moves) != 1 {
+		t.Errorf("big instr 0 slots wrong: %+v", big.Instrs[0])
+	}
+	// NOP instruction.
+	p2, err := ParseProgram("b:\n  { NOP }\n  HALT\n", m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p2.Blocks[0].Instrs) != 1 || len(p2.Blocks[0].Instrs[0].Ops) != 0 {
+		t.Error("NOP not parsed as empty instruction")
+	}
+}
+
+func TestParseProgramErrors(t *testing.T) {
+	m := isdl.ExampleArch(4)
+	bad := []string{
+		"{ U1: ADD R0, R1, R2 }",          // instr before label
+		"b:\n  { U9: ADD R0, R1, R2 }\n",  // unknown unit
+		"b:\n  { U1: FROB R0, R1, R2 }\n", // unknown op
+		"b:\n  { U1: ADD R0, R1 }\n",      // arity
+		"b:\n  { U1: ADD R9, R1, R2 }\n",  // register out of range
+		"b:\n  { DB: [a] -> [b] }\n",      // mem to mem
+		"b:\n  { ZZ: [a] -> U1.R0 }\n",    // unknown bus
+		"b:\n  { DB: [a] -> U1.R0 \n",     // unterminated
+		"b:\n  JMP\n",                     // missing target
+		"b:\n  JMP nowhere\n",             // unknown target
+		"b:\n  BNZ U1.R0, x else\n",       // bad BNZ
+		"b:\n  HALT\nb:\n  HALT\n",        // duplicate block
+		"b:\n  WAT\n",                     // unknown control
+	}
+	for _, src := range bad {
+		if _, err := ParseProgram(src, m); err == nil {
+			t.Errorf("accepted invalid assembly:\n%s", src)
+		}
+	}
+}
+
+func TestParseIgnoresCommentsAndBlank(t *testing.T) {
+	m := isdl.ExampleArch(4)
+	src := "; header\n\nb: ; label comment\n\n  { NOP } ; body\n  HALT ; done\n"
+	p, err := ParseProgram(src, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Blocks) != 1 || !strings.Contains(p.String(), "HALT") {
+		t.Errorf("comment handling wrong: %s", p)
+	}
+}

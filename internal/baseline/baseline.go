@@ -1,0 +1,84 @@
+// Package baseline implements a conventional sequential phase-ordered
+// code generator for the same machine model: instruction selection first
+// (greedy, transfer-blind unit binding), then scheduling (ready-list),
+// then register allocation. It is the quantitative stand-in for the
+// phase-coupled compilers the AVIV paper argues against (Sec. I, V): the
+// comparison shows what performing the phases concurrently buys.
+package baseline
+
+import (
+	"fmt"
+
+	"aviv/internal/cover"
+	"aviv/internal/ir"
+	"aviv/internal/isdl"
+	"aviv/internal/sndag"
+)
+
+// SelectUnits performs classic instruction selection in isolation: every
+// computation node is bound to the capable unit with the fewest nodes
+// assigned so far (load balancing), without considering data transfers or
+// the schedule. Complex-instruction alternatives are used greedily when
+// available (longest match first), as tree-covering selectors do.
+func SelectUnits(d *sndag.DAG) *cover.Assignment {
+	a := &cover.Assignment{
+		Choice:     make(map[*ir.Node]*sndag.Alt),
+		AbsorbedBy: make(map[*ir.Node]*ir.Node),
+	}
+	loadPerUnit := make(map[string]int)
+	// Top-down (roots first) so complex matches can absorb their interior
+	// nodes before those nodes pick units of their own.
+	for _, s := range d.TopDownOrder() {
+		if _, absorbed := a.AbsorbedBy[s.Orig]; absorbed {
+			continue
+		}
+		// Longest-match-first among alternatives whose absorbed interior
+		// nodes are still free, then least-loaded unit.
+		var best *sndag.Alt
+		for _, alt := range s.Alts {
+			usable := true
+			for _, covered := range alt.Covers[1:] {
+				if _, taken := a.AbsorbedBy[covered]; taken {
+					usable = false
+					break
+				}
+				if _, chosen := a.Choice[covered]; chosen {
+					usable = false
+					break
+				}
+			}
+			if !usable {
+				continue
+			}
+			if best == nil ||
+				len(alt.Covers) > len(best.Covers) ||
+				(len(alt.Covers) == len(best.Covers) &&
+					loadPerUnit[alt.Unit.Name] < loadPerUnit[best.Unit.Name]) {
+				best = alt
+			}
+		}
+		a.Choice[s.Orig] = best
+		loadPerUnit[best.Unit.Name]++
+		for _, covered := range best.Covers[1:] {
+			a.AbsorbedBy[covered] = s.Orig
+		}
+	}
+	return a
+}
+
+// Compile runs the full sequential pipeline on one basic block and
+// returns the covering-compatible solution (ready for regalloc and
+// emission through the same back end as AVIV proper).
+func Compile(b *ir.Block, m *isdl.Machine) (*cover.Solution, error) {
+	d, err := sndag.Build(b, m)
+	if err != nil {
+		return nil, err
+	}
+	a := SelectUnits(d)
+	opts := cover.DefaultOptions()
+	sol, err := cover.ListSchedule(d, a, opts)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	return sol, nil
+}

@@ -1,0 +1,137 @@
+package baseline
+
+import (
+	"testing"
+
+	"aviv/internal/bench"
+	"aviv/internal/cover"
+	"aviv/internal/ir"
+	"aviv/internal/isdl"
+	"aviv/internal/sndag"
+)
+
+func TestBaselineProducesValidSolutions(t *testing.T) {
+	for _, w := range bench.PaperWorkloads() {
+		for _, regs := range []int{2, 4} {
+			m := isdl.ExampleArch(regs)
+			sol, err := Compile(w.Block, m)
+			if err != nil {
+				t.Fatalf("%s regs=%d: %v", w.Name, regs, err)
+			}
+			if err := sol.Verify(); err != nil {
+				t.Fatalf("%s regs=%d invalid: %v\n%s", w.Name, regs, err, sol)
+			}
+		}
+	}
+}
+
+func TestConcurrentNeverLosesToBaseline(t *testing.T) {
+	// The paper's thesis: concurrent selection/scheduling beats (or
+	// equals) phase-ordered compilation. Allow one instruction of noise.
+	worse := 0
+	total := 0
+	for _, w := range bench.PaperWorkloads() {
+		m := isdl.ExampleArch(4)
+		base, err := Compile(w.Block, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		conc, err := cover.CoverBlock(w.Block, m, cover.DefaultOptions())
+		if err != nil {
+			t.Fatal(err)
+		}
+		total++
+		if conc.Best.Cost() > base.Cost() {
+			worse++
+			t.Logf("%s: concurrent %d vs baseline %d", w.Name, conc.Best.Cost(), base.Cost())
+		}
+		if conc.Best.Cost() > base.Cost()+1 {
+			t.Errorf("%s: concurrent %d clearly worse than baseline %d",
+				w.Name, conc.Best.Cost(), base.Cost())
+		}
+	}
+	if worse == total {
+		t.Errorf("concurrent covering lost to the baseline on every block")
+	}
+}
+
+func TestSelectUnitsBalances(t *testing.T) {
+	w := bench.VectorAdd(6)
+	m := isdl.ExampleArch(4)
+	d, err := sndagBuild(w, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := SelectUnits(d)
+	perUnit := map[string]int{}
+	for _, alt := range a.Choice {
+		perUnit[alt.Unit.Name]++
+	}
+	// Six independent ADDs over three capable units: perfectly balanced.
+	for u, n := range perUnit {
+		if n != 2 {
+			t.Errorf("unit %s got %d ops, want 2 (balanced)", u, n)
+		}
+	}
+}
+
+func sndagBuild(w bench.Workload, m *isdl.Machine) (*sndag.DAG, error) {
+	return sndag.Build(w.Block, m)
+}
+
+func TestSelectUnitsPrefersComplexMatches(t *testing.T) {
+	// Longest-match-first: the MAC alternative absorbs ADD+MUL.
+	bb := ir.NewBuilder("mac")
+	acc := bb.Load("acc")
+	bb.Store("acc", bb.Add(acc, bb.Mul(bb.Load("x"), bb.Load("y"))))
+	bb.Return()
+	m := isdl.WideDSP(8)
+	d, err := sndag.Build(bb.Finish(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := SelectUnits(d)
+	usedMAC := false
+	for _, alt := range a.Choice {
+		if alt.Op == ir.OpMAC {
+			usedMAC = true
+			if len(alt.Covers) != 2 {
+				t.Errorf("MAC covers %d nodes, want 2", len(alt.Covers))
+			}
+		}
+	}
+	if !usedMAC {
+		t.Error("baseline selection ignored the MAC complex instruction")
+	}
+	if len(a.AbsorbedBy) != 1 {
+		t.Errorf("AbsorbedBy has %d entries, want 1", len(a.AbsorbedBy))
+	}
+	// The absorbed MUL must not have its own choice.
+	for n := range a.AbsorbedBy {
+		if _, chosen := a.Choice[n]; chosen {
+			t.Error("absorbed node also chosen")
+		}
+	}
+}
+
+func TestBaselineOnDSPSuite(t *testing.T) {
+	for _, w := range bench.DSPSuite() {
+		sol, err := Compile(w.Block, isdl.ExampleArch(4))
+		if err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+		if err := sol.Verify(); err != nil {
+			t.Fatalf("%s: %v", w.Name, err)
+		}
+	}
+}
+
+func TestBaselineClusteredMachine(t *testing.T) {
+	sol, err := Compile(bench.Ex2().Block, isdl.ClusteredVLIW(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sol.Verify(); err != nil {
+		t.Fatalf("%v\n%s", err, sol)
+	}
+}

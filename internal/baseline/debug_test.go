@@ -1,0 +1,33 @@
+package baseline
+
+import (
+	"fmt"
+	"testing"
+
+	"aviv/internal/bench"
+	"aviv/internal/cover"
+	"aviv/internal/isdl"
+	"aviv/internal/sndag"
+)
+
+func TestDebugEx5(t *testing.T) {
+	w := bench.Ex5()
+	m := isdl.ExampleArch(2)
+	d, _ := sndag.Build(w.Block, m)
+	a := SelectUnits(d)
+	for n, alt := range a.Choice {
+		fmt.Printf("n%d:%s -> %s\n", n.ID, n.Op, alt)
+	}
+	opts := cover.DefaultOptions()
+	tr := &cover.Trace{}
+	opts.Trace = tr
+	_, err := cover.ListSchedule(d, a, opts)
+	lines := tr.Lines
+	if len(lines) > 60 {
+		lines = lines[:30]
+	}
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	fmt.Println("err:", err)
+}

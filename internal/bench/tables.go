@@ -1,0 +1,256 @@
+package bench
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"aviv/internal/cover"
+	"aviv/internal/ir"
+	"aviv/internal/isdl"
+	"aviv/internal/peephole"
+	"aviv/internal/sndag"
+)
+
+// Row is one line of a reproduced results table, in the layout of the
+// paper's Tables I and II. PaperHand/PaperAviv/PaperExh carry the numbers
+// printed in the paper for side-by-side comparison; a value of -1 means
+// the paper did not report one.
+type Row struct {
+	Name        string
+	OrigNodes   int
+	SNNodes     int
+	RegsPerFile int
+	Spills      int
+
+	PaperHand int // "#Instr By Hand" (optimal, per the paper)
+	PaperAviv int // "#Instr Aviv" with heuristics
+	PaperExh  int // parenthesised heuristics-off result
+
+	Cost     int // our heuristics-on instruction count
+	ExhCost  int // our heuristics-off instruction count (-1 = skipped)
+	HeurTime time.Duration
+	ExhTime  time.Duration
+}
+
+// TableConfig controls a table reproduction run.
+type TableConfig struct {
+	// Exhaustive also runs the heuristics-off configuration (the paper's
+	// parenthesised columns). Slower.
+	Exhaustive bool
+	// MaxAssignments caps exhaustive enumeration (0 = package default).
+	MaxAssignments int
+	// Peephole runs the Sec. IV-G cleanup after covering.
+	Peephole bool
+}
+
+// runOne covers a block and returns instruction count, spills, and time.
+func runOne(b *ir.Block, m *isdl.Machine, opts cover.Options, peep bool) (cost, spills int, d time.Duration, err error) {
+	start := time.Now()
+	res, err := cover.CoverBlock(b, m, opts)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	sol := res.Best
+	if peep {
+		sol = peephole.Optimize(sol)
+	}
+	return sol.Cost(), sol.SpillCount, time.Since(start), nil
+}
+
+// paperTableI holds the numbers printed in the paper's Table I,
+// indexed by row order Ex1..Ex7.
+var paperTableI = []struct {
+	hand, aviv, exh, regs, spills int
+}{
+	{7, 7, 7, 4, 0},
+	{10, 10, 10, 4, 0},
+	{13, 13, 13, 4, 0},
+	{16, 16, 16, 4, 0},
+	{14, 16, 14, 4, 0},
+	{18, 22, 18, 2, 2}, // Ex6 = Ex4 with 2 registers
+	{15, 18, 15, 2, 1}, // Ex7 = Ex5 with 2 registers
+}
+
+// TableI reproduces the paper's Table I: Ex1–Ex5 on the example
+// architecture with 4 registers per file, plus Ex6/Ex7 (= Ex4/Ex5 with 2
+// registers per file).
+func TableI(cfg TableConfig) ([]Row, error) {
+	base := PaperWorkloads()
+	type entry struct {
+		w    Workload
+		regs int
+		ref  int // index into paperTableI
+	}
+	entries := []entry{
+		{base[0], 4, 0}, {base[1], 4, 1}, {base[2], 4, 2}, {base[3], 4, 3}, {base[4], 4, 4},
+		{base[3], 2, 5}, {base[4], 2, 6},
+	}
+	var rows []Row
+	for i, e := range entries {
+		name := e.w.Name
+		if e.regs != 4 {
+			name = fmt.Sprintf("Ex%d", i+1)
+		}
+		m := isdl.ExampleArch(e.regs)
+		row, err := buildRow(name, e.w.Block, m, e.regs, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", name, err)
+		}
+		ref := paperTableI[e.ref]
+		row.PaperHand, row.PaperAviv, row.PaperExh = ref.hand, ref.aviv, ref.exh
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// paperTableII holds the numbers printed in the paper's Table II.
+var paperTableII = []struct{ hand, aviv int }{
+	{8, 8}, {11, 12}, {13, 13}, {16, 17}, {15, 15},
+}
+
+// TableII reproduces the paper's Table II: Ex1–Ex5 on Architecture II
+// (no U3, no SUB on U1) with 4 registers per file.
+func TableII(cfg TableConfig) ([]Row, error) {
+	var rows []Row
+	for i, w := range PaperWorkloads() {
+		m := isdl.ArchitectureII(4)
+		row, err := buildRow(w.Name, w.Block, m, 4, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("bench: %s: %w", w.Name, err)
+		}
+		row.PaperHand, row.PaperAviv = paperTableII[i].hand, paperTableII[i].aviv
+		row.PaperExh = -1
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func buildRow(name string, b *ir.Block, m *isdl.Machine, regs int, cfg TableConfig) (Row, error) {
+	d, err := sndag.Build(b, m)
+	if err != nil {
+		return Row{}, err
+	}
+	row := Row{
+		Name:        name,
+		OrigNodes:   len(b.Nodes),
+		SNNodes:     d.Counts.Total(),
+		RegsPerFile: regs,
+		ExhCost:     -1,
+	}
+	hopts := cover.DefaultOptions()
+	cost, spills, dt, err := runOne(b, m, hopts, cfg.Peephole)
+	if err != nil {
+		return Row{}, err
+	}
+	row.Cost, row.Spills, row.HeurTime = cost, spills, dt
+	if cfg.Exhaustive {
+		eopts := cover.ExhaustiveOptions()
+		if cfg.MaxAssignments > 0 {
+			eopts.MaxAssignments = cfg.MaxAssignments
+		}
+		ecost, _, edt, err := runOne(b, m, eopts, cfg.Peephole)
+		if err != nil {
+			return Row{}, err
+		}
+		row.ExhCost, row.ExhTime = ecost, edt
+	}
+	return row, nil
+}
+
+// Format renders rows in the layout of the paper's tables, with the
+// paper's own numbers alongside for comparison.
+func Format(title string, rows []Row) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s\n", title)
+	fmt.Fprintf(&sb, "%-6s %8s %8s %6s %7s | %12s | %12s %10s\n",
+		"Block", "DAG#", "SN-DAG#", "Regs", "Spills",
+		"paper h/a(x)", "ours a(x)", "CPU")
+	for _, r := range rows {
+		paper := fmt.Sprintf("%d/%d", r.PaperHand, r.PaperAviv)
+		if r.PaperExh >= 0 {
+			paper = fmt.Sprintf("%d/%d(%d)", r.PaperHand, r.PaperAviv, r.PaperExh)
+		}
+		ours := fmt.Sprintf("%d", r.Cost)
+		cpu := fmt.Sprintf("%.2gms", float64(r.HeurTime.Microseconds())/1000)
+		if r.ExhCost >= 0 {
+			ours = fmt.Sprintf("%d(%d)", r.Cost, r.ExhCost)
+			cpu += fmt.Sprintf(" (%.3gs)", r.ExhTime.Seconds())
+		}
+		fmt.Fprintf(&sb, "%-6s %8d %8d %6d %7d | %12s | %12s %10s\n",
+			r.Name, r.OrigNodes, r.SNNodes, r.RegsPerFile, r.Spills, paper, ours, cpu)
+	}
+	return sb.String()
+}
+
+// ScaleRow is one point of the CPU-time scaling study: covering effort
+// versus block size, the growth behaviour behind the paper's CPU-time
+// column (their exhaustive Ex5 ran for a CPU-day; the heuristics tame
+// the multiplicative assignment space).
+type ScaleRow struct {
+	Name       string
+	OrigNodes  int
+	SNNodes    int
+	Space      int // possible functional-unit assignments
+	Cost       int
+	HeurTime   time.Duration
+	Exhaustive time.Duration // -1 duration when skipped
+	ExhCost    int
+}
+
+// Scaling measures covering time against block size on the example
+// architecture, optionally with the heuristics-off configuration for the
+// smaller blocks.
+func Scaling(maxTaps int, exhaustiveUpTo int) ([]ScaleRow, error) {
+	var rows []ScaleRow
+	for taps := 2; taps <= maxTaps; taps += 2 {
+		w := FIR(taps)
+		m := isdl.ExampleArch(4)
+		d, err := sndag.Build(w.Block, m)
+		if err != nil {
+			return nil, err
+		}
+		row := ScaleRow{
+			Name:       w.Name,
+			OrigNodes:  len(w.Block.Nodes),
+			SNNodes:    d.Counts.Total(),
+			Space:      d.AssignmentSpace(),
+			Exhaustive: -1,
+			ExhCost:    -1,
+		}
+		cost, _, dt, err := runOne(w.Block, m, cover.DefaultOptions(), true)
+		if err != nil {
+			return nil, err
+		}
+		row.Cost, row.HeurTime = cost, dt
+		if taps <= exhaustiveUpTo {
+			opts := cover.ExhaustiveOptions()
+			opts.MaxAssignments = 20000
+			ecost, _, edt, err := runOne(w.Block, m, opts, true)
+			if err != nil {
+				return nil, err
+			}
+			row.Exhaustive, row.ExhCost = edt, ecost
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// FormatScaling renders the scaling study.
+func FormatScaling(rows []ScaleRow) string {
+	var sb strings.Builder
+	sb.WriteString("Covering effort vs block size (example architecture):\n")
+	fmt.Fprintf(&sb, "%-8s %6s %8s %12s %7s %12s %14s\n",
+		"block", "DAG#", "SN-DAG#", "assignments", "instrs", "heuristic", "exhaustive")
+	for _, r := range rows {
+		exh := "-"
+		if r.Exhaustive >= 0 {
+			exh = fmt.Sprintf("%v (%d)", r.Exhaustive.Round(time.Millisecond), r.ExhCost)
+		}
+		fmt.Fprintf(&sb, "%-8s %6d %8d %12d %7d %12v %14s\n",
+			r.Name, r.OrigNodes, r.SNNodes, r.Space, r.Cost,
+			r.HeurTime.Round(time.Millisecond), exh)
+	}
+	return sb.String()
+}

@@ -1,0 +1,328 @@
+// Package bench defines the paper's experimental workloads (the generic
+// DSP basic blocks Ex1–Ex7 of Tables I and II), additional DSP workload
+// generators, and the harness that regenerates every table of the
+// evaluation section.
+package bench
+
+import (
+	"fmt"
+
+	"aviv/internal/ir"
+)
+
+// Workload is one benchmark basic block plus sample memory for
+// simulation-based validation.
+type Workload struct {
+	Name string
+	// Desc explains the block's provenance in the paper's terms.
+	Desc  string
+	Block *ir.Block
+	// Mem is a sample initial data memory exercising the block.
+	Mem map[string]int64
+}
+
+// Ex1 is the paper's Fig. 2 example block: out = (a+b) - (c*d).
+// 8 original DAG nodes — a simple block from a conditional statement.
+func Ex1() Workload {
+	bb := ir.NewBuilder("Ex1")
+	sum := bb.Add(bb.Load("a"), bb.Load("b"))
+	prod := bb.Mul(bb.Load("c"), bb.Load("d"))
+	bb.Store("out", bb.Sub(sum, prod))
+	bb.Return()
+	return Workload{
+		Name:  "Ex1",
+		Desc:  "conditional-body block: out = (a+b) - (c*d)",
+		Block: bb.Finish(),
+		Mem:   map[string]int64{"a": 10, "b": 32, "c": 6, "d": 7},
+	}
+}
+
+// Ex2 is a two-output block: y = (a+b)*(c-d); z = y + e*f.
+// 13 original DAG nodes — a simple block from a loop body.
+func Ex2() Workload {
+	bb := ir.NewBuilder("Ex2")
+	y := bb.Mul(bb.Add(bb.Load("a"), bb.Load("b")), bb.Sub(bb.Load("c"), bb.Load("d")))
+	z := bb.Add(y, bb.Mul(bb.Load("e"), bb.Load("f")))
+	bb.Store("y", y)
+	bb.Store("z", z)
+	bb.Return()
+	return Workload{
+		Name:  "Ex2",
+		Desc:  "loop-body block: y = (a+b)*(c-d); z = y + e*f",
+		Block: bb.Finish(),
+		Mem:   map[string]int64{"a": 1, "b": 2, "c": 9, "d": 4, "e": 3, "f": 5},
+	}
+}
+
+// Ex3 is a twice-unrolled accumulation loop (the paper's Ex3-5 are loops
+// unrolled twice): acc += x0*c0; acc += x1*c1, with the intermediate
+// store kept as unrolling leaves it. 11 original DAG nodes.
+func Ex3() Workload {
+	bb := ir.NewBuilder("Ex3")
+	acc := bb.Load("acc")
+	acc1 := bb.Add(acc, bb.Mul(bb.Load("x0"), bb.Load("c0")))
+	bb.Store("acc", acc1)
+	acc2 := bb.Add(acc1, bb.Mul(bb.Load("x1"), bb.Load("c1")))
+	bb.Store("acc", acc2)
+	bb.Return()
+	return Workload{
+		Name:  "Ex3",
+		Desc:  "twice-unrolled MAC loop: acc += x0*c0; acc += x1*c1",
+		Block: bb.Finish(),
+		Mem:   map[string]int64{"acc": 100, "x0": 2, "c0": 3, "x1": 4, "c1": 5},
+	}
+}
+
+// Ex4 is a biquad-like filter section with delay-line update:
+// w0 = x - a1*w1 - a2*w2; y = w0 + b1*w1; w2' = w1 (shift).
+// 15 original DAG nodes.
+func Ex4() Workload {
+	bb := ir.NewBuilder("Ex4")
+	x := bb.Load("x")
+	a1 := bb.Load("a1")
+	w1 := bb.Load("w1")
+	a2 := bb.Load("a2")
+	w2 := bb.Load("w2")
+	b1 := bb.Load("b1")
+	m1 := bb.Mul(a1, w1)
+	m2 := bb.Mul(a2, w2)
+	w0 := bb.Sub(bb.Sub(x, m1), m2)
+	y := bb.Add(w0, bb.Mul(b1, w1))
+	bb.Store("y", y)
+	bb.Store("w0", w0)
+	bb.Store("w2", w1) // delay-line shift
+	bb.Return()
+	return Workload{
+		Name:  "Ex4",
+		Desc:  "biquad section with delay-line shift (twice-unrolled loop body)",
+		Block: bb.Finish(),
+		Mem:   map[string]int64{"x": 50, "a1": 2, "w1": 3, "a2": 1, "w2": 4, "b1": 6},
+	}
+}
+
+// Ex5 is a twice-unrolled dual-accumulator loop:
+// s += x0*y0 + x1*y1; e += x0*x0 + x1*x1. 16 original DAG nodes.
+func Ex5() Workload {
+	bb := ir.NewBuilder("Ex5")
+	s := bb.Load("s")
+	e := bb.Load("e")
+	x0 := bb.Load("x0")
+	y0 := bb.Load("y0")
+	x1 := bb.Load("x1")
+	y1 := bb.Load("y1")
+	s2 := bb.Add(bb.Add(s, bb.Mul(x0, y0)), bb.Mul(x1, y1))
+	e2 := bb.Add(bb.Add(e, bb.Mul(x0, x0)), bb.Mul(x1, x1))
+	bb.Store("s", s2)
+	bb.Store("e", e2)
+	bb.Return()
+	return Workload{
+		Name:  "Ex5",
+		Desc:  "twice-unrolled dot product + energy accumulation",
+		Block: bb.Finish(),
+		Mem:   map[string]int64{"s": 10, "e": 20, "x0": 2, "y0": 3, "x1": 4, "y1": 5},
+	}
+}
+
+// PaperWorkloads returns Ex1–Ex5 in table order.
+func PaperWorkloads() []Workload {
+	return []Workload{Ex1(), Ex2(), Ex3(), Ex4(), Ex5()}
+}
+
+// FIR builds an n-tap FIR inner block, fully unrolled:
+// y = sum_i x[i]*c[i].
+func FIR(taps int) Workload {
+	bb := ir.NewBuilder(fmt.Sprintf("fir%d", taps))
+	mem := map[string]int64{}
+	var acc *ir.Node
+	for i := 0; i < taps; i++ {
+		xi := bb.Load(fmt.Sprintf("x%d", i))
+		ci := bb.Load(fmt.Sprintf("c%d", i))
+		mem[fmt.Sprintf("x%d", i)] = int64(i + 1)
+		mem[fmt.Sprintf("c%d", i)] = int64(2*i + 1)
+		term := bb.Mul(xi, ci)
+		if acc == nil {
+			acc = term
+		} else {
+			acc = bb.Add(acc, term)
+		}
+	}
+	bb.Store("y", acc)
+	bb.Return()
+	return Workload{
+		Name:  fmt.Sprintf("fir%d", taps),
+		Desc:  fmt.Sprintf("%d-tap unrolled FIR filter", taps),
+		Block: bb.Finish(),
+		Mem:   mem,
+	}
+}
+
+// VectorAdd builds an n-element unrolled vector addition c[i] = a[i]+b[i]
+// — a maximally parallel workload.
+func VectorAdd(n int) Workload {
+	bb := ir.NewBuilder(fmt.Sprintf("vadd%d", n))
+	mem := map[string]int64{}
+	for i := 0; i < n; i++ {
+		a := bb.Load(fmt.Sprintf("a%d", i))
+		b := bb.Load(fmt.Sprintf("b%d", i))
+		mem[fmt.Sprintf("a%d", i)] = int64(i)
+		mem[fmt.Sprintf("b%d", i)] = int64(10 * i)
+		bb.Store(fmt.Sprintf("c%d", i), bb.Add(a, b))
+	}
+	bb.Return()
+	return Workload{
+		Name:  fmt.Sprintf("vadd%d", n),
+		Desc:  fmt.Sprintf("%d-element unrolled vector add", n),
+		Block: bb.Finish(),
+		Mem:   mem,
+	}
+}
+
+// Chain builds a fully serial dependency chain of length n — a
+// no-parallelism workload (the opposite extreme of VectorAdd).
+func Chain(n int) Workload {
+	bb := ir.NewBuilder(fmt.Sprintf("chain%d", n))
+	cur := bb.Load("x")
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			cur = bb.Add(cur, bb.Const(int64(i+1)))
+		} else {
+			cur = bb.Mul(cur, bb.Const(2))
+		}
+	}
+	bb.Store("y", cur)
+	bb.Return()
+	return Workload{
+		Name:  fmt.Sprintf("chain%d", n),
+		Desc:  fmt.Sprintf("serial chain of %d dependent ops", n),
+		Block: bb.Finish(),
+		Mem:   map[string]int64{"x": 7},
+	}
+}
+
+// Random builds a deterministic pseudo-random DAG of nOps operations over
+// ADD/SUB/MUL, for scaling studies.
+func Random(seed int64, nOps int) Workload {
+	bb := ir.NewBuilder(fmt.Sprintf("rand%d_%d", seed, nOps))
+	state := uint64(seed)*2654435761 + 99991
+	next := func(n int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(n))
+	}
+	avail := []*ir.Node{bb.Load("a"), bb.Load("b"), bb.Load("c"), bb.Load("d")}
+	ops := []ir.Op{ir.OpAdd, ir.OpSub, ir.OpMul}
+	for i := 0; i < nOps; i++ {
+		x := avail[next(len(avail))]
+		y := avail[next(len(avail))]
+		avail = append(avail, bb.Op(ops[next(len(ops))], x, y))
+	}
+	bb.Store("out", avail[len(avail)-1])
+	bb.Return()
+	return Workload{
+		Name:  fmt.Sprintf("rand%d_%d", seed, nOps),
+		Desc:  fmt.Sprintf("pseudo-random DAG, %d ops, seed %d", nOps, seed),
+		Block: bb.Finish(),
+		Mem:   map[string]int64{"a": 11, "b": 7, "c": 5, "d": 3},
+	}
+}
+
+// Butterfly builds a radix-2 FFT butterfly on integer data (real and
+// imaginary parts, twiddle factor w = wr + j·wi):
+//
+//	tr = br*wr - bi*wi        ar' = ar + tr    br' = ar - tr
+//	ti = br*wi + bi*wr        ai' = ai + ti    bi' = ai - ti
+func Butterfly() Workload {
+	bb := ir.NewBuilder("butterfly")
+	ar := bb.Load("ar")
+	ai := bb.Load("ai")
+	br := bb.Load("br")
+	bi := bb.Load("bi")
+	wr := bb.Load("wr")
+	wi := bb.Load("wi")
+	tr := bb.Sub(bb.Mul(br, wr), bb.Mul(bi, wi))
+	ti := bb.Add(bb.Mul(br, wi), bb.Mul(bi, wr))
+	bb.Store("ar", bb.Add(ar, tr))
+	bb.Store("br", bb.Sub(ar, tr))
+	bb.Store("ai", bb.Add(ai, ti))
+	bb.Store("bi", bb.Sub(ai, ti))
+	bb.Return()
+	return Workload{
+		Name:  "butterfly",
+		Desc:  "radix-2 FFT butterfly (complex multiply + add/sub pairs)",
+		Block: bb.Finish(),
+		Mem:   map[string]int64{"ar": 10, "ai": 20, "br": 3, "bi": 4, "wr": 2, "wi": 1},
+	}
+}
+
+// IIRCascade builds two cascaded first-order IIR sections:
+//
+//	s1 = a1*s1 + x ; s2 = a2*s2 + s1 ; y = s2
+func IIRCascade() Workload {
+	bb := ir.NewBuilder("iir2")
+	x := bb.Load("x")
+	s1 := bb.Add(bb.Mul(bb.Load("a1"), bb.Load("s1")), x)
+	s2 := bb.Add(bb.Mul(bb.Load("a2"), bb.Load("s2")), s1)
+	bb.Store("s1", s1)
+	bb.Store("s2", s2)
+	bb.Store("y", s2)
+	bb.Return()
+	return Workload{
+		Name:  "iir2",
+		Desc:  "two cascaded first-order IIR sections (serial recurrence)",
+		Block: bb.Finish(),
+		Mem:   map[string]int64{"x": 5, "a1": 2, "s1": 3, "a2": 1, "s2": 4},
+	}
+}
+
+// Correlation builds a 4-lag cross-correlation update:
+//
+//	r[k] += x * y[k]  for k = 0..3
+func Correlation() Workload {
+	bb := ir.NewBuilder("corr4")
+	x := bb.Load("x")
+	mem := map[string]int64{"x": 3}
+	for k := 0; k < 4; k++ {
+		rk := fmt.Sprintf("r%d", k)
+		yk := fmt.Sprintf("y%d", k)
+		mem[rk] = int64(10 * k)
+		mem[yk] = int64(k + 1)
+		bb.Store(rk, bb.Add(bb.Load(rk), bb.Mul(x, bb.Load(yk))))
+	}
+	bb.Return()
+	return Workload{
+		Name:  "corr4",
+		Desc:  "4-lag correlation update (independent MACs sharing one input)",
+		Block: bb.Finish(),
+		Mem:   mem,
+	}
+}
+
+// MatMul2 builds a 2x2 integer matrix multiply C = A*B.
+func MatMul2() Workload {
+	bb := ir.NewBuilder("matmul2")
+	mem := map[string]int64{}
+	a := func(i, j int) *ir.Node { return bb.Load(fmt.Sprintf("a%d%d", i, j)) }
+	b := func(i, j int) *ir.Node { return bb.Load(fmt.Sprintf("b%d%d", i, j)) }
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			mem[fmt.Sprintf("a%d%d", i, j)] = int64(i + j + 1)
+			mem[fmt.Sprintf("b%d%d", i, j)] = int64(2*i + j + 1)
+			c := bb.Add(bb.Mul(a(i, 0), b(0, j)), bb.Mul(a(i, 1), b(1, j)))
+			bb.Store(fmt.Sprintf("c%d%d", i, j), c)
+		}
+	}
+	bb.Return()
+	return Workload{
+		Name:  "matmul2",
+		Desc:  "2x2 matrix multiply (8 MULs, 4 ADDs, wide parallelism)",
+		Block: bb.Finish(),
+		Mem:   mem,
+	}
+}
+
+// DSPSuite returns the extended kernel suite used by the suite study.
+func DSPSuite() []Workload {
+	return []Workload{
+		Butterfly(), IIRCascade(), Correlation(), MatMul2(),
+		FIR(8), VectorAdd(6), Chain(10),
+	}
+}

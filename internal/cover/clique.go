@@ -1,0 +1,346 @@
+package cover
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"aviv/internal/isdl"
+)
+
+// ParallelMatrix computes the pairwise-parallelism matrix of Sec. IV-C.1
+// over the given solution-graph nodes: entry [i][j] is true when node i
+// can execute in the same instruction as node j. Two nodes are parallel
+// when no directed path connects them (value or ordering edges) and their
+// resources are compatible: two operations need different units; two
+// transfers must not both need a slot on a width-1 bus. Wider buses and
+// explicit ISDL constraints are enforced later by legality splitting.
+//
+// levelWindow >= 0 additionally applies the clique-reduction heuristic of
+// Sec. IV-C.2: nodes merge only when their levels from the top and from
+// the bottom of the solution graph are within the window.
+func ParallelMatrix(nodes []*SNode, m *isdl.Machine, levelWindow int) [][]bool {
+	n := len(nodes)
+	idx := make(map[*SNode]int, n)
+	for i, nd := range nodes {
+		idx[nd] = i
+	}
+	// Transitive reachability restricted to the node subset. Paths may
+	// pass through nodes outside the subset (already covered ones cannot
+	// — they are scheduled — but spill regeneration passes subsets), so
+	// walk the full graph.
+	reach := make([][]bool, n)
+	for i, nd := range nodes {
+		reach[i] = make([]bool, n)
+		seen := make(map[*SNode]bool)
+		stack := append([]*SNode{}, nd.Succs...)
+		stack = append(stack, nd.OrdSuccs...)
+		for len(stack) > 0 {
+			x := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if seen[x] {
+				continue
+			}
+			seen[x] = true
+			if j, ok := idx[x]; ok {
+				reach[i][j] = true
+			}
+			stack = append(stack, x.Succs...)
+			stack = append(stack, x.OrdSuccs...)
+		}
+	}
+
+	var fromTop, fromBottom map[*SNode]int
+	if levelWindow >= 0 {
+		fromTop, fromBottom = snodeLevels(nodes)
+	}
+
+	par := make([][]bool, n)
+	for i := range par {
+		par[i] = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			ok := !reach[i][j] && !reach[j][i] && resourceCompatible(nodes[i], nodes[j], m)
+			if ok && levelWindow >= 0 {
+				a, b := nodes[i], nodes[j]
+				if abs(fromTop[a]-fromTop[b]) > levelWindow || abs(fromBottom[a]-fromBottom[b]) > levelWindow {
+					ok = false
+				}
+			}
+			par[i][j] = ok
+			par[j][i] = ok
+		}
+	}
+	return par
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func resourceCompatible(a, b *SNode, m *isdl.Machine) bool {
+	if a.Kind == OpNode && b.Kind == OpNode {
+		return a.Unit != b.Unit
+	}
+	if a.IsTransfer() && b.IsTransfer() {
+		if a.Step.Bus == b.Step.Bus {
+			bus := m.Bus(a.Step.Bus)
+			if bus != nil && bus.Width == 1 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// snodeLevels computes levels from the top (distance below a sink) and
+// from the bottom (height above a source) within the node subset,
+// following both value and ordering edges.
+func snodeLevels(nodes []*SNode) (fromTop, fromBottom map[*SNode]int) {
+	inSet := make(map[*SNode]bool, len(nodes))
+	for _, n := range nodes {
+		inSet[n] = true
+	}
+	order := topoOrder(nodes, inSet)
+	fromBottom = make(map[*SNode]int, len(nodes))
+	for _, n := range order {
+		h := 0
+		for _, p := range append(append([]*SNode{}, n.Preds...), n.OrdPreds...) {
+			if inSet[p] {
+				if v := fromBottom[p] + 1; v > h {
+					h = v
+				}
+			}
+		}
+		fromBottom[n] = h
+	}
+	fromTop = make(map[*SNode]int, len(nodes))
+	for i := len(order) - 1; i >= 0; i-- {
+		n := order[i]
+		d := 0
+		for _, s := range append(append([]*SNode{}, n.Succs...), n.OrdSuccs...) {
+			if inSet[s] {
+				if v := fromTop[s] + 1; v > d {
+					d = v
+				}
+			}
+		}
+		fromTop[n] = d
+	}
+	return fromTop, fromBottom
+}
+
+func topoOrder(nodes []*SNode, inSet map[*SNode]bool) []*SNode {
+	var order []*SNode
+	state := make(map[*SNode]int, len(nodes)) // 0 unseen, 1 visiting, 2 done
+	var visit func(n *SNode)
+	visit = func(n *SNode) {
+		if state[n] != 0 {
+			return
+		}
+		state[n] = 1
+		for _, p := range n.Preds {
+			if inSet[p] {
+				visit(p)
+			}
+		}
+		for _, p := range n.OrdPreds {
+			if inSet[p] {
+				visit(p)
+			}
+		}
+		state[n] = 2
+		order = append(order, n)
+	}
+	for _, n := range nodes {
+		visit(n)
+	}
+	return order
+}
+
+// GenMaxCliques enumerates all maximal cliques of the parallelism matrix
+// using the paper's Fig. 8 algorithm. The first phase greedily absorbs
+// every candidate that precludes no other candidate; the i < index test
+// prunes branches whose cliques were already produced from an
+// earlier-numbered seed. Cliques are returned as sorted index slices.
+func GenMaxCliques(par [][]bool) [][]int {
+	n := len(par)
+	var out [][]int
+	seen := make(map[string]bool)
+
+	record := func(clique []int) {
+		c := append([]int(nil), clique...)
+		sort.Ints(c)
+		key := fmt.Sprint(c)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, c)
+		}
+	}
+
+	parAll := func(i int, clique []int) bool {
+		for _, j := range clique {
+			if !par[i][j] {
+				return false
+			}
+		}
+		return true
+	}
+
+	var gen func(clique []int, index int)
+	gen = func(clique []int, index int) {
+		// Candidates: nodes parallel with every clique member.
+		var cand []int
+		for i := 0; i < n; i++ {
+			if parAll(i, clique) && !contains(clique, i) {
+				cand = append(cand, i)
+			}
+		}
+		// First loop: absorb candidates that preclude no other candidate.
+		var rest []int
+		for ci, i := range cand {
+			universal := true
+			for cj, j := range cand {
+				if ci != cj && !par[i][j] {
+					universal = false
+					break
+				}
+			}
+			if universal {
+				if i < index {
+					return // pruning condition of Fig. 8
+				}
+				clique = append(clique, i)
+			} else {
+				rest = append(rest, i)
+			}
+		}
+		if len(rest) == 0 {
+			record(clique)
+			return
+		}
+		// Second loop: spawn one recursive call per remaining candidate.
+		for _, i := range rest {
+			next := index
+			if i > next {
+				next = i
+			}
+			gen(append(append([]int(nil), clique...), i), next)
+		}
+	}
+
+	for i := 0; i < n; i++ {
+		gen([]int{i}, i)
+	}
+	sort.Slice(out, func(a, b int) bool {
+		if len(out[a]) != len(out[b]) {
+			return len(out[a]) > len(out[b])
+		}
+		return fmt.Sprint(out[a]) < fmt.Sprint(out[b])
+	})
+	return out
+}
+
+func contains(s []int, x int) bool {
+	for _, v := range s {
+		if v == x {
+			return true
+		}
+	}
+	return false
+}
+
+// buildCliques generates the legal maximal groupings over the given nodes:
+// the parallelism matrix, the maximal cliques, then legality splitting of
+// any clique that violates machine constraints (Sec. IV-C.3).
+func buildCliques(nodes []*SNode, m *isdl.Machine, opts Options) [][]*SNode {
+	if len(nodes) == 0 {
+		return nil
+	}
+	par := ParallelMatrix(nodes, m, opts.LevelWindow)
+	raw := GenMaxCliques(par)
+	var out [][]*SNode
+	for _, idxs := range raw {
+		group := make([]*SNode, len(idxs))
+		for i, j := range idxs {
+			group[i] = nodes[j]
+		}
+		out = append(out, splitIllegal(group, m)...)
+	}
+	return dedupeCliques(out)
+}
+
+// splitIllegal checks a proposed grouping against the machine's
+// constraints, splitting it greedily into legal subgroups when violated.
+func splitIllegal(group []*SNode, m *isdl.Machine) [][]*SNode {
+	if legalGroup(group, m) {
+		return [][]*SNode{group}
+	}
+	var subs [][]*SNode
+	for _, n := range group {
+		placed := false
+		for i := range subs {
+			trial := append(append([]*SNode(nil), subs[i]...), n)
+			if legalGroup(trial, m) {
+				subs[i] = trial
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			subs = append(subs, []*SNode{n})
+		}
+	}
+	return subs
+}
+
+// legalGroup reports whether the grouping forms a legal instruction.
+func legalGroup(group []*SNode, m *isdl.Machine) bool {
+	var slots []isdl.SlotRef
+	busUse := make(map[string]int)
+	for _, n := range group {
+		if n.Kind == OpNode {
+			// Synthetic immediate materializations (Op == CONST) occupy
+			// the unit but are outside the ISDL op repertoire; unit
+			// exclusivity for them is already enforced by the
+			// parallelism matrix, so they add no constraint slot.
+			if n.Op.IsComputation() {
+				slots = append(slots, isdl.SlotRef{Unit: n.Unit, Op: n.Op})
+			}
+		} else {
+			busUse[n.Step.Bus]++
+		}
+	}
+	return m.CheckGroup(slots, busUse) == nil
+}
+
+func dedupeCliques(cs [][]*SNode) [][]*SNode {
+	seen := make(map[string]bool, len(cs))
+	var out [][]*SNode
+	for _, c := range cs {
+		ids := make([]int, len(c))
+		for i, n := range c {
+			ids[i] = n.ID
+		}
+		sort.Ints(ids)
+		key := fmt.Sprint(ids)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// formatClique renders a clique for traces and tests.
+func formatClique(c []*SNode) string {
+	parts := make([]string, len(c))
+	for i, n := range c {
+		parts[i] = n.String()
+	}
+	return "{" + strings.Join(parts, ", ") + "}"
+}

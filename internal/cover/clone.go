@@ -1,0 +1,50 @@
+package cover
+
+// Clone deep-copies the solution: every scheduled node, its edges, the
+// instruction groups, and the external-use marks. The peephole pass edits
+// clones so a failed transformation can be discarded.
+func (s *Solution) Clone() *Solution {
+	nm := make(map[*SNode]*SNode)
+	for _, instr := range s.Instrs {
+		for _, n := range instr {
+			c := *n
+			c.Preds, c.Succs, c.OrdPreds, c.OrdSuccs = nil, nil, nil, nil
+			nm[n] = &c
+		}
+	}
+	remap := func(list []*SNode) []*SNode {
+		var out []*SNode
+		for _, n := range list {
+			if c, ok := nm[n]; ok {
+				out = append(out, c)
+			}
+		}
+		return out
+	}
+	for old, c := range nm {
+		c.Preds = remap(old.Preds)
+		c.Succs = remap(old.Succs)
+		c.OrdPreds = remap(old.OrdPreds)
+		c.OrdSuccs = remap(old.OrdSuccs)
+	}
+	out := &Solution{
+		Block:        s.Block,
+		Machine:      s.Machine,
+		Assignment:   s.Assignment,
+		SpillCount:   s.SpillCount,
+		ExternalUses: make(map[*SNode]int, len(s.ExternalUses)),
+	}
+	for _, instr := range s.Instrs {
+		group := make([]*SNode, len(instr))
+		for i, n := range instr {
+			group[i] = nm[n]
+		}
+		out.Instrs = append(out.Instrs, group)
+	}
+	for n, c := range s.ExternalUses {
+		if cn, ok := nm[n]; ok {
+			out.ExternalUses[cn] = c
+		}
+	}
+	return out
+}

@@ -1,0 +1,279 @@
+package cover
+
+import (
+	"fmt"
+	"strings"
+
+	"aviv/internal/ir"
+	"aviv/internal/isdl"
+	"aviv/internal/sndag"
+)
+
+// Solution is a complete covering of one basic block: a functional-unit
+// assignment, the scheduled VLIW instructions (each a shrunk maximal
+// clique of operation and transfer nodes), and the spills inserted along
+// the way. Detailed register allocation (package regalloc) is the only
+// remaining step, and is guaranteed to succeed (Sec. IV-F).
+type Solution struct {
+	Block      *ir.Block
+	Machine    *isdl.Machine
+	Assignment *Assignment
+
+	// Instrs is the schedule: one entry per VLIW instruction, each a set
+	// of parallel solution-graph nodes.
+	Instrs [][]*SNode
+	// SpillCount is the number of values spilled to memory.
+	SpillCount int
+
+	// ExternalUses marks values that must stay register-resident past
+	// the block (the branch condition holder).
+	ExternalUses map[*SNode]int
+}
+
+// Cost returns the code size of the block body in instructions — the
+// optimization objective of the paper.
+func (s *Solution) Cost() int { return len(s.Instrs) }
+
+// Nodes returns every node appearing in the schedule.
+func (s *Solution) Nodes() []*SNode {
+	var out []*SNode
+	for _, instr := range s.Instrs {
+		out = append(out, instr...)
+	}
+	return out
+}
+
+// CondHolder returns the node whose result register holds the branch
+// condition, or nil when the block does not branch on a register value.
+func (s *Solution) CondHolder() *SNode {
+	for n := range s.ExternalUses {
+		return n
+	}
+	return nil
+}
+
+func (s *Solution) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "solution for %s on %s: %d instructions, %d spills\n",
+		s.Block.Name, s.Machine.Name, s.Cost(), s.SpillCount)
+	for i, instr := range s.Instrs {
+		fmt.Fprintf(&sb, "  I%-3d %s\n", i, formatClique(instr))
+	}
+	return sb.String()
+}
+
+// Result is the outcome of covering one basic block.
+type Result struct {
+	Best *Solution
+	// AssignmentsExplored counts the complete assignments covered in
+	// detail.
+	AssignmentsExplored int
+	// DAG is the Split-Node DAG the covering worked from.
+	DAG *sndag.DAG
+}
+
+// CoverBlock runs the full concurrent code-generation step of Sec. IV on
+// one basic block: build the Split-Node DAG, explore functional-unit
+// assignments, and cover each selected assignment with a minimal-cost
+// set of maximal groupings; the cheapest covering wins.
+func CoverBlock(block *ir.Block, m *isdl.Machine, opts Options) (*Result, error) {
+	d, err := sndag.Build(block, m)
+	if err != nil {
+		return nil, err
+	}
+	return CoverDAG(d, opts)
+}
+
+// CoverDAG is CoverBlock for a pre-built Split-Node DAG.
+func CoverDAG(d *sndag.DAG, opts Options) (*Result, error) {
+	assigns := exploreAssignments(d, opts)
+	if len(assigns) == 0 {
+		return nil, fmt.Errorf("cover: no functional-unit assignment found for block %s", d.Block.Name)
+	}
+	res := &Result{DAG: d}
+	var firstErr error
+	for i, a := range assigns {
+		if opts.Trace != nil {
+			opts.Trace.logf("covering assignment %d (heuristic cost %d)", i, a.HeurCost)
+		}
+		sol, err := coverAssignment(d, a, opts)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		res.AssignmentsExplored++
+		if res.Best == nil || sol.Cost() < res.Best.Cost() ||
+			(sol.Cost() == res.Best.Cost() && sol.SpillCount < res.Best.SpillCount) {
+			res.Best = sol
+		}
+	}
+	if res.Best == nil {
+		// Register files too tight for the clique coverer: fall back to
+		// fully serial memory-resident code, which the assignment filter
+		// guarantees is schedulable.
+		sol, err := serialFallback(d, assigns[0], opts)
+		if err != nil {
+			if firstErr != nil {
+				return nil, firstErr
+			}
+			return nil, fmt.Errorf("cover: all assignments failed for block %s: %w", d.Block.Name, err)
+		}
+		if vErr := sol.Verify(); vErr != nil {
+			if firstErr != nil {
+				return nil, fmt.Errorf("%w (serial fallback also invalid: %v)", firstErr, vErr)
+			}
+			return nil, vErr
+		}
+		if opts.Trace != nil {
+			opts.Trace.logf("clique covering failed (%v); serial fallback: %d instructions", firstErr, sol.Cost())
+		}
+		res.Best = sol
+		res.AssignmentsExplored++
+	}
+	return res, nil
+}
+
+// coverAssignment builds the solution graph for one assignment, inserts
+// the required transfers, and runs the greedy clique covering. A small
+// schedule portfolio improves robustness: the clique covering
+// occasionally loses to a plain ready-list schedule on long accumulation
+// chains (maximal groupings bias it toward width over depth), so the
+// list schedule always competes; with the level-window heuristic
+// disabled (heuristics-off mode) the windowed covering competes too, so
+// the exhaustive candidate set is a strict superset of the heuristic one.
+func coverAssignment(d *sndag.DAG, a *Assignment, opts Options) (*Solution, error) {
+	best, firstErr := cliqueCover(d, a, opts)
+	if opts.LevelWindow < 0 {
+		windowed := opts
+		windowed.LevelWindow = DefaultOptions().LevelWindow
+		if sol, err := cliqueCover(d, a, windowed); err == nil {
+			best = betterSolution(best, sol)
+		}
+	}
+	if ls, err := ListSchedule(d, a, opts); err == nil {
+		best = betterSolution(best, ls)
+	}
+	if best == nil {
+		return nil, firstErr
+	}
+	return best, nil
+}
+
+func betterSolution(a, b *Solution) *Solution {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	if b.Cost() < a.Cost() || (b.Cost() == a.Cost() && b.SpillCount < a.SpillCount) {
+		return b
+	}
+	return a
+}
+
+func cliqueCover(d *sndag.DAG, a *Assignment, opts Options) (*Solution, error) {
+	g, err := buildGraph(d, a, opts)
+	if err != nil {
+		return nil, err
+	}
+	sched := newScheduler(g, opts)
+	if err := sched.run(); err != nil {
+		return nil, err
+	}
+	return &Solution{
+		Block:        d.Block,
+		Machine:      d.Machine,
+		Assignment:   a,
+		Instrs:       sched.instrs,
+		SpillCount:   sched.spillCount,
+		ExternalUses: g.externalUses,
+	}, nil
+}
+
+// Verify checks solution invariants: every instruction is a legal
+// grouping, dependences are respected by the schedule, and per-bank
+// register pressure never exceeds the bank size. It is used heavily in
+// tests and by the simulator harness.
+func (s *Solution) Verify() error {
+	pos := make(map[*SNode]int)
+	for i, instr := range s.Instrs {
+		if !legalGroup(instr, s.Machine) {
+			return fmt.Errorf("instr %d is not a legal grouping: %s", i, formatClique(instr))
+		}
+		units := make(map[string]bool)
+		for _, n := range instr {
+			if n.Kind == OpNode {
+				if units[n.Unit] {
+					return fmt.Errorf("instr %d uses unit %s twice", i, n.Unit)
+				}
+				units[n.Unit] = true
+			}
+			pos[n] = i
+		}
+	}
+	// Dependences strictly ordered, separated by the producer's latency.
+	for _, instr := range s.Instrs {
+		for _, n := range instr {
+			for _, p := range n.Preds {
+				pp, ok := pos[p]
+				if !ok {
+					return fmt.Errorf("%s depends on unscheduled %s", n, p)
+				}
+				if pp+nodeLatency(s.Machine, p) > pos[n] {
+					return fmt.Errorf("%s at %d issues before its operand %s (at %d, latency %d) completes",
+						n, pos[n], p, pp, nodeLatency(s.Machine, p))
+				}
+			}
+			for _, p := range n.OrdPreds {
+				pp, ok := pos[p]
+				if !ok {
+					return fmt.Errorf("%s order-depends on unscheduled %s", n, p)
+				}
+				if pp >= pos[n] {
+					return fmt.Errorf("%s at %d not after ordering pred %s at %d", n, pos[n], p, pp)
+				}
+			}
+		}
+	}
+	// Register pressure per bank, replayed over the schedule.
+	pending := make(map[*SNode]int)
+	for _, instr := range s.Instrs {
+		for _, n := range instr {
+			if _, ok := n.DefLoc(); ok {
+				cnt := s.ExternalUses[n]
+				for _, u := range n.Succs {
+					if _, scheduled := pos[u]; scheduled {
+						cnt++
+					}
+				}
+				pending[n] = cnt
+			}
+		}
+	}
+	live := make(map[string]int)
+	for i, instr := range s.Instrs {
+		for _, n := range instr {
+			for _, p := range n.Preds {
+				pending[p]--
+				if pending[p] == 0 {
+					if loc, ok := p.DefLoc(); ok && loc.Kind == isdl.LocUnit {
+						live[loc.Name]--
+					}
+				}
+			}
+		}
+		for _, n := range instr {
+			if loc, ok := n.DefLoc(); ok && loc.Kind == isdl.LocUnit && pending[n] > 0 {
+				live[loc.Name]++
+				if size := s.Machine.BankSize(loc.Name); size > 0 && live[loc.Name] > size {
+					return fmt.Errorf("instr %d overflows bank %s: %d live > %d regs",
+						i, loc.Name, live[loc.Name], size)
+				}
+			}
+		}
+	}
+	return nil
+}

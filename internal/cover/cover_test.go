@@ -1,0 +1,447 @@
+package cover
+
+import (
+	"fmt"
+	"testing"
+
+	"aviv/internal/ir"
+	"aviv/internal/isdl"
+	"aviv/internal/sndag"
+)
+
+// fig2Block is the paper's Fig. 2 example: out = (a + b) - (c * d).
+func fig2Block() *ir.Block {
+	bb := ir.NewBuilder("fig2")
+	sum := bb.Add(bb.Load("a"), bb.Load("b"))
+	prod := bb.Mul(bb.Load("c"), bb.Load("d"))
+	bb.Store("out", bb.Sub(sum, prod))
+	bb.Return()
+	return bb.Finish()
+}
+
+func mustCover(t *testing.T, b *ir.Block, m *isdl.Machine, opts Options) *Result {
+	t.Helper()
+	res, err := CoverBlock(b, m, opts)
+	if err != nil {
+		t.Fatalf("CoverBlock(%s): %v", b.Name, err)
+	}
+	if err := res.Best.Verify(); err != nil {
+		t.Fatalf("solution verify failed: %v\n%s", err, res.Best)
+	}
+	return res
+}
+
+func TestCoverFig2Example(t *testing.T) {
+	m := isdl.ExampleArch(4)
+	res := mustCover(t, fig2Block(), m, DefaultOptions())
+	// The paper's Table I Ex1: 7 instructions, optimal, no spills.
+	if got := res.Best.Cost(); got != 7 {
+		t.Errorf("cost = %d instructions, want 7 (paper Table I Ex1)\n%s", got, res.Best)
+	}
+	if res.Best.SpillCount != 0 {
+		t.Errorf("spills = %d, want 0", res.Best.SpillCount)
+	}
+	// Exhaustive mode must not be worse.
+	ex := mustCover(t, fig2Block(), m, ExhaustiveOptions())
+	if ex.Best.Cost() > res.Best.Cost() {
+		t.Errorf("exhaustive cost %d > heuristic cost %d", ex.Best.Cost(), res.Best.Cost())
+	}
+	if ex.Best.Cost() != 7 {
+		t.Errorf("exhaustive cost = %d, want 7", ex.Best.Cost())
+	}
+}
+
+func TestCoverFig2OnArchII(t *testing.T) {
+	// Table II Ex1 reports 8 instructions on Architecture II. Our bus
+	// model lets a DM load ride the bus in the same cycle as an op on the
+	// destination unit, which saves one instruction: 7. Anything in
+	// [7, 8] matches the paper's shape (slightly worse than the 3-unit
+	// machine is NOT expected for this block — Table II Ex1 is 8 vs 7).
+	res := mustCover(t, fig2Block(), isdl.ArchitectureII(4), DefaultOptions())
+	if got := res.Best.Cost(); got < 7 || got > 8 {
+		t.Errorf("cost = %d, want 7..8 (paper Table II Ex1 = 8)\n%s", got, res.Best)
+	}
+}
+
+// TestFig7Matrix reconstructs the paper's Fig. 7 pairwise-parallelism
+// matrix for the assignment {N2, N9, N10, N14}: N14 is an ADD on U3 whose
+// result moves over the bus (N9) into U2 where N2 (a SUB) consumes it,
+// while N10 (a MUL on U2) is independent.
+func fig7Nodes(m *isdl.Machine) []*SNode {
+	n14 := &SNode{ID: 0, Kind: OpNode, Unit: "U3", Op: ir.OpAdd}
+	n9 := &SNode{ID: 1, Kind: MoveNode, Step: isdl.Transfer{
+		From: isdl.UnitLoc("U3"), To: isdl.UnitLoc("U2"), Bus: "DB"}}
+	n2 := &SNode{ID: 2, Kind: OpNode, Unit: "U2", Op: ir.OpSub}
+	n10 := &SNode{ID: 3, Kind: OpNode, Unit: "U2", Op: ir.OpMul}
+	addEdge(n14, n9)
+	addEdge(n9, n2)
+	return []*SNode{n14, n9, n2, n10}
+}
+
+func TestFig7Matrix(t *testing.T) {
+	m := isdl.ExampleArch(4)
+	nodes := fig7Nodes(m)
+	par := ParallelMatrix(nodes, m, -1)
+	// Index: 0=N14, 1=N9, 2=N2, 3=N10. Fig. 7 (0 = parallel):
+	// N2 parallel with nothing; N9 || N10; N10 || N14.
+	want := map[[2]int]bool{
+		{0, 1}: false, // N14 vs N9: dependent
+		{0, 2}: false, // N14 vs N2: path through N9
+		{0, 3}: true,  // N14 vs N10: parallel
+		{1, 2}: false, // N9 vs N2: dependent
+		{1, 3}: true,  // N9 vs N10: parallel
+		{2, 3}: false, // N2 vs N10: same unit U2
+	}
+	for k, w := range want {
+		if par[k[0]][k[1]] != w || par[k[1]][k[0]] != w {
+			t.Errorf("par[%d][%d] = %v, want %v", k[0], k[1], par[k[0]][k[1]], w)
+		}
+	}
+	for i := range nodes {
+		if par[i][i] {
+			t.Errorf("node %d parallel with itself", i)
+		}
+	}
+}
+
+func TestFig8Cliques(t *testing.T) {
+	m := isdl.ExampleArch(4)
+	nodes := fig7Nodes(m)
+	par := ParallelMatrix(nodes, m, -1)
+	cliques := GenMaxCliques(par)
+	// Paper: (C1: N2), (C2: N10, N9), (C3: N10, N14).
+	want := map[string]bool{
+		"[2]":   true, // {N2}
+		"[1 3]": true, // {N9, N10}
+		"[0 3]": true, // {N14, N10}
+	}
+	if len(cliques) != len(want) {
+		t.Fatalf("got %d cliques %v, want 3", len(cliques), cliques)
+	}
+	for _, c := range cliques {
+		if !want[fmt.Sprint(c)] {
+			t.Errorf("unexpected clique %v", c)
+		}
+	}
+}
+
+// TestFig6Pruning reproduces the Fig. 6 assignment-search example: the
+// SUB result feeds a COMPL that only U1 can execute, so the search prunes
+// SUB-on-U2 and keeps SUB and ADD on U1.
+func TestFig6Pruning(t *testing.T) {
+	bb := ir.NewBuilder("fig6")
+	sum := bb.Add(bb.Load("a"), bb.Load("b"))
+	prod := bb.Mul(bb.Load("c"), bb.Load("d"))
+	diff := bb.Sub(sum, prod)
+	bb.Store("out", bb.Op(ir.OpCompl, diff))
+	bb.Return()
+	blk := bb.Finish()
+
+	m := isdl.ExampleArch(4)
+	d, err := sndag.Build(blk, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := DefaultOptions()
+	opts.BeamWidth = 4
+	tr := &Trace{}
+	opts.Trace = tr
+	assigns := exploreAssignments(d, opts)
+	if len(assigns) == 0 {
+		t.Fatal("no assignments")
+	}
+	// Every kept assignment must execute SUB on U1 (zero-cost transfer to
+	// the COMPL on U1), as the paper's example concludes.
+	for _, a := range assigns {
+		for n, alt := range a.Choice {
+			if n.Op == ir.OpSub && alt.Unit.Name != "U1" {
+				t.Errorf("kept assignment has SUB on %s, want U1", alt.Unit.Name)
+			}
+			if n.Op == ir.OpCompl && alt.Unit.Name != "U1" {
+				t.Errorf("COMPL on %s, impossible", alt.Unit.Name)
+			}
+		}
+	}
+	// The trace must show a pruned SUB-on-U2 step.
+	sawPrune := false
+	for _, line := range tr.Lines {
+		if contains2(line, "SUB on U2.SUB") && contains2(line, "pruned") {
+			sawPrune = true
+		}
+	}
+	if !sawPrune {
+		t.Errorf("trace shows no pruning of SUB on U2:\n%s", tr)
+	}
+}
+
+func contains2(s, sub string) bool {
+	return len(s) >= len(sub) && (func() bool {
+		for i := 0; i+len(sub) <= len(s); i++ {
+			if s[i:i+len(sub)] == sub {
+				return true
+			}
+		}
+		return false
+	})()
+}
+
+func TestCoverWithSpills(t *testing.T) {
+	// A wide block with 1-register banks forces spills.
+	bb := ir.NewBuilder("press")
+	a := bb.Load("a")
+	b := bb.Load("b")
+	c := bb.Load("c")
+	d := bb.Load("d")
+	s1 := bb.Add(a, b)
+	s2 := bb.Sub(c, d)
+	s3 := bb.Mul(s1, s2)
+	s4 := bb.Add(s3, a)
+	bb.Store("o", s4)
+	bb.Return()
+	blk := bb.Finish()
+
+	m := isdl.ExampleArch(2)
+	res := mustCover(t, blk, m, DefaultOptions())
+	// With 4 registers the same block needs no spills and no more
+	// instructions.
+	res4 := mustCover(t, blk, isdl.ExampleArch(4), DefaultOptions())
+	if res4.Best.SpillCount != 0 {
+		t.Errorf("unexpected spills with 4-register banks: %d", res4.Best.SpillCount)
+	}
+	if res4.Best.Cost() > res.Best.Cost() {
+		t.Errorf("4-reg cost %d > 2-reg cost %d", res4.Best.Cost(), res.Best.Cost())
+	}
+}
+
+func TestCoverInfeasibleRegFiles(t *testing.T) {
+	// One-register banks cannot hold two register operands of a binary
+	// op; covering must fail cleanly rather than spill forever.
+	bb := ir.NewBuilder("tiny")
+	s1 := bb.Add(bb.Load("a"), bb.Load("b"))
+	bb.Store("o", bb.Mul(s1, s1))
+	bb.Return()
+	if _, err := CoverBlock(bb.Finish(), isdl.ExampleArch(1), DefaultOptions()); err == nil {
+		t.Error("covering with 1-register banks should fail for binary ops")
+	}
+}
+
+func TestCoverStoreOfConstAndLoad(t *testing.T) {
+	bb := ir.NewBuilder("leafstore")
+	bb.Store("x", bb.Const(42))
+	bb.Store("y", bb.Load("z"))
+	bb.Return()
+	blk := bb.Finish()
+	res := mustCover(t, blk, isdl.ExampleArch(4), DefaultOptions())
+	// const -> unit -> DM is 2 slots; DM -> unit -> DM is 3 slots on a
+	// width-1 bus; the const materialization can overlap a transfer.
+	if res.Best.Cost() > 5 {
+		t.Errorf("leaf stores cost %d instructions, want <= 5\n%s", res.Best.Cost(), res.Best)
+	}
+}
+
+func TestCoverBranchCondStaysLive(t *testing.T) {
+	bb := ir.NewBuilder("cond")
+	x := bb.Load("x")
+	cmp := bb.Sub(x, bb.Load("y"))
+	bb.Store("d", cmp)
+	bb.Branch(cmp, "t", "f")
+	blk := bb.Finish()
+	res := mustCover(t, blk, isdl.ExampleArch(4), DefaultOptions())
+	if res.Best.CondHolder() == nil {
+		t.Fatal("no condition holder recorded")
+	}
+	if res.Best.CondHolder().Value != blk.Cond {
+		t.Errorf("cond holder carries %v, want branch condition", res.Best.CondHolder().Value)
+	}
+}
+
+func TestCoverStoreOrdering(t *testing.T) {
+	// Two stores to the same variable (the unrolled-loop pattern of the
+	// paper's Ex3) must stay ordered; a load of the same variable must
+	// precede the first store.
+	bb := ir.NewBuilder("order")
+	acc := bb.Load("acc")
+	acc1 := bb.Add(acc, bb.Mul(bb.Load("x0"), bb.Load("c0")))
+	bb.Store("acc", acc1)
+	acc2 := bb.Add(acc1, bb.Mul(bb.Load("x1"), bb.Load("c1")))
+	bb.Store("acc", acc2)
+	bb.Return()
+	blk := bb.Finish()
+	res := mustCover(t, blk, isdl.ExampleArch(4), DefaultOptions())
+
+	// Find the two store nodes in schedule order and the load of acc.
+	var storePos []int
+	loadPos := -1
+	for i, instr := range res.Best.Instrs {
+		for _, n := range instr {
+			if n.Kind == StoreNode && n.Var == "acc" {
+				storePos = append(storePos, i)
+			}
+			if n.Kind == LoadNode && n.Var == "acc" {
+				loadPos = i
+			}
+		}
+	}
+	if len(storePos) != 2 {
+		t.Fatalf("found %d stores to acc, want 2\n%s", len(storePos), res.Best)
+	}
+	if loadPos < 0 || loadPos >= storePos[0] {
+		t.Errorf("load of acc at %d not before first store at %d", loadPos, storePos[0])
+	}
+	if storePos[0] >= storePos[1] {
+		t.Errorf("stores to acc out of order: %v", storePos)
+	}
+}
+
+func TestGenMaxCliquesAgainstBruteForce(t *testing.T) {
+	// Property-style: for deterministic pseudo-random matrices, Fig. 8's
+	// algorithm must produce exactly the maximal cliques found by brute
+	// force.
+	for seed := int64(1); seed <= 40; seed++ {
+		n := 2 + int(seed%7)
+		par := randomMatrix(seed, n)
+		got := GenMaxCliques(par)
+		want := bruteForceMaxCliques(par)
+		gm := map[string]bool{}
+		for _, c := range got {
+			gm[fmt.Sprint(c)] = true
+		}
+		wm := map[string]bool{}
+		for _, c := range want {
+			wm[fmt.Sprint(c)] = true
+		}
+		if len(gm) != len(wm) {
+			t.Fatalf("seed %d: got %d cliques %v, want %d %v", seed, len(gm), got, len(wm), want)
+		}
+		for k := range wm {
+			if !gm[k] {
+				t.Fatalf("seed %d: missing clique %s (got %v)", seed, k, got)
+			}
+		}
+	}
+}
+
+func randomMatrix(seed int64, n int) [][]bool {
+	state := uint64(seed)*0x9E3779B97F4A7C15 + 1
+	next := func() uint64 {
+		state = state*6364136223846793005 + 1442695040888963407
+		return state >> 33
+	}
+	par := make([][]bool, n)
+	for i := range par {
+		par[i] = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			v := next()%2 == 0
+			par[i][j], par[j][i] = v, v
+		}
+	}
+	return par
+}
+
+func bruteForceMaxCliques(par [][]bool) [][]int {
+	n := len(par)
+	var cliques [][]int
+	for mask := 1; mask < 1<<n; mask++ {
+		ok := true
+		for i := 0; i < n && ok; i++ {
+			if mask&(1<<i) == 0 {
+				continue
+			}
+			for j := i + 1; j < n && ok; j++ {
+				if mask&(1<<j) != 0 && !par[i][j] {
+					ok = false
+				}
+			}
+		}
+		if !ok {
+			continue
+		}
+		// Maximal?
+		maximal := true
+		for k := 0; k < n && maximal; k++ {
+			if mask&(1<<k) != 0 {
+				continue
+			}
+			all := true
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 && !par[k][i] {
+					all = false
+					break
+				}
+			}
+			if all {
+				maximal = false
+			}
+		}
+		if maximal {
+			var c []int
+			for i := 0; i < n; i++ {
+				if mask&(1<<i) != 0 {
+					c = append(c, i)
+				}
+			}
+			cliques = append(cliques, c)
+		}
+	}
+	return cliques
+}
+
+func TestCoverDeterminism(t *testing.T) {
+	m := isdl.ExampleArch(4)
+	r1 := mustCover(t, fig2Block(), m, DefaultOptions())
+	r2 := mustCover(t, fig2Block(), m, DefaultOptions())
+	if r1.Best.String() != r2.Best.String() {
+		t.Errorf("covering is not deterministic:\n%s\nvs\n%s", r1.Best, r2.Best)
+	}
+}
+
+func TestCoverComplexInstruction(t *testing.T) {
+	// On WideDSP the MAC pattern should let acc + x*y cover in fewer
+	// operations than separate MUL and ADD.
+	bb := ir.NewBuilder("mac")
+	acc := bb.Load("acc")
+	sum := bb.Add(acc, bb.Mul(bb.Load("x"), bb.Load("y")))
+	bb.Store("acc", sum)
+	bb.Return()
+	blk := bb.Finish()
+	res := mustCover(t, blk, isdl.WideDSP(8), DefaultOptions())
+	usedMAC := false
+	for _, instr := range res.Best.Instrs {
+		for _, n := range instr {
+			if n.Kind == OpNode && n.Op == ir.OpMAC {
+				usedMAC = true
+			}
+		}
+	}
+	if !usedMAC {
+		t.Errorf("covering did not use the MAC complex instruction\n%s", res.Best)
+	}
+}
+
+func TestExhaustiveNeverWorse(t *testing.T) {
+	blocks := []*ir.Block{fig2Block()}
+	// A second, wider block.
+	bb := ir.NewBuilder("w")
+	x := bb.Add(bb.Load("a"), bb.Load("b"))
+	y := bb.Mul(bb.Load("c"), bb.Load("d"))
+	z := bb.Sub(x, y)
+	w := bb.Add(y, bb.Load("e"))
+	bb.Store("z", z)
+	bb.Store("w", w)
+	bb.Return()
+	blocks = append(blocks, bb.Finish())
+
+	for _, blk := range blocks {
+		for _, regs := range []int{2, 4} {
+			m := isdl.ExampleArch(regs)
+			h := mustCover(t, blk, m, DefaultOptions())
+			e := mustCover(t, blk, m, ExhaustiveOptions())
+			if e.Best.Cost() > h.Best.Cost() {
+				t.Errorf("block %s regs %d: exhaustive %d > heuristic %d",
+					blk.Name, regs, e.Best.Cost(), h.Best.Cost())
+			}
+		}
+	}
+}

@@ -1,0 +1,385 @@
+package cover
+
+import (
+	"fmt"
+
+	"aviv/internal/ir"
+	"aviv/internal/isdl"
+	"aviv/internal/sndag"
+)
+
+// valKey identifies a register-resident value: the original node whose
+// result it is, at a particular location.
+type valKey struct {
+	val *ir.Node
+	loc isdl.Loc
+}
+
+// graph is the solution graph for one functional-unit assignment: the
+// operation nodes on their assigned units plus all required data-transfer
+// nodes (Sec. IV-B), connected by value dependences and memory-ordering
+// edges.
+type graph struct {
+	machine *isdl.Machine
+	block   *ir.Block
+	assign  *Assignment
+	dm      isdl.Loc
+
+	nodes  []*SNode
+	nextID int
+
+	// prod maps a value-at-location to the node that puts it there.
+	prod map[valKey]*SNode
+	// busLoad counts transfers per bus, driving the parallelism-based
+	// transfer-path selection heuristic.
+	busLoad map[string]int
+	opts    Options
+
+	// externalUses counts uses that survive the block (the branch
+	// condition must stay in its register until the block ends).
+	externalUses map[*SNode]int
+
+	// nextSpill numbers spill slots.
+	nextSpill int
+}
+
+func (g *graph) newNode(kind SNodeKind) *SNode {
+	n := &SNode{ID: g.nextID, Kind: kind}
+	g.nextID++
+	g.nodes = append(g.nodes, n)
+	return n
+}
+
+// bankLoc returns the register-bank location a functional unit reads
+// and writes.
+func (g *graph) bankLoc(unit string) isdl.Loc {
+	return isdl.UnitLoc(g.machine.BankOf(unit))
+}
+
+// memOf returns the location of the memory holding a named variable,
+// honoring the VarPlacement option (default: the first data memory).
+func (g *graph) memOf(varName string) (isdl.Loc, error) {
+	name, ok := g.opts.VarPlacement[varName]
+	if !ok {
+		return g.dm, nil
+	}
+	for _, mem := range g.machine.Memories {
+		if mem.Name == name {
+			return isdl.MemLoc(name), nil
+		}
+	}
+	return isdl.Loc{}, fmt.Errorf("cover: variable %s placed in unknown memory %s", varName, name)
+}
+
+// addOrderEdge records a pure ordering constraint (no value flows).
+func addOrderEdge(from, to *SNode) {
+	for _, s := range from.OrdSuccs {
+		if s == to {
+			return
+		}
+	}
+	from.OrdSuccs = append(from.OrdSuccs, to)
+	to.OrdPreds = append(to.OrdPreds, from)
+}
+
+// buildGraph constructs the solution graph for the assignment: one
+// operation node per executing original node, transfer chains for every
+// cross-bank value flow, load transfers from data memory, and store
+// transfers to data memory, plus memory-ordering edges between accesses
+// to the same variable.
+func buildGraph(d *sndag.DAG, a *Assignment, opts Options) (*graph, error) {
+	g := &graph{
+		machine:      d.Machine,
+		block:        d.Block,
+		assign:       a,
+		dm:           isdl.MemLoc(d.Machine.DataMemory().Name),
+		prod:         make(map[valKey]*SNode),
+		busLoad:      make(map[string]int),
+		opts:         opts,
+		externalUses: make(map[*SNode]int),
+	}
+
+	loadsByVar := make(map[string][]*SNode)
+	storesByVar := make(map[string][]*SNode)
+
+	for _, n := range d.Block.Nodes {
+		switch {
+		case n.Op.IsComputation():
+			if _, isAbsorbed := a.AbsorbedBy[n]; isAbsorbed {
+				continue
+			}
+			alt := a.Choice[n]
+			if alt == nil {
+				return nil, fmt.Errorf("cover: node %s has no assignment", n)
+			}
+			op := g.newNode(OpNode)
+			op.Value = n
+			op.Unit = alt.Unit.Name
+			op.Bank = alt.Unit.Regs.Name
+			op.Op = alt.Op
+			op.Alt = alt
+			uloc := g.bankLoc(alt.Unit.Name)
+			for _, operand := range alt.Operands {
+				if operand.Op == ir.OpConst {
+					continue // immediate
+				}
+				src, err := g.ensureValueAt(operand, uloc, loadsByVar)
+				if err != nil {
+					return nil, err
+				}
+				addEdge(src, op)
+			}
+			g.prod[valKey{n, uloc}] = op
+
+		case n.Op == ir.OpStore:
+			st, err := g.buildStore(n, loadsByVar)
+			if err != nil {
+				return nil, err
+			}
+			storesByVar[n.Var] = append(storesByVar[n.Var], st)
+		}
+	}
+
+	// Branch condition: its register stays live past the block.
+	if d.Block.Term == ir.TermBranch && d.Block.Cond != nil {
+		cond := d.Block.Cond
+		if cond.Op == ir.OpConst {
+			// Constant condition needs no register (resolved statically
+			// by the emitter); nothing to pin.
+		} else {
+			var holder *SNode
+			if cond.Op == ir.OpLoad {
+				// Load the condition into some unit's bank.
+				u, err := g.cheapestUnitFor(g.dm)
+				if err != nil {
+					return nil, err
+				}
+				holder, err = g.ensureValueAt(cond, g.bankLoc(u), loadsByVar)
+				if err != nil {
+					return nil, err
+				}
+			} else {
+				exec := cond
+				if root, ok := a.AbsorbedBy[exec]; ok {
+					exec = root
+				}
+				holder = g.prod[valKey{exec, g.bankLoc(a.UnitOf(cond).Name)}]
+			}
+			if holder != nil {
+				g.externalUses[holder]++
+			}
+		}
+	}
+
+	// Memory ordering: every load of a variable precedes its first store;
+	// stores to the same variable stay in program order.
+	for v, stores := range storesByVar {
+		for _, ld := range loadsByVar[v] {
+			addOrderEdge(ld, stores[0])
+		}
+		for i := 1; i < len(stores); i++ {
+			addOrderEdge(stores[i-1], stores[i])
+		}
+	}
+	return g, nil
+}
+
+// ensureValueAt returns the node producing the value of original node o
+// at location want, materializing the transfer chain (and load from data
+// memory) if it does not exist yet. Chains are shared: once a value has
+// landed in a bank, later consumers in that bank reuse it.
+func (g *graph) ensureValueAt(o *ir.Node, want isdl.Loc, loadsByVar map[string][]*SNode) (*SNode, error) {
+	if p, ok := g.prod[valKey{o, want}]; ok {
+		return p, nil
+	}
+	var src isdl.Loc
+	switch {
+	case o.Op == ir.OpLoad:
+		var err error
+		src, err = g.memOf(o.Var)
+		if err != nil {
+			return nil, err
+		}
+	case o.Op.IsComputation():
+		u := g.assign.UnitOf(o)
+		if u == nil {
+			return nil, fmt.Errorf("cover: operand %s unassigned", o)
+		}
+		src = g.bankLoc(u.Name)
+	default:
+		return nil, fmt.Errorf("cover: cannot locate value of %s", o)
+	}
+	if src == want {
+		if p, ok := g.prod[valKey{o, src}]; ok {
+			return p, nil
+		}
+		return nil, fmt.Errorf("cover: value %s expected at %s but never produced", o, src)
+	}
+	path, err := g.pickPath(src, want)
+	if err != nil {
+		return nil, fmt.Errorf("cover: value n%d: %w", o.ID, err)
+	}
+	cur := g.prod[valKey{o, src}] // nil when src is data memory
+	loc := src
+	for _, step := range path {
+		if p, ok := g.prod[valKey{o, step.To}]; ok {
+			cur, loc = p, step.To
+			continue
+		}
+		t := g.newNode(MoveNode)
+		if step.From.Kind == isdl.LocMem {
+			t.Kind = LoadNode
+			t.Var = o.Var
+			loadsByVar[o.Var] = append(loadsByVar[o.Var], t)
+		}
+		t.Value = o
+		t.Step = step
+		if cur != nil {
+			addEdge(cur, t)
+		}
+		g.busLoad[step.Bus]++
+		g.prod[valKey{o, step.To}] = t
+		cur, loc = t, step.To
+	}
+	_ = loc
+	return cur, nil
+}
+
+// buildStore materializes the transfer chain delivering a store's value
+// to data memory, returning the final store node. Stores of constants and
+// of freshly loaded values route through a pass-through unit.
+func (g *graph) buildStore(s *ir.Node, loadsByVar map[string][]*SNode) (*SNode, error) {
+	arg := s.Args[0]
+	var src isdl.Loc
+	var producer *SNode
+	switch {
+	case arg.Op == ir.OpConst:
+		// Materialize the immediate in some unit's register.
+		u, err := g.cheapestUnitFor(g.dm)
+		if err != nil {
+			return nil, err
+		}
+		op := g.newNode(OpNode)
+		op.Value = arg
+		op.Unit = u
+		op.Bank = g.machine.BankOf(u)
+		op.Op = ir.OpConst
+		src = g.bankLoc(u)
+		g.prod[valKey{arg, src}] = op
+		producer = op
+	case arg.Op == ir.OpLoad:
+		u, err := g.cheapestUnitFor(g.dm)
+		if err != nil {
+			return nil, err
+		}
+		src = g.bankLoc(u)
+		p, err := g.ensureValueAt(arg, src, loadsByVar)
+		if err != nil {
+			return nil, err
+		}
+		producer = p
+	default:
+		unit := g.assign.UnitOf(arg)
+		if unit == nil {
+			return nil, fmt.Errorf("cover: store %s of unassigned value", s)
+		}
+		src = g.bankLoc(unit.Name)
+		producer = g.prod[valKey{arg, src}]
+		if producer == nil {
+			return nil, fmt.Errorf("cover: store %s: value not produced at %s", s, src)
+		}
+	}
+
+	dst, err := g.memOf(s.Var)
+	if err != nil {
+		return nil, err
+	}
+	path, err := g.pickPath(src, dst)
+	if err != nil {
+		return nil, fmt.Errorf("cover: store %s: %w", s, err)
+	}
+	cur := producer
+	for i, step := range path {
+		var t *SNode
+		if i == len(path)-1 {
+			t = g.newNode(StoreNode)
+			t.Var = s.Var
+		} else {
+			t = g.newNode(MoveNode)
+		}
+		t.Value = arg
+		t.Step = step
+		addEdge(cur, t)
+		g.busLoad[step.Bus]++
+		if step.To.Kind == isdl.LocUnit {
+			g.prod[valKey{arg, step.To}] = t
+		}
+		cur = t
+	}
+	return cur, nil
+}
+
+// pickPath selects a transfer path from src to dst. With the parallelism
+// heuristic enabled (Sec. IV-B), among the minimal-hop alternatives it
+// picks the one whose buses are least congested so far; otherwise the
+// first alternative.
+func (g *graph) pickPath(src, dst isdl.Loc) ([]isdl.Transfer, error) {
+	paths := g.machine.TransferPaths(src, dst)
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("no transfer path %s -> %s", src, dst)
+	}
+	if !g.opts.TransferParallelismHeuristic || len(paths) == 1 {
+		return paths[0], nil
+	}
+	best, bestCost := paths[0], -1
+	for _, p := range paths {
+		cost := 0
+		for _, step := range p {
+			cost += g.busLoad[step.Bus]
+		}
+		if bestCost < 0 || cost < bestCost {
+			best, bestCost = p, cost
+		}
+	}
+	return best, nil
+}
+
+// cheapestUnitFor returns the unit with the cheapest round trip from the
+// given memory (used to route leaf stores through a pass-through unit).
+func (g *graph) cheapestUnitFor(mem isdl.Loc) (string, error) {
+	best, bestCost := "", -1
+	for _, u := range g.machine.Units {
+		ul := isdl.UnitLoc(u.Regs.Name)
+		c1, c2 := g.machine.PathCost(mem, ul), g.machine.PathCost(ul, mem)
+		if c1 < 0 || c2 < 0 {
+			continue
+		}
+		if bestCost < 0 || c1+c2 < bestCost {
+			best, bestCost = u.Name, c1+c2
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("cover: no unit reachable from %s", mem)
+	}
+	return best, nil
+}
+
+// latencyOf returns the result latency of a solution-graph node.
+func (g *graph) latencyOf(n *SNode) int { return nodeLatency(g.machine, n) }
+
+// nodeLatency returns a node's result latency in cycles: operations use
+// their unit's declared latency, transfers and synthetic immediate
+// materializations take one cycle.
+func nodeLatency(m *isdl.Machine, n *SNode) int {
+	if n.Kind == OpNode && n.Op.IsComputation() {
+		if u := m.Unit(n.Unit); u != nil {
+			return u.LatencyOf(n.Op)
+		}
+	}
+	return 1
+}
+
+// bankSize returns the size of the named register bank.
+func (g *graph) bankSize(bank string) int {
+	return g.machine.BankSize(bank)
+}

@@ -1,0 +1,447 @@
+package cover
+
+import (
+	"fmt"
+	"sort"
+
+	"aviv/internal/isdl"
+)
+
+// scheduler runs the greedy minimum-cost clique covering of Sec. IV-D:
+// repeatedly pick the maximal grouping that covers the most ready nodes
+// within the register-bank bounds, breaking ties with a lookahead
+// estimate, and fall back to spilling a live value when register
+// pressure blocks all progress.
+type scheduler struct {
+	g    *graph
+	opts Options
+
+	// pending counts, per value-defining node, the unscheduled consumers
+	// of its value plus external (past-block) uses. When it reaches zero
+	// the register holding the value is freed.
+	pending map[*SNode]int
+	// live counts occupied registers per bank (unit name).
+	live map[string]int
+
+	covered map[*SNode]bool
+	removed map[*SNode]bool
+	// pos records the instruction index each covered node issued at, for
+	// latency separation on machines with multi-cycle operations.
+	pos map[*SNode]int
+
+	instrs     [][]*SNode
+	spillCount int
+
+	// goal, when set, is the pressure-blocked node the last spill freed a
+	// register for; until it is covered, no other node may define a value
+	// into goalBank. Without the reservation the freed register is
+	// snapped up (typically by the reload of the value just spilled) and
+	// the scheduler ping-pongs.
+	goal     *SNode
+	goalBank string
+}
+
+func newScheduler(g *graph, opts Options) *scheduler {
+	s := &scheduler{
+		g:       g,
+		opts:    opts,
+		pending: make(map[*SNode]int),
+		live:    make(map[string]int),
+		covered: make(map[*SNode]bool),
+		removed: make(map[*SNode]bool),
+		pos:     make(map[*SNode]int),
+	}
+	for _, n := range g.nodes {
+		s.initPending(n)
+	}
+	return s
+}
+
+func (s *scheduler) initPending(n *SNode) {
+	if _, defines := n.DefLoc(); defines {
+		s.pending[n] = len(n.Succs) + s.g.externalUses[n]
+	}
+}
+
+func (s *scheduler) uncoveredNodes() []*SNode {
+	var out []*SNode
+	for _, n := range s.g.nodes {
+		if !s.covered[n] && !s.removed[n] {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func (s *scheduler) ready(n *SNode) bool {
+	if s.covered[n] || s.removed[n] {
+		return false
+	}
+	for _, p := range n.Preds {
+		if !s.covered[p] {
+			return false
+		}
+	}
+	for _, p := range n.OrdPreds {
+		if !s.covered[p] {
+			return false
+		}
+	}
+	return true
+}
+
+// availableAt returns the earliest cycle the node may issue given its
+// producers' latencies (call only when ready, i.e. all preds covered).
+// Transfers and ordering edges separate by one cycle; multi-cycle
+// operations by their latency.
+func (s *scheduler) availableAt(n *SNode) int {
+	at := 0
+	for _, p := range n.Preds {
+		if t := s.pos[p] + s.g.latencyOf(p); t > at {
+			at = t
+		}
+	}
+	for _, p := range n.OrdPreds {
+		if t := s.pos[p] + 1; t > at {
+			at = t
+		}
+	}
+	return at
+}
+
+// issueable reports whether n can go into the instruction being formed
+// right now: dependences covered and latencies elapsed.
+func (s *scheduler) issueable(n *SNode) bool {
+	return s.ready(n) && s.availableAt(n) <= len(s.instrs)
+}
+
+// latencyPending reports whether some uncovered node is only waiting for
+// a producer's latency to elapse (so a NOP advances the machine).
+func (s *scheduler) latencyPending() bool {
+	for _, n := range s.g.nodes {
+		if s.ready(n) && s.availableAt(n) > len(s.instrs) {
+			return true
+		}
+	}
+	return false
+}
+
+// feasible decides whether scheduling the set as one instruction keeps
+// every register bank within its size: registers freed by last uses are
+// credited, registers taken by new values are debited.
+func (s *scheduler) feasible(set []*SNode) bool {
+	return len(s.overfullBanks(set)) == 0
+}
+
+// overfullBanks returns the banks that would exceed their size if the set
+// were scheduled now.
+func (s *scheduler) overfullBanks(set []*SNode) map[string]int {
+	dec := make(map[*SNode]int)
+	for _, n := range set {
+		for _, p := range n.Preds {
+			dec[p]++
+		}
+	}
+	delta := make(map[string]int)
+	for p, d := range dec {
+		if s.pending[p]-d <= 0 {
+			if loc, ok := p.DefLoc(); ok && loc.Kind == isdl.LocUnit {
+				delta[loc.Name]--
+			}
+		}
+	}
+	for _, n := range set {
+		if loc, ok := n.DefLoc(); ok && loc.Kind == isdl.LocUnit && s.pending[n] > 0 {
+			delta[loc.Name]++
+		}
+	}
+	over := make(map[string]int)
+	for bank, d := range delta {
+		if s.live[bank]+d > s.g.bankSize(bank) {
+			over[bank] = s.live[bank] + d - s.g.bankSize(bank)
+		}
+	}
+	return over
+}
+
+// trimToFeasible removes value-producing nodes from the set until the
+// register bounds hold, preferring to drop producers into the most
+// overfull banks. It may return an empty set.
+func (s *scheduler) trimToFeasible(set []*SNode) []*SNode {
+	set = append([]*SNode(nil), set...)
+	for len(set) > 0 {
+		over := s.overfullBanks(set)
+		if len(over) == 0 {
+			return set
+		}
+		// Pick the most overfull bank and drop one producer into it.
+		worst, worstBy := "", 0
+		for bank, by := range over {
+			if by > worstBy || (by == worstBy && bank < worst) || worst == "" {
+				worst, worstBy = bank, by
+			}
+		}
+		dropped := false
+		for i := len(set) - 1; i >= 0; i-- {
+			if loc, ok := set[i].DefLoc(); ok && loc.Kind == isdl.LocUnit && loc.Name == worst {
+				set = append(set[:i], set[i+1:]...)
+				dropped = true
+				break
+			}
+		}
+		if !dropped {
+			// Overflow not attributable to a producer in the set (can
+			// only happen when the bank was already over, which the
+			// spill path handles); give up on this clique.
+			return nil
+		}
+	}
+	return set
+}
+
+// allowedByGoal enforces the post-spill bank reservation: while a goal is
+// pending, only the goal itself and its direct dependencies may define a
+// value into the reserved bank.
+func (s *scheduler) allowedByGoal(n *SNode) bool {
+	if s.goal == nil || s.covered[s.goal] || s.removed[s.goal] {
+		s.goal = nil
+		return true
+	}
+	loc, defines := n.DefLoc()
+	if !defines || loc.Kind != isdl.LocUnit || loc.Name != s.goalBank {
+		return true
+	}
+	if n == s.goal {
+		return true
+	}
+	for _, p := range s.goal.Preds {
+		if p == n {
+			return true
+		}
+	}
+	return false
+}
+
+// useful reports whether scheduling the value-carrying transfer now can
+// soon enable a consumer: some consumer's other dependences are already
+// covered or at least ready. Eagerly scheduled transfers park values in
+// registers long before use, inflating pressure and provoking spill
+// ping-pong; the main loop therefore prefers useful transfers and falls
+// back to ungated selection only when nothing useful is schedulable.
+func (s *scheduler) useful(n *SNode) bool {
+	if n.Kind == OpNode || n.Kind == StoreNode {
+		return true // ops do real work; stores only relieve pressure
+	}
+	for _, w := range n.Succs {
+		ok := true
+		for _, p := range w.Preds {
+			if p != n && !s.covered[p] && !s.ready(p) {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for _, p := range w.OrdPreds {
+			if !s.covered[p] && !s.ready(p) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// lookahead estimates the number of instructions still needed after
+// hypothetically scheduling the set: a resource lower bound over the
+// remaining uncovered nodes (Sec. IV-D's tie-breaking cost).
+func (s *scheduler) lookahead(set []*SNode) int {
+	inSet := make(map[*SNode]bool, len(set))
+	for _, n := range set {
+		inSet[n] = true
+	}
+	unitCnt := make(map[string]int)
+	busCnt := make(map[string]int)
+	for _, n := range s.g.nodes {
+		if s.covered[n] || s.removed[n] || inSet[n] {
+			continue
+		}
+		if n.Kind == OpNode {
+			unitCnt[n.Unit]++
+		} else {
+			busCnt[n.Step.Bus]++
+		}
+	}
+	est := 0
+	for _, c := range unitCnt {
+		if c > est {
+			est = c
+		}
+	}
+	for bus, c := range busCnt {
+		w := 1
+		if b := s.g.machine.Bus(bus); b != nil {
+			w = b.Width
+		}
+		need := (c + w - 1) / w
+		if need > est {
+			est = need
+		}
+	}
+	return est
+}
+
+// schedule commits the set as the next instruction and updates liveness.
+// An empty set is a NOP: it advances the cycle so a multi-cycle result
+// can complete (the machine has no interlocks).
+func (s *scheduler) schedule(set []*SNode) {
+	sort.Slice(set, func(i, j int) bool { return set[i].ID < set[j].ID })
+	cycle := len(s.instrs)
+	s.instrs = append(s.instrs, set)
+	for _, n := range set {
+		s.covered[n] = true
+		s.pos[n] = cycle
+	}
+	for _, n := range set {
+		for _, p := range n.Preds {
+			s.pending[p]--
+			if s.pending[p] == 0 {
+				if loc, ok := p.DefLoc(); ok && loc.Kind == isdl.LocUnit {
+					s.live[loc.Name]--
+				}
+			}
+		}
+	}
+	for _, n := range set {
+		if loc, ok := n.DefLoc(); ok && loc.Kind == isdl.LocUnit && s.pending[n] > 0 {
+			s.live[loc.Name]++
+		}
+	}
+	if s.opts.Trace != nil {
+		s.opts.Trace.logf("  instr %d: %s", len(s.instrs)-1, formatClique(set))
+	}
+}
+
+// selectBest picks the clique whose ready (and, when gated, useful)
+// feasible subset covers the most nodes, ties broken by the lookahead
+// estimate (Sec. IV-D).
+func (s *scheduler) selectBest(cliques [][]*SNode, gated bool) []*SNode {
+	var best []*SNode
+	bestScore, bestLook := -1, 0
+	for _, c := range cliques {
+		var rc []*SNode
+		for _, n := range c {
+			if s.issueable(n) && s.allowedByGoal(n) && (!gated || s.useful(n)) {
+				rc = append(rc, n)
+			}
+		}
+		if len(rc) == 0 {
+			continue
+		}
+		rc = s.trimToFeasible(rc)
+		if len(rc) == 0 {
+			continue
+		}
+		score := len(rc)
+		if score < bestScore {
+			continue
+		}
+		if score > bestScore {
+			best, bestScore = rc, score
+			if s.opts.Lookahead {
+				bestLook = s.lookahead(rc)
+			}
+			continue
+		}
+		// Tie: lookahead estimate decides (Sec. IV-D).
+		if s.opts.Lookahead {
+			if look := s.lookahead(rc); look < bestLook {
+				best, bestLook = rc, look
+			}
+		}
+	}
+	return best
+}
+
+// run covers all solution-graph nodes, returning the instruction schedule.
+func (s *scheduler) run() error {
+	cliques := buildCliques(s.uncoveredNodes(), s.g.machine, s.opts)
+	if s.opts.Trace != nil {
+		s.opts.Trace.logf("generated %d maximal groupings", len(cliques))
+		for _, c := range cliques {
+			s.opts.Trace.logf("  clique %s", formatClique(c))
+		}
+	}
+	remaining := len(s.uncoveredNodes())
+	guard := 0
+	spillStreak := 0
+	// Bounds fixed to the pre-spill graph size: spilling adds nodes, and
+	// a bound that grew with them would never trip on infeasible inputs.
+	maxStreak := 2*remaining + 8
+	maxGuard := 40*remaining + 200
+	maxSpills := 4*remaining + 16
+	for remaining > 0 {
+		guard++
+		if guard > maxGuard {
+			return fmt.Errorf("cover: scheduler failed to make progress (%d nodes left)", remaining)
+		}
+		if s.spillCount > maxSpills {
+			return fmt.Errorf("cover: spill thrashing (%d spills for a %d-node graph)", s.spillCount, len(s.g.nodes))
+		}
+		best := s.selectBest(cliques, true)
+		if best == nil {
+			// Nothing useful is schedulable; retry without the
+			// usefulness gate before resorting to a spill.
+			best = s.selectBest(cliques, false)
+		}
+		if best == nil {
+			// Nothing issueable. If some node is only waiting out a
+			// producer's latency, a NOP advances the machine.
+			if s.latencyPending() {
+				s.schedule(nil)
+				continue
+			}
+			// Register pressure blocks every ready node: spill. A bound
+			// on consecutive spills catches fundamentally infeasible
+			// instances (e.g. a binary op whose two register operands
+			// cannot fit a one-register bank) instead of spilling
+			// forever.
+			spillStreak++
+			if spillStreak > maxStreak {
+				return fmt.Errorf("cover: register files too small: %d consecutive spills without progress", spillStreak)
+			}
+			if err := s.spill(); err != nil {
+				return err
+			}
+			cliques = buildCliques(s.uncoveredNodes(), s.g.machine, s.opts)
+			remaining = len(s.uncoveredNodes())
+			continue
+		}
+		spillStreak = 0
+		s.schedule(best)
+		remaining -= len(best)
+		// Shrink the remaining cliques (Sec. IV-D).
+		cliques = shrinkCliques(cliques, s.covered)
+	}
+	return nil
+}
+
+func shrinkCliques(cliques [][]*SNode, covered map[*SNode]bool) [][]*SNode {
+	var out [][]*SNode
+	for _, c := range cliques {
+		var kept []*SNode
+		for _, n := range c {
+			if !covered[n] {
+				kept = append(kept, n)
+			}
+		}
+		if len(kept) > 0 {
+			out = append(out, kept)
+		}
+	}
+	return dedupeCliques(out)
+}

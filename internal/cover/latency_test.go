@@ -1,0 +1,184 @@
+package cover
+
+import (
+	"testing"
+
+	"aviv/internal/ir"
+	"aviv/internal/isdl"
+)
+
+// pipelinedMachine returns the example architecture with a 3-cycle
+// multiplier on U2/U3 (a typical DSP pipeline).
+func pipelinedMachine(regs int) *isdl.Machine {
+	m := isdl.ExampleArch(regs)
+	m.Unit("U2").SetLatency(ir.OpMul, 3)
+	m.Unit("U3").SetLatency(ir.OpMul, 3)
+	if err := m.Finalize(); err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func TestLatencySeparation(t *testing.T) {
+	// out = (a*b) + c: the ADD must issue >= 3 cycles after the MUL.
+	bb := ir.NewBuilder("lat")
+	prod := bb.Mul(bb.Load("a"), bb.Load("b"))
+	bb.Store("out", bb.Add(prod, bb.Load("c")))
+	bb.Return()
+	blk := bb.Finish()
+
+	m := pipelinedMachine(4)
+	res, err := CoverBlock(blk, m, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Best.Verify(); err != nil {
+		t.Fatalf("latency-invalid solution: %v\n%s", err, res.Best)
+	}
+	pos := map[*SNode]int{}
+	var mul, add *SNode
+	for i, instr := range res.Best.Instrs {
+		for _, n := range instr {
+			pos[n] = i
+			if n.Kind == OpNode && n.Op == ir.OpMul {
+				mul = n
+			}
+			if n.Kind == OpNode && n.Op == ir.OpAdd {
+				add = n
+			}
+		}
+	}
+	if mul == nil || add == nil {
+		t.Fatal("missing ops")
+	}
+	if pos[add]-pos[mul] < 3 {
+		t.Errorf("ADD at %d only %d cycles after 3-cycle MUL at %d\n%s",
+			pos[add], pos[add]-pos[mul], pos[mul], res.Best)
+	}
+	// The latency shadow must cost code size vs the single-cycle machine.
+	fast, err := CoverBlock(blk, isdl.ExampleArch(4), DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Cost() <= fast.Best.Cost() {
+		t.Errorf("pipelined cost %d not above single-cycle cost %d",
+			res.Best.Cost(), fast.Best.Cost())
+	}
+}
+
+func TestLatencyShadowFilledWhenPossible(t *testing.T) {
+	// Two independent MULs and an ADD: the scheduler should overlap work
+	// under the multiply latency rather than pad NOPs.
+	bb := ir.NewBuilder("fill")
+	p1 := bb.Mul(bb.Load("a"), bb.Load("b"))
+	p2 := bb.Mul(bb.Load("c"), bb.Load("d"))
+	bb.Store("out", bb.Add(p1, p2))
+	bb.Return()
+	blk := bb.Finish()
+
+	m := pipelinedMachine(4)
+	res, err := CoverBlock(blk, m, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Best.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	// Lower bound: 4 loads on one bus + work; the overlapped schedule
+	// should not exceed ~11 instructions (serial NOP-padded would be far
+	// worse).
+	if res.Best.Cost() > 11 {
+		t.Errorf("overlap failed: %d instructions\n%s", res.Best.Cost(), res.Best)
+	}
+	// Count explicit NOPs.
+	nops := 0
+	for _, instr := range res.Best.Instrs {
+		if len(instr) == 0 {
+			nops++
+		}
+	}
+	if nops > 3 {
+		t.Errorf("%d NOPs in overlapped schedule\n%s", nops, res.Best)
+	}
+}
+
+func TestLatencySerialChainPadsNOPs(t *testing.T) {
+	// A pure multiply chain cannot hide latency: NOPs must appear.
+	bb := ir.NewBuilder("chainmul")
+	cur := bb.Load("x")
+	for i := 0; i < 3; i++ {
+		cur = bb.Mul(cur, bb.Const(3))
+	}
+	bb.Store("y", cur)
+	bb.Return()
+	blk := bb.Finish()
+
+	m := pipelinedMachine(4)
+	res, err := CoverBlock(blk, m, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Best.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	nops := 0
+	for _, instr := range res.Best.Instrs {
+		if len(instr) == 0 {
+			nops++
+		}
+	}
+	if nops < 2 {
+		t.Errorf("expected NOP padding in a dependent multiply chain, got %d\n%s", nops, res.Best)
+	}
+}
+
+func TestLatencyWithSpills(t *testing.T) {
+	// Pressure + latency together: still valid.
+	bb := ir.NewBuilder("latpress")
+	a := bb.Load("a")
+	b := bb.Load("b")
+	c := bb.Load("c")
+	d := bb.Load("d")
+	p1 := bb.Mul(a, b)
+	p2 := bb.Mul(c, d)
+	p3 := bb.Mul(bb.Add(a, c), bb.Sub(b, d))
+	bb.Store("o", bb.Add(bb.Add(p1, p2), p3))
+	bb.Return()
+	blk := bb.Finish()
+
+	m := pipelinedMachine(2)
+	res, err := CoverBlock(blk, m, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Best.Verify(); err != nil {
+		t.Fatalf("%v\n%s", err, res.Best)
+	}
+}
+
+func TestSerialFallbackRespectsLatency(t *testing.T) {
+	m := isdl.NewMachine("TinyLat")
+	u := m.AddUnit("U1", 2, ir.OpAdd, ir.OpSub, ir.OpMul)
+	u.SetLatency(ir.OpMul, 4)
+	m.AddMemory("DM")
+	m.AddBus("B", 1)
+	m.ConnectAll("B")
+	if err := m.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	bb := ir.NewBuilder("tight")
+	a := bb.Load("a")
+	b := bb.Load("b")
+	s1 := bb.Add(a, b)
+	s2 := bb.Mul(s1, a)
+	s3 := bb.Sub(s2, b)
+	bb.Store("o", bb.Mul(bb.Add(s3, s1), s2))
+	bb.Return()
+	res, err := CoverBlock(bb.Finish(), m, DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Best.Verify(); err != nil {
+		t.Fatalf("%v\n%s", err, res.Best)
+	}
+}

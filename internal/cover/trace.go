@@ -1,0 +1,34 @@
+package cover
+
+import (
+	"fmt"
+	"strings"
+
+	"aviv/internal/ir"
+	"aviv/internal/sndag"
+)
+
+// Trace records the covering run step by step for the figure-reproduction
+// harness: assignment-search incremental costs and pruning decisions
+// (Fig. 6), generated cliques (Fig. 8), selected instructions, and spill
+// events (Fig. 9).
+type Trace struct {
+	Lines []string
+}
+
+func (t *Trace) logf(format string, args ...any) {
+	t.Lines = append(t.Lines, fmt.Sprintf(format, args...))
+}
+
+func (t *Trace) assignStep(n *ir.Node, alt *sndag.Alt, cost int, pruned bool) {
+	mark := ""
+	if pruned {
+		mark = "  X pruned"
+	}
+	t.logf("assign n%d:%s on %s: incremental cost %d%s", n.ID, n.Op, alt, cost, mark)
+}
+
+// String returns the full trace text.
+func (t *Trace) String() string {
+	return strings.Join(t.Lines, "\n")
+}

@@ -1,0 +1,166 @@
+package cover
+
+import (
+	"strings"
+	"testing"
+
+	"aviv/internal/ir"
+	"aviv/internal/isdl"
+	"aviv/internal/sndag"
+)
+
+func TestTraceRecordsAllStages(t *testing.T) {
+	opts := DefaultOptions()
+	tr := &Trace{}
+	opts.Trace = tr
+	if _, err := CoverBlock(fig2Block(), isdl.ExampleArch(4), opts); err != nil {
+		t.Fatal(err)
+	}
+	text := tr.String()
+	for _, want := range []string{
+		"assign n",            // Fig. 6 incremental costs
+		"assignment search:",  // beam summary
+		"candidate 0:",        // kept assignments
+		"covering assignment", // per-assignment stage
+		"maximal groupings",   // Fig. 8 output
+		"clique {",            // clique inventory
+		"instr 0:",            // schedule
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("trace missing %q", want)
+		}
+	}
+}
+
+func TestDescribeAssignment(t *testing.T) {
+	d, err := sndag.Build(fig2Block(), isdl.ExampleArch(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	assigns := exploreAssignments(d, DefaultOptions())
+	if len(assigns) == 0 {
+		t.Fatal("no assignments")
+	}
+	s := describeAssignment(d, assigns[0])
+	for _, want := range []string{"n", ":U"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("describeAssignment = %q", s)
+		}
+	}
+}
+
+func TestDistinctRegOperands(t *testing.T) {
+	bb := ir.NewBuilder("b")
+	x := bb.Load("x")
+	c := bb.Const(3)
+	sq := bb.Mul(x, x)             // duplicated operand: 1 register
+	addc := bb.Add(sq, c)          // const operand: 1 register
+	bb.Store("o", bb.Sub(addc, x)) // 2 registers
+	bb.Return()
+	blk := bb.Finish()
+	d, err := sndag.Build(blk, isdl.ExampleArch(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byOp := map[ir.Op]int{}
+	for _, s := range d.Splits {
+		byOp[s.Orig.Op] = distinctRegOperands(s.Alts[0])
+	}
+	if byOp[ir.OpMul] != 1 {
+		t.Errorf("MUL(x,x) needs %d registers, want 1", byOp[ir.OpMul])
+	}
+	if byOp[ir.OpAdd] != 1 {
+		t.Errorf("ADD(sq,#3) needs %d registers, want 1", byOp[ir.OpAdd])
+	}
+	if byOp[ir.OpSub] != 2 {
+		t.Errorf("SUB needs %d registers, want 2", byOp[ir.OpSub])
+	}
+}
+
+func TestLookaheadOffStillOptimal(t *testing.T) {
+	opts := DefaultOptions()
+	opts.Lookahead = false
+	res, err := CoverBlock(fig2Block(), isdl.ExampleArch(4), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := res.Best.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if res.Best.Cost() > 8 {
+		t.Errorf("no-lookahead cost %d, want <= 8", res.Best.Cost())
+	}
+}
+
+func TestGenMaxCliquesDegenerate(t *testing.T) {
+	// Empty matrix.
+	if got := GenMaxCliques(nil); len(got) != 0 {
+		t.Errorf("empty matrix produced %v", got)
+	}
+	// Fully parallel: one clique with everything.
+	n := 5
+	par := make([][]bool, n)
+	for i := range par {
+		par[i] = make([]bool, n)
+		for j := range par[i] {
+			par[i][j] = i != j
+		}
+	}
+	cs := GenMaxCliques(par)
+	if len(cs) != 1 || len(cs[0]) != n {
+		t.Errorf("fully parallel matrix: %v", cs)
+	}
+	// Fully serial: n singleton cliques.
+	for i := range par {
+		for j := range par[i] {
+			par[i][j] = false
+		}
+	}
+	cs = GenMaxCliques(par)
+	if len(cs) != n {
+		t.Errorf("fully serial matrix: %v", cs)
+	}
+}
+
+func TestAssignmentSpaceVsExplored(t *testing.T) {
+	d, err := sndag.Build(fig2Block(), isdl.ExampleArch(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exhaustive with no cap enumerates exactly the assignment space.
+	opts := ExhaustiveOptions()
+	opts.BeamWidth = 1 << 30
+	assigns := exploreAssignments(d, opts)
+	if len(assigns) != d.AssignmentSpace() {
+		t.Errorf("enumerated %d assignments, space is %d", len(assigns), d.AssignmentSpace())
+	}
+	// MaxAssignments caps enumeration.
+	opts.MaxAssignments = 5
+	capped := exploreAssignments(d, opts)
+	if len(capped) > 5 {
+		t.Errorf("cap ignored: %d assignments", len(capped))
+	}
+}
+
+func TestSNodeStringForms(t *testing.T) {
+	v := &ir.Node{ID: 3}
+	op := &SNode{ID: 1, Kind: OpNode, Unit: "U1", Bank: "U1", Op: ir.OpAdd, Value: v}
+	ld := &SNode{ID: 2, Kind: LoadNode, Var: "x", Value: v,
+		Step: isdl.Transfer{From: isdl.MemLoc("DM"), To: isdl.UnitLoc("U1"), Bus: "DB"}}
+	st := &SNode{ID: 3, Kind: StoreNode, Var: "y", Value: v,
+		Step: isdl.Transfer{From: isdl.UnitLoc("U1"), To: isdl.MemLoc("DM"), Bus: "DB"}}
+	mv := &SNode{ID: 4, Kind: MoveNode, Value: v,
+		Step: isdl.Transfer{From: isdl.UnitLoc("U1"), To: isdl.UnitLoc("U2"), Bus: "DB"}}
+	cases := map[*SNode]string{
+		op: "ADD@U1", ld: "LD x", st: "ST U1", mv: "MV U1->U2",
+	}
+	for n, want := range cases {
+		if !strings.Contains(n.String(), want) {
+			t.Errorf("String() = %q, want substring %q", n.String(), want)
+		}
+	}
+	if OpNode.String() != "op" || MoveNode.String() != "move" ||
+		LoadNode.String() != "load" || StoreNode.String() != "store" {
+		t.Error("SNodeKind strings wrong")
+	}
+}

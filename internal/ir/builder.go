@@ -1,0 +1,130 @@
+package ir
+
+import "fmt"
+
+// Builder constructs a block's expression DAG with hash-consing, so that
+// structurally identical pure subexpressions are shared (local common
+// subexpression elimination, a machine-independent optimization the
+// paper's front end performs).
+//
+// Loads are value-numbered against the most recent store to the same
+// location, so a load after a store within the block reuses the stored
+// value; stores invalidate prior loads of the same location only.
+type Builder struct {
+	Block *Block
+
+	memo map[string]*Node
+	// curVal maps a memory location to the node currently holding its
+	// value within the block (last store value or first load).
+	curVal map[string]*Node
+	// storeEpoch increments per store; load memo keys include it so loads
+	// across a clobbering store are not merged.
+	storeEpoch map[string]int
+}
+
+// NewBuilder returns a Builder targeting a fresh block with the given name.
+func NewBuilder(name string) *Builder {
+	return &Builder{
+		Block:      NewBlock(name),
+		memo:       make(map[string]*Node),
+		curVal:     make(map[string]*Node),
+		storeEpoch: make(map[string]int),
+	}
+}
+
+// Const returns a (shared) constant node.
+func (bb *Builder) Const(v int64) *Node {
+	key := fmt.Sprintf("C%d", v)
+	if n, ok := bb.memo[key]; ok {
+		return n
+	}
+	n := bb.Block.NewConst(v)
+	bb.memo[key] = n
+	return n
+}
+
+// Load returns the node holding the current value of the named location,
+// creating a load if needed.
+func (bb *Builder) Load(name string) *Node {
+	if n, ok := bb.curVal[name]; ok {
+		return n
+	}
+	key := fmt.Sprintf("L%d@%s", bb.storeEpoch[name], name)
+	if n, ok := bb.memo[key]; ok {
+		return n
+	}
+	n := bb.Block.NewLoad(name)
+	bb.memo[key] = n
+	bb.curVal[name] = n
+	return n
+}
+
+// Store appends a store of val to the named location.
+func (bb *Builder) Store(name string, val *Node) *Node {
+	n := bb.Block.NewStore(name, val)
+	bb.storeEpoch[name]++
+	bb.curVal[name] = val
+	return n
+}
+
+// Op returns a (shared) node computing op over args.
+func (bb *Builder) Op(op Op, args ...*Node) *Node {
+	if len(args) != op.Arity() {
+		panic(fmt.Sprintf("ir.Builder: %v needs %d args, got %d", op, op.Arity(), len(args)))
+	}
+	// Canonicalize commutative operand order for better sharing.
+	if op.Commutative() && len(args) == 2 && args[0].ID > args[1].ID {
+		args = []*Node{args[1], args[0]}
+	}
+	key := opKey(op, args)
+	if n, ok := bb.memo[key]; ok {
+		return n
+	}
+	n := bb.Block.NewNode(op, args...)
+	bb.memo[key] = n
+	return n
+}
+
+func opKey(op Op, args []*Node) string {
+	key := fmt.Sprintf("O%d", op)
+	for _, a := range args {
+		key += fmt.Sprintf(",%d", a.ID)
+	}
+	return key
+}
+
+// Convenience wrappers.
+
+// Add returns a node computing a+b.
+func (bb *Builder) Add(a, b *Node) *Node { return bb.Op(OpAdd, a, b) }
+
+// Sub returns a node computing a-b.
+func (bb *Builder) Sub(a, b *Node) *Node { return bb.Op(OpSub, a, b) }
+
+// Mul returns a node computing a*b.
+func (bb *Builder) Mul(a, b *Node) *Node { return bb.Op(OpMul, a, b) }
+
+// Branch terminates the block with a conditional branch.
+func (bb *Builder) Branch(cond *Node, ifTrue, ifFalse string) {
+	bb.Block.Term = TermBranch
+	bb.Block.Cond = cond
+	bb.Block.Succs = []string{ifTrue, ifFalse}
+}
+
+// Jump terminates the block with an unconditional jump.
+func (bb *Builder) Jump(target string) {
+	bb.Block.Term = TermJump
+	bb.Block.Succs = []string{target}
+}
+
+// Return terminates the block with a return.
+func (bb *Builder) Return() {
+	bb.Block.Term = TermReturn
+	bb.Block.Succs = nil
+}
+
+// Finish removes dead nodes and returns the built block.
+func (bb *Builder) Finish() *Block {
+	bb.Block.RemoveDead()
+	return bb.Block
+}

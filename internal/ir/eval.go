@@ -1,0 +1,148 @@
+package ir
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrDivByZero is reported by the evaluator on division or modulo by zero.
+var ErrDivByZero = errors.New("ir: division by zero")
+
+// ErrNoProgress is reported when function evaluation exceeds its step budget.
+var ErrNoProgress = errors.New("ir: evaluation step budget exhausted (infinite loop?)")
+
+// EvalOp computes a single operation over already-evaluated operands.
+// It is the single source of truth for operator semantics, shared by the
+// reference interpreter, the constant folder, and the machine simulator.
+func EvalOp(op Op, args ...int64) (int64, error) {
+	switch op {
+	case OpNeg:
+		return -args[0], nil
+	case OpCompl:
+		return ^args[0], nil
+	case OpAdd:
+		return args[0] + args[1], nil
+	case OpSub:
+		return args[0] - args[1], nil
+	case OpMul:
+		return args[0] * args[1], nil
+	case OpDiv:
+		if args[1] == 0 {
+			return 0, ErrDivByZero
+		}
+		return args[0] / args[1], nil
+	case OpMod:
+		if args[1] == 0 {
+			return 0, ErrDivByZero
+		}
+		return args[0] % args[1], nil
+	case OpAnd:
+		return args[0] & args[1], nil
+	case OpOr:
+		return args[0] | args[1], nil
+	case OpXor:
+		return args[0] ^ args[1], nil
+	case OpShl:
+		return args[0] << (uint64(args[1]) & 63), nil
+	case OpShr:
+		return args[0] >> (uint64(args[1]) & 63), nil
+	case OpCmpEQ:
+		return b2i(args[0] == args[1]), nil
+	case OpCmpNE:
+		return b2i(args[0] != args[1]), nil
+	case OpCmpLT:
+		return b2i(args[0] < args[1]), nil
+	case OpCmpLE:
+		return b2i(args[0] <= args[1]), nil
+	case OpCmpGT:
+		return b2i(args[0] > args[1]), nil
+	case OpCmpGE:
+		return b2i(args[0] >= args[1]), nil
+	case OpMAC:
+		return args[0] + args[1]*args[2], nil
+	case OpAddS:
+		return (args[0] + args[1]) >> (uint64(args[2]) & 63), nil
+	}
+	return 0, fmt.Errorf("ir: cannot evaluate op %v", op)
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// EvalBlock interprets the block's DAG against mem, applying all stores to
+// mem in node order. If the block ends in a branch it returns the taken
+// successor name; for jump/fallthrough it returns the successor; for
+// return (or no successor) it returns "".
+func EvalBlock(b *Block, mem map[string]int64) (next string, err error) {
+	vals := make(map[*Node]int64, len(b.Nodes))
+	for _, n := range b.Nodes {
+		switch n.Op {
+		case OpConst:
+			vals[n] = n.Const
+		case OpLoad:
+			vals[n] = mem[n.Var]
+		case OpStore:
+			mem[n.Var] = vals[n.Args[0]]
+		default:
+			args := make([]int64, len(n.Args))
+			for i, a := range n.Args {
+				args[i] = vals[a]
+			}
+			v, err := EvalOp(n.Op, args...)
+			if err != nil {
+				return "", fmt.Errorf("block %s node %s: %w", b.Name, n, err)
+			}
+			vals[n] = v
+		}
+	}
+	switch b.Term {
+	case TermBranch:
+		if vals[b.Cond] != 0 {
+			return b.Succs[0], nil
+		}
+		return b.Succs[1], nil
+	case TermJump:
+		return b.Succs[0], nil
+	case TermReturn:
+		return "", nil
+	default:
+		if len(b.Succs) == 1 {
+			return b.Succs[0], nil
+		}
+		return "", nil
+	}
+}
+
+// EvalFunc interprets the whole function starting at the entry block,
+// mutating mem. maxSteps bounds the number of block executions to guard
+// against non-terminating input programs; <=0 means a default of 1e6.
+func EvalFunc(f *Func, mem map[string]int64, maxSteps int) error {
+	if maxSteps <= 0 {
+		maxSteps = 1_000_000
+	}
+	cur := f.Entry()
+	if cur == nil {
+		return nil
+	}
+	for steps := 0; ; steps++ {
+		if steps >= maxSteps {
+			return fmt.Errorf("func %s: %w", f.Name, ErrNoProgress)
+		}
+		next, err := EvalBlock(cur, mem)
+		if err != nil {
+			return err
+		}
+		if next == "" {
+			return nil
+		}
+		nb := f.Block(next)
+		if nb == nil {
+			return fmt.Errorf("func %s: jump to unknown block %s", f.Name, next)
+		}
+		cur = nb
+	}
+}

@@ -1,0 +1,180 @@
+package isdl
+
+import "aviv/internal/ir"
+
+// ExampleArch builds the paper's example target architecture (Fig. 3):
+//
+//   - U1 performs ADD and SUB,
+//   - U2 performs ADD, SUB and MUL,
+//   - U3 performs ADD and MUL,
+//   - each unit has its own register file of regsPerFile registers,
+//   - a data memory DM, and
+//   - a single databus DB connecting all units and memories.
+//
+// The paper additionally uses COMPL (complement) on U1 for the Fig. 6
+// pruning example; ExampleArch includes it on U1 for fidelity.
+func ExampleArch(regsPerFile int) *Machine {
+	m := NewMachine("ExampleVLIW")
+	m.AddUnit("U1", regsPerFile, ir.OpAdd, ir.OpSub, ir.OpCompl)
+	m.AddUnit("U2", regsPerFile, ir.OpAdd, ir.OpSub, ir.OpMul)
+	m.AddUnit("U3", regsPerFile, ir.OpAdd, ir.OpMul)
+	m.AddMemory("DM")
+	m.AddBus("DB", 1)
+	m.ConnectAll("DB")
+	if err := m.Finalize(); err != nil {
+		panic("isdl: ExampleArch is invalid: " + err.Error())
+	}
+	return m
+}
+
+// ArchitectureII builds the retargeting experiment machine of Sec. VI
+// (Table II): the example architecture with the SUB operation removed
+// from U1 and functional unit U3 removed entirely.
+func ArchitectureII(regsPerFile int) *Machine {
+	m := NewMachine("ArchitectureII")
+	m.AddUnit("U1", regsPerFile, ir.OpAdd, ir.OpCompl)
+	m.AddUnit("U2", regsPerFile, ir.OpAdd, ir.OpSub, ir.OpMul)
+	m.AddMemory("DM")
+	m.AddBus("DB", 1)
+	m.ConnectAll("DB")
+	if err := m.Finalize(); err != nil {
+		panic("isdl: ArchitectureII is invalid: " + err.Error())
+	}
+	return m
+}
+
+// SingleIssueDSP builds a single-unit accumulator-style machine, the
+// degenerate (no-ILP) point of the design space used by the architecture
+// exploration example. The unit performs the full basic-op repertoire.
+func SingleIssueDSP(regsPerFile int) *Machine {
+	m := NewMachine("SingleIssueDSP")
+	m.AddUnit("U1", regsPerFile,
+		ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpMod,
+		ir.OpNeg, ir.OpCompl, ir.OpAnd, ir.OpOr, ir.OpXor,
+		ir.OpShl, ir.OpShr,
+		ir.OpCmpEQ, ir.OpCmpNE, ir.OpCmpLT, ir.OpCmpLE, ir.OpCmpGT, ir.OpCmpGE)
+	m.AddMemory("DM")
+	m.AddBus("DB", 1)
+	m.ConnectAll("DB")
+	if err := m.Finalize(); err != nil {
+		panic("isdl: SingleIssueDSP is invalid: " + err.Error())
+	}
+	return m
+}
+
+// WideDSP builds a four-unit machine with a MAC-capable multiplier unit, a
+// 2-wide bus, and a co-issue constraint between the two multiplier-capable
+// units. It exercises complex instructions, wider buses, and constraints —
+// the ISDL features beyond the paper's running example.
+func WideDSP(regsPerFile int) *Machine {
+	m := NewMachine("WideDSP")
+	m.AddUnit("A1", regsPerFile, ir.OpAdd, ir.OpSub, ir.OpCmpEQ, ir.OpCmpNE,
+		ir.OpCmpLT, ir.OpCmpLE, ir.OpCmpGT, ir.OpCmpGE)
+	m.AddUnit("A2", regsPerFile, ir.OpAdd, ir.OpSub, ir.OpAnd, ir.OpOr, ir.OpXor,
+		ir.OpShl, ir.OpShr, ir.OpNeg, ir.OpCompl)
+	m.AddUnit("M1", regsPerFile, ir.OpMul, ir.OpMAC, ir.OpAdd)
+	m.AddUnit("M2", regsPerFile, ir.OpMul, ir.OpDiv, ir.OpMod)
+	m.AddMemory("DM")
+	m.AddBus("DB", 2)
+	m.ConnectAll("DB")
+	m.AddConstraint(SlotRef{Unit: "M1", Op: ir.OpMul}, SlotRef{Unit: "M2", Op: ir.OpMul})
+	m.Patterns = append(m.Patterns, MACPattern("M1"))
+	if err := m.Finalize(); err != nil {
+		panic("isdl: WideDSP is invalid: " + err.Error())
+	}
+	return m
+}
+
+// ExampleArchISDL is the paper's Fig. 3 machine written in the textual
+// ISDL-flavored format accepted by Parse. Parsing it yields a machine
+// equivalent to ExampleArch(4).
+const ExampleArchISDL = `
+machine ExampleVLIW
+# Fig. 3 of the DAC'98 AVIV paper.
+unit U1 { regs 4 ops ADD SUB COMPL }
+unit U2 { regs 4 ops ADD SUB MUL }
+unit U3 { regs 4 ops ADD MUL }
+memory DM
+bus DB width 1
+connect all via DB
+`
+
+// ExampleArchFull is ExampleArch extended with the comparison and
+// negation operations real control flow needs (the paper's Fig. 3
+// machine only lists ADD/SUB/MUL because its experiments are basic-block
+// bodies). U1 gains the comparisons, U2 gains NEG. Table reproductions
+// use the pure ExampleArch; whole-program compilation uses this variant.
+func ExampleArchFull(regsPerFile int) *Machine {
+	m := ExampleArch(regsPerFile)
+	m.Name = "ExampleVLIWFull"
+	for _, op := range []ir.Op{ir.OpCmpEQ, ir.OpCmpNE, ir.OpCmpLT, ir.OpCmpLE, ir.OpCmpGT, ir.OpCmpGE} {
+		m.Unit("U1").Ops[op] = true
+	}
+	m.Unit("U2").Ops[ir.OpNeg] = true
+	if err := m.Finalize(); err != nil {
+		panic("isdl: ExampleArchFull is invalid: " + err.Error())
+	}
+	return m
+}
+
+// DualMemDSP builds a dual-memory (X/Y banked) DSP in the style of
+// classic fixed-point parts: two functional units, an X memory and a Y
+// memory each on its own bus, so two operand loads can issue in one
+// instruction — provided the compiler places the operand arrays in
+// different banks (cover.Options.VarPlacement).
+func DualMemDSP(regsPerFile int) *Machine {
+	m := NewMachine("DualMemDSP")
+	m.AddUnit("ALU", regsPerFile, ir.OpAdd, ir.OpSub, ir.OpCompl,
+		ir.OpCmpEQ, ir.OpCmpNE, ir.OpCmpLT, ir.OpCmpLE, ir.OpCmpGT, ir.OpCmpGE)
+	m.AddUnit("MAC", regsPerFile, ir.OpMul, ir.OpMAC, ir.OpAdd)
+	m.AddMemory("XM")
+	m.AddMemory("YM")
+	m.AddBus("BX", 1)
+	m.AddBus("BY", 1)
+	for _, u := range []string{"ALU", "MAC"} {
+		m.AddTransfer(MemLoc("XM"), UnitLoc(u), "BX")
+		m.AddTransfer(UnitLoc(u), MemLoc("XM"), "BX")
+		m.AddTransfer(MemLoc("YM"), UnitLoc(u), "BY")
+		m.AddTransfer(UnitLoc(u), MemLoc("YM"), "BY")
+	}
+	m.AddTransfer(UnitLoc("ALU"), UnitLoc("MAC"), "BX")
+	m.AddTransfer(UnitLoc("MAC"), UnitLoc("ALU"), "BX")
+	m.Patterns = append(m.Patterns, MACPattern("MAC"))
+	if err := m.Finalize(); err != nil {
+		panic("isdl: DualMemDSP is invalid: " + err.Error())
+	}
+	return m
+}
+
+// ClusteredVLIW builds a two-cluster machine: each cluster has an adder
+// and a multiplier SHARING one register bank, so intra-cluster values
+// move for free; an inter-cluster bus carries values between the banks.
+// This is the register-class structure CodeSyn/FlexWare-era machines
+// exhibit (paper Sec. V-B) and the reason bank-aware covering matters.
+func ClusteredVLIW(regsPerBank int) *Machine {
+	m := NewMachine("ClusteredVLIW")
+	m.AddUnit("A0", regsPerBank, ir.OpAdd, ir.OpSub, ir.OpCmpEQ, ir.OpCmpNE,
+		ir.OpCmpLT, ir.OpCmpLE, ir.OpCmpGT, ir.OpCmpGE)
+	m.AddUnit("M0", regsPerBank, ir.OpMul, ir.OpAdd)
+	m.AddUnit("A1", regsPerBank, ir.OpAdd, ir.OpSub, ir.OpNeg, ir.OpCompl)
+	m.AddUnit("M1", regsPerBank, ir.OpMul, ir.OpAdd)
+	if err := m.ShareBank("C0", regsPerBank, "A0", "M0"); err != nil {
+		panic(err)
+	}
+	if err := m.ShareBank("C1", regsPerBank, "A1", "M1"); err != nil {
+		panic(err)
+	}
+	m.AddMemory("DM")
+	m.AddBus("DB", 1) // memory bus
+	m.AddBus("XB", 1) // inter-cluster exchange bus
+	for _, bank := range []string{"C0", "C1"} {
+		m.AddTransfer(MemLoc("DM"), UnitLoc(bank), "DB")
+		m.AddTransfer(UnitLoc(bank), MemLoc("DM"), "DB")
+	}
+	m.AddTransfer(UnitLoc("C0"), UnitLoc("C1"), "XB")
+	m.AddTransfer(UnitLoc("C1"), UnitLoc("C0"), "XB")
+	if err := m.Finalize(); err != nil {
+		panic("isdl: ClusteredVLIW is invalid: " + err.Error())
+	}
+	return m
+}

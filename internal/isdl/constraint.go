@@ -1,0 +1,67 @@
+package isdl
+
+import "fmt"
+
+// GroupError explains why a proposed operation grouping is not a legal
+// instruction on the machine.
+type GroupError struct {
+	Reason string
+}
+
+func (e *GroupError) Error() string { return "isdl: illegal grouping: " + e.Reason }
+
+// CheckGroup decides whether one VLIW instruction containing the given
+// computation slots and per-bus transfer counts is legal (Sec. IV-C.3):
+//
+//   - each functional unit may be used at most once,
+//   - each bus carries at most its width in transfers, and
+//   - no explicit Constraint is fully matched by the slots.
+//
+// It returns nil when legal, or a *GroupError describing the violation.
+func (m *Machine) CheckGroup(slots []SlotRef, busUse map[string]int) error {
+	seen := make(map[string]bool, len(slots))
+	for _, s := range slots {
+		u := m.Unit(s.Unit)
+		if u == nil {
+			return &GroupError{Reason: fmt.Sprintf("unknown unit %s", s.Unit)}
+		}
+		if !u.Can(s.Op) {
+			return &GroupError{Reason: fmt.Sprintf("unit %s cannot perform %s", s.Unit, s.Op)}
+		}
+		if seen[s.Unit] {
+			return &GroupError{Reason: fmt.Sprintf("unit %s used twice", s.Unit)}
+		}
+		seen[s.Unit] = true
+	}
+	for bus, n := range busUse {
+		b := m.Bus(bus)
+		if b == nil {
+			return &GroupError{Reason: fmt.Sprintf("unknown bus %s", bus)}
+		}
+		if n > b.Width {
+			return &GroupError{Reason: fmt.Sprintf("bus %s carries %d transfers, width %d", bus, n, b.Width)}
+		}
+	}
+	for _, c := range m.Constraints {
+		if matchesConstraint(slots, c) {
+			return &GroupError{Reason: fmt.Sprintf("violates constraint %s", c)}
+		}
+	}
+	return nil
+}
+
+func matchesConstraint(slots []SlotRef, c Constraint) bool {
+	for _, want := range c.Forbid {
+		found := false
+		for _, s := range slots {
+			if s == want {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	return true
+}

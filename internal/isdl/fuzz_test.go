@@ -1,0 +1,56 @@
+package isdl
+
+import "testing"
+
+// FuzzParseISDL checks the machine-description parser never panics and
+// that accepted machines finalize into consistent databases.
+func FuzzParseISDL(f *testing.F) {
+	seeds := []string{
+		ExampleArchISDL,
+		"machine M\nunit U { regs 1 ops ADD }",
+		"machine M\nunit A { regs 4 ops ADD SUB MUL MAC }\nunit B { regs 2 ops DIV }\nmemory DM\nbus X width 2\nconnect all via X\nconstraint !(A.MUL & B.DIV)\npattern A.MAC = ADD(_, MUL(_, _))",
+		"machine M\nunit U { regs 4 ops ADD }\nmemory DM\nbus B width 1\ntransfer U -> DM via B\ntransfer DM -> U via B",
+		"machine M # comment\nunit U { regs 8 ops COMPL NEG }",
+		"",
+		"machine",
+		"machine M\nunit U { regs 0 ops ADD }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Accepted machines must expose consistent derived databases.
+		for _, u := range m.Units {
+			for _, op := range u.OpList() {
+				found := false
+				for _, cu := range m.UnitsFor(op) {
+					if cu == u {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("unit %s missing from UnitsFor(%s)", u.Name, op)
+				}
+			}
+		}
+		// Paths must stay within declared transfers.
+		for _, a := range m.Units {
+			for _, b := range m.Units {
+				for _, path := range m.TransferPaths(UnitLoc(a.Name), UnitLoc(b.Name)) {
+					for _, step := range path {
+						if m.Bus(step.Bus) == nil {
+							t.Fatalf("path uses unknown bus %q", step.Bus)
+						}
+					}
+				}
+			}
+		}
+		if m.HardwareCost() <= 0 {
+			t.Fatal("non-positive hardware cost")
+		}
+	})
+}

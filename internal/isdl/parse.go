@@ -1,0 +1,419 @@
+package isdl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"aviv/internal/ir"
+)
+
+// Parse reads a textual machine description in the ISDL-flavored format
+// used throughout this repository and returns a finalized Machine.
+//
+// The format is keyword-driven:
+//
+//	machine ExampleVLIW
+//	unit U1 { regs 4 ops ADD SUB }
+//	unit U2 { regs 4 ops ADD SUB MUL }
+//	memory DM
+//	bus DB width 1
+//	connect all via DB          # full crossbar over DB
+//	transfer U1 -> U2 via DB    # or an explicit single path
+//	constraint !(U2.MUL & U3.MUL)
+//	pattern U2.MAC = ADD(_, MUL(_, _))
+//
+// '#' and '//' start comments running to end of line.
+func Parse(src string) (*Machine, error) {
+	p := &parser{toks: lex(src)}
+	m, err := p.parse()
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Finalize(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+type token struct {
+	text string
+	line int
+}
+
+func lex(src string) []token {
+	var toks []token
+	line := 1
+	i := 0
+	rs := []rune(src)
+	for i < len(rs) {
+		r := rs[i]
+		switch {
+		case r == '\n':
+			line++
+			i++
+		case unicode.IsSpace(r):
+			i++
+		case r == '#' || (r == '/' && i+1 < len(rs) && rs[i+1] == '/'):
+			for i < len(rs) && rs[i] != '\n' {
+				i++
+			}
+		case r == '-' && i+1 < len(rs) && rs[i+1] == '>':
+			toks = append(toks, token{"->", line})
+			i += 2
+		case strings.ContainsRune("{}(),!&.=:", r):
+			toks = append(toks, token{string(r), line})
+			i++
+		case unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_':
+			j := i
+			for j < len(rs) && (unicode.IsLetter(rs[j]) || unicode.IsDigit(rs[j]) || rs[j] == '_') {
+				j++
+			}
+			toks = append(toks, token{string(rs[i:j]), line})
+			i = j
+		default:
+			toks = append(toks, token{string(r), line})
+			i++
+		}
+	}
+	return toks
+}
+
+type parser struct {
+	toks []token
+	pos  int
+	m    *Machine
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	line := 0
+	if p.pos < len(p.toks) {
+		line = p.toks[p.pos].line
+	} else if len(p.toks) > 0 {
+		line = p.toks[len(p.toks)-1].line
+	}
+	return fmt.Errorf("isdl: line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) peek() string {
+	if p.pos >= len(p.toks) {
+		return ""
+	}
+	return p.toks[p.pos].text
+}
+
+func (p *parser) next() string {
+	t := p.peek()
+	p.pos++
+	return t
+}
+
+func (p *parser) expect(want string) error {
+	if got := p.peek(); got != want {
+		return p.errf("expected %q, got %q", want, got)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t == "" {
+		return "", p.errf("expected identifier, got end of input")
+	}
+	r := []rune(t)[0]
+	if !unicode.IsLetter(r) && r != '_' {
+		return "", p.errf("expected identifier, got %q", t)
+	}
+	p.pos++
+	return t, nil
+}
+
+func (p *parser) number() (int, error) {
+	t := p.peek()
+	n, err := strconv.Atoi(t)
+	if err != nil {
+		return 0, p.errf("expected number, got %q", t)
+	}
+	p.pos++
+	return n, nil
+}
+
+func (p *parser) op() (ir.Op, error) {
+	t := p.peek()
+	op := ir.ParseOp(t)
+	if op == ir.OpInvalid {
+		return op, p.errf("unknown operation %q", t)
+	}
+	p.pos++
+	return op, nil
+}
+
+func (p *parser) parse() (*Machine, error) {
+	if err := p.expect("machine"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	p.m = NewMachine(name)
+	for p.pos < len(p.toks) {
+		kw := p.next()
+		var err error
+		switch kw {
+		case "unit":
+			err = p.parseUnit()
+		case "memory":
+			err = p.parseMemory()
+		case "bus":
+			err = p.parseBus()
+		case "connect":
+			err = p.parseConnect()
+		case "transfer":
+			err = p.parseTransfer()
+		case "constraint":
+			err = p.parseConstraint()
+		case "pattern":
+			err = p.parsePattern()
+		default:
+			p.pos--
+			return nil, p.errf("unknown keyword %q", kw)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	return p.m, nil
+}
+
+func (p *parser) parseUnit() error {
+	name, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if err := p.expect("{"); err != nil {
+		return err
+	}
+	regs := 0
+	bank := ""
+	var ops []ir.Op
+	latency := map[ir.Op]int{}
+	for p.peek() != "}" {
+		switch kw := p.next(); kw {
+		case "regs":
+			if regs, err = p.number(); err != nil {
+				return err
+			}
+		case "bank":
+			if bank, err = p.ident(); err != nil {
+				return err
+			}
+		case "ops":
+			for {
+				op, err := p.op()
+				if err != nil {
+					return err
+				}
+				ops = append(ops, op)
+				// Optional per-op latency: "MUL:2".
+				if p.peek() == ":" {
+					p.pos++
+					lat, err := p.number()
+					if err != nil {
+						return err
+					}
+					latency[op] = lat
+				}
+				nxt := p.peek()
+				if nxt == "}" || nxt == "regs" || nxt == "ops" || nxt == "" {
+					break
+				}
+			}
+		case "":
+			return p.errf("unterminated unit %s", name)
+		default:
+			p.pos--
+			return p.errf("unknown unit field %q", kw)
+		}
+	}
+	p.pos++ // }
+	if regs == 0 {
+		return p.errf("unit %s missing 'regs'", name)
+	}
+	u := p.m.AddUnit(name, regs, ops...)
+	if bank != "" {
+		u.Regs.Name = bank
+	}
+	for op, lat := range latency {
+		u.SetLatency(op, lat)
+	}
+	return nil
+}
+
+func (p *parser) parseMemory() error {
+	name, err := p.ident()
+	if err != nil {
+		return err
+	}
+	p.m.AddMemory(name)
+	return nil
+}
+
+func (p *parser) parseBus() error {
+	name, err := p.ident()
+	if err != nil {
+		return err
+	}
+	if err := p.expect("width"); err != nil {
+		return err
+	}
+	w, err := p.number()
+	if err != nil {
+		return err
+	}
+	p.m.AddBus(name, w)
+	return nil
+}
+
+func (p *parser) loc() (Loc, error) {
+	name, err := p.ident()
+	if err != nil {
+		return Loc{}, err
+	}
+	for _, mem := range p.m.Memories {
+		if mem.Name == name {
+			return MemLoc(name), nil
+		}
+	}
+	return UnitLoc(name), nil
+}
+
+func (p *parser) parseConnect() error {
+	if err := p.expect("all"); err != nil {
+		return err
+	}
+	if err := p.expect("via"); err != nil {
+		return err
+	}
+	bus, err := p.ident()
+	if err != nil {
+		return err
+	}
+	p.m.ConnectAll(bus)
+	return nil
+}
+
+func (p *parser) parseTransfer() error {
+	from, err := p.loc()
+	if err != nil {
+		return err
+	}
+	if err := p.expect("->"); err != nil {
+		return err
+	}
+	to, err := p.loc()
+	if err != nil {
+		return err
+	}
+	if err := p.expect("via"); err != nil {
+		return err
+	}
+	bus, err := p.ident()
+	if err != nil {
+		return err
+	}
+	p.m.AddTransfer(from, to, bus)
+	return nil
+}
+
+func (p *parser) slotRef() (SlotRef, error) {
+	unit, err := p.ident()
+	if err != nil {
+		return SlotRef{}, err
+	}
+	if err := p.expect("."); err != nil {
+		return SlotRef{}, err
+	}
+	op, err := p.op()
+	if err != nil {
+		return SlotRef{}, err
+	}
+	return SlotRef{Unit: unit, Op: op}, nil
+}
+
+func (p *parser) parseConstraint() error {
+	if err := p.expect("!"); err != nil {
+		return err
+	}
+	if err := p.expect("("); err != nil {
+		return err
+	}
+	var slots []SlotRef
+	for {
+		s, err := p.slotRef()
+		if err != nil {
+			return err
+		}
+		slots = append(slots, s)
+		if p.peek() == "&" {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if err := p.expect(")"); err != nil {
+		return err
+	}
+	p.m.AddConstraint(slots...)
+	return nil
+}
+
+func (p *parser) parsePattern() error {
+	s, err := p.slotRef()
+	if err != nil {
+		return err
+	}
+	if err := p.expect("="); err != nil {
+		return err
+	}
+	tree, err := p.patTree()
+	if err != nil {
+		return err
+	}
+	p.m.Patterns = append(p.m.Patterns, Pattern{Result: s.Op, Unit: s.Unit, Tree: tree})
+	return nil
+}
+
+func (p *parser) patTree() (*PatTree, error) {
+	if p.peek() == "_" {
+		p.pos++
+		return nil, nil
+	}
+	op, err := p.op()
+	if err != nil {
+		return nil, err
+	}
+	t := &PatTree{Op: op}
+	if p.peek() != "(" {
+		return t, nil
+	}
+	p.pos++
+	for {
+		kid, err := p.patTree()
+		if err != nil {
+			return nil, err
+		}
+		t.Kids = append(t.Kids, kid)
+		if p.peek() == "," {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if err := p.expect(")"); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

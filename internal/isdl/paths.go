@@ -1,0 +1,121 @@
+package isdl
+
+import "sort"
+
+// maxPathHops bounds multi-step transfer path expansion. Real machines
+// need at most a few hops (unit -> shared bus -> unit); three covers every
+// architecture we model while keeping the closure small.
+const maxPathHops = 3
+
+// buildPaths computes, for every ordered pair of locations, the set of
+// minimal-length transfer paths between them (the expanded transfer
+// database of Sec. II). Only paths of the minimum hop count for a pair are
+// kept; longer alternatives can never be preferable under the paper's
+// cost model (each hop costs one transfer slot).
+func (m *Machine) buildPaths() {
+	var locs []Loc
+	for _, bank := range m.Banks() {
+		locs = append(locs, UnitLoc(bank))
+	}
+	for _, mem := range m.Memories {
+		locs = append(locs, MemLoc(mem.Name))
+	}
+
+	// Adjacency: direct transfers out of each location.
+	out := make(map[Loc][]Transfer)
+	for _, t := range m.Transfers {
+		out[t.From] = append(out[t.From], t)
+	}
+
+	m.paths = make(map[[2]Loc][][]Transfer)
+	for _, src := range locs {
+		// Breadth-first enumeration of all simple paths from src up to
+		// maxPathHops, keeping only minimal-length ones per destination.
+		type state struct {
+			at   Loc
+			path []Transfer
+		}
+		frontier := []state{{at: src}}
+		bestLen := make(map[Loc]int)
+		for hops := 1; hops <= maxPathHops && len(frontier) > 0; hops++ {
+			var next []state
+			for _, s := range frontier {
+				for _, t := range out[s.at] {
+					if t.To == src || onPath(s.path, t.To) {
+						continue // simple paths only
+					}
+					np := make([]Transfer, len(s.path), len(s.path)+1)
+					copy(np, s.path)
+					np = append(np, t)
+					if bl, seen := bestLen[t.To]; !seen || len(np) == bl {
+						if !seen {
+							bestLen[t.To] = len(np)
+						}
+						key := [2]Loc{src, t.To}
+						m.paths[key] = append(m.paths[key], np)
+					}
+					next = append(next, state{at: t.To, path: np})
+				}
+			}
+			frontier = next
+		}
+		// Deterministic order: by bus names along the path.
+		for dst := range bestLen {
+			key := [2]Loc{src, dst}
+			ps := m.paths[key]
+			// Drop non-minimal paths that slipped in via later frontier
+			// expansion of equal-length prefixes.
+			min := bestLen[dst]
+			var keep [][]Transfer
+			for _, p := range ps {
+				if len(p) == min {
+					keep = append(keep, p)
+				}
+			}
+			sort.Slice(keep, func(i, j int) bool { return pathKey(keep[i]) < pathKey(keep[j]) })
+			m.paths[key] = keep
+		}
+	}
+}
+
+func onPath(path []Transfer, l Loc) bool {
+	for _, t := range path {
+		if t.To == l || t.From == l {
+			return true
+		}
+	}
+	return false
+}
+
+func pathKey(p []Transfer) string {
+	k := ""
+	for _, t := range p {
+		k += t.From.String() + ">" + t.To.String() + "/" + t.Bus + ";"
+	}
+	return k
+}
+
+// TransferPaths returns all minimal-hop transfer paths from one location
+// to another. An empty result means the destination is unreachable; a
+// from==to query returns a single empty path (no transfer needed).
+func (m *Machine) TransferPaths(from, to Loc) [][]Transfer {
+	if from == to {
+		return [][]Transfer{nil}
+	}
+	return m.paths[[2]Loc{from, to}]
+}
+
+// Reachable reports whether a value at from can be moved to to.
+func (m *Machine) Reachable(from, to Loc) bool {
+	return len(m.TransferPaths(from, to)) > 0
+}
+
+// PathCost returns the hop count of the shortest path between locations,
+// or -1 if unreachable. from==to costs 0.
+func (m *Machine) PathCost(from, to Loc) int {
+	ps := m.TransferPaths(from, to)
+	if len(ps) == 0 {
+		return -1
+	}
+	return len(ps[0])
+}

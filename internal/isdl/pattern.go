@@ -1,0 +1,133 @@
+package isdl
+
+import (
+	"fmt"
+	"strings"
+
+	"aviv/internal/ir"
+)
+
+// PatTree is a tree shape over basic operations that a complex instruction
+// covers. A nil child is a wildcard matching any operand subtree.
+type PatTree struct {
+	Op   ir.Op
+	Kids []*PatTree
+}
+
+func (t *PatTree) String() string {
+	if t == nil {
+		return "_"
+	}
+	if len(t.Kids) == 0 {
+		return t.Op.String()
+	}
+	parts := make([]string, len(t.Kids))
+	for i, k := range t.Kids {
+		parts[i] = k.String()
+	}
+	return t.Op.String() + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Pattern declares that the machine op Result, executed on Unit, computes
+// the basic-operation tree Tree in a single operation (a complex
+// instruction, Sec. III-B). Wildcard leaves of Tree become the operands of
+// Result, in left-to-right order.
+type Pattern struct {
+	Result ir.Op
+	Unit   string
+	Tree   *PatTree
+}
+
+func (p Pattern) String() string {
+	return fmt.Sprintf("%s.%s = %s", p.Unit, p.Result, p.Tree)
+}
+
+func (p Pattern) validate(m *Machine) error {
+	u := m.Unit(p.Unit)
+	if u == nil {
+		return fmt.Errorf("unknown unit %s", p.Unit)
+	}
+	if !u.Can(p.Result) {
+		return fmt.Errorf("unit %s does not perform %s", p.Unit, p.Result)
+	}
+	if p.Tree == nil {
+		return fmt.Errorf("empty pattern tree")
+	}
+	wilds := countWilds(p.Tree)
+	if wilds != p.Result.Arity() {
+		return fmt.Errorf("tree has %d operands, %s takes %d", wilds, p.Result, p.Result.Arity())
+	}
+	return checkTree(p.Tree)
+}
+
+func countWilds(t *PatTree) int {
+	if t == nil {
+		return 1
+	}
+	n := 0
+	for _, k := range t.Kids {
+		n += countWilds(k)
+	}
+	return n
+}
+
+func checkTree(t *PatTree) error {
+	if t == nil {
+		return nil
+	}
+	if len(t.Kids) != t.Op.Arity() {
+		return fmt.Errorf("pattern node %s has %d children, op takes %d", t.Op, len(t.Kids), t.Op.Arity())
+	}
+	for _, k := range t.Kids {
+		if err := checkTree(k); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MatchPattern tests whether the DAG rooted at n matches the pattern tree.
+// Interior pattern nodes may only match DAG nodes whose value is not used
+// elsewhere (single user), since covering them with one complex
+// instruction makes their intermediate value unavailable. The root itself
+// may be multiply used. On success it returns the DAG nodes bound to the
+// wildcard leaves (the complex op's operands) and the interior nodes the
+// pattern absorbs (including the root).
+func MatchPattern(t *PatTree, n *ir.Node, users map[*ir.Node][]*ir.Node) (operands, absorbed []*ir.Node, ok bool) {
+	return matchTree(t, n, users, true)
+}
+
+func matchTree(t *PatTree, n *ir.Node, users map[*ir.Node][]*ir.Node, isRoot bool) (operands, absorbed []*ir.Node, ok bool) {
+	if t == nil {
+		return []*ir.Node{n}, nil, true
+	}
+	if n.Op != t.Op {
+		return nil, nil, false
+	}
+	if !isRoot && len(users[n]) > 1 {
+		return nil, nil, false
+	}
+	absorbed = []*ir.Node{n}
+	for i, k := range t.Kids {
+		ops, abs, kOK := matchTree(k, n.Args[i], users, false)
+		if !kOK {
+			return nil, nil, false
+		}
+		operands = append(operands, ops...)
+		absorbed = append(absorbed, abs...)
+	}
+	return operands, absorbed, true
+}
+
+// MACPattern returns the canonical multiply-accumulate pattern
+// a + b*c executed as MAC on the given unit.
+func MACPattern(unit string) Pattern {
+	return Pattern{
+		Result: ir.OpMAC,
+		Unit:   unit,
+		Tree: &PatTree{
+			Op:   ir.OpAdd,
+			Kids: []*PatTree{nil, {Op: ir.OpMul, Kids: []*PatTree{nil, nil}}},
+		},
+	}
+}

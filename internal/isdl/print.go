@@ -1,0 +1,81 @@
+package isdl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"aviv/internal/ir"
+)
+
+// Describe renders a human-readable dump of the machine and its derived
+// databases (op→unit correlation, expanded transfer paths), the
+// information Fig. 3 of the paper conveys.
+func (m *Machine) Describe() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "machine %s\n", m.Name)
+	for _, u := range m.Units {
+		ops := make([]string, 0, len(u.Ops))
+		for _, op := range u.OpList() {
+			s := op.String()
+			if lat := u.LatencyOf(op); lat > 1 {
+				s += fmt.Sprintf(":%d", lat)
+			}
+			ops = append(ops, s)
+		}
+		bank := ""
+		if u.Regs.Name != u.Name {
+			bank = fmt.Sprintf(" bank=%s", u.Regs.Name)
+		}
+		fmt.Fprintf(&sb, "  unit %-4s regs=%d%s ops=%s\n", u.Name, u.Regs.Size, bank, strings.Join(ops, ","))
+	}
+	for _, mem := range m.Memories {
+		fmt.Fprintf(&sb, "  memory %s\n", mem.Name)
+	}
+	for _, b := range m.Buses {
+		fmt.Fprintf(&sb, "  bus %s width=%d\n", b.Name, b.Width)
+	}
+	for _, c := range m.Constraints {
+		fmt.Fprintf(&sb, "  constraint %s\n", c)
+	}
+	for _, p := range m.Patterns {
+		fmt.Fprintf(&sb, "  pattern %s\n", p)
+	}
+
+	sb.WriteString("op -> units database:\n")
+	var ops []ir.Op
+	for op := range m.opUnits {
+		ops = append(ops, op)
+	}
+	sort.Slice(ops, func(i, j int) bool { return ops[i] < ops[j] })
+	for _, op := range ops {
+		names := make([]string, len(m.opUnits[op]))
+		for i, u := range m.opUnits[op] {
+			names[i] = u.Name
+		}
+		fmt.Fprintf(&sb, "  %-6s -> %s\n", op, strings.Join(names, ","))
+	}
+
+	sb.WriteString("transfer path database (minimal hops):\n")
+	var keys [][2]Loc
+	for k := range m.paths {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a[0].String() != b[0].String() {
+			return a[0].String() < b[0].String()
+		}
+		return a[1].String() < b[1].String()
+	})
+	for _, k := range keys {
+		for _, p := range m.paths[k] {
+			steps := make([]string, len(p))
+			for i, t := range p {
+				steps[i] = t.String()
+			}
+			fmt.Fprintf(&sb, "  %s => %s : %s\n", k[0], k[1], strings.Join(steps, " ; "))
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,117 @@
+package lang
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Expr is an expression AST node.
+type Expr interface{ exprString() string }
+
+// Num is an integer literal.
+type Num struct{ Value int64 }
+
+// Var is a variable reference (a named data-memory location).
+type Var struct{ Name string }
+
+// Un is a unary operation: "-", "~" or "!".
+type Un struct {
+	Op string
+	X  Expr
+}
+
+// Bin is a binary operation with a C-like operator.
+type Bin struct {
+	Op   string
+	L, R Expr
+}
+
+func (n *Num) exprString() string { return fmt.Sprint(n.Value) }
+func (v *Var) exprString() string { return v.Name }
+func (u *Un) exprString() string  { return u.Op + u.X.exprString() }
+func (b *Bin) exprString() string {
+	return "(" + b.L.exprString() + " " + b.Op + " " + b.R.exprString() + ")"
+}
+
+// Stmt is a statement AST node.
+type Stmt interface{ stmtString(indent string) string }
+
+// Assign stores an expression into a variable.
+type Assign struct {
+	Name string
+	X    Expr
+}
+
+// If is a conditional with optional else.
+type If struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+}
+
+// While is a pre-tested loop.
+type While struct {
+	Cond Expr
+	Body []Stmt
+}
+
+// For is a C-style counted loop.
+type For struct {
+	Init *Assign
+	Cond Expr
+	Post *Assign
+	Body []Stmt
+}
+
+// Return ends the program.
+type Return struct{}
+
+// Break exits the innermost loop.
+type Break struct{}
+
+// Continue jumps to the innermost loop's next iteration (the post
+// statement of a for, the condition of a while).
+type Continue struct{}
+
+func (a *Assign) stmtString(in string) string {
+	return in + a.Name + " = " + a.X.exprString() + ";"
+}
+
+func (s *If) stmtString(in string) string {
+	out := in + "if (" + s.Cond.exprString() + ") {\n" + stmtsString(s.Then, in+"  ") + in + "}"
+	if s.Else != nil {
+		out += " else {\n" + stmtsString(s.Else, in+"  ") + in + "}"
+	}
+	return out
+}
+
+func (s *While) stmtString(in string) string {
+	return in + "while (" + s.Cond.exprString() + ") {\n" + stmtsString(s.Body, in+"  ") + in + "}"
+}
+
+func (s *For) stmtString(in string) string {
+	return in + "for (" + s.Init.Name + " = " + s.Init.X.exprString() + "; " +
+		s.Cond.exprString() + "; " +
+		s.Post.Name + " = " + s.Post.X.exprString() + ") {\n" +
+		stmtsString(s.Body, in+"  ") + in + "}"
+}
+
+func (s *Return) stmtString(in string) string   { return in + "return;" }
+func (s *Break) stmtString(in string) string    { return in + "break;" }
+func (s *Continue) stmtString(in string) string { return in + "continue;" }
+
+func stmtsString(ss []Stmt, in string) string {
+	var sb strings.Builder
+	for _, s := range ss {
+		sb.WriteString(s.stmtString(in))
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+// Program is a parsed source program.
+type Program struct {
+	Stmts []Stmt
+}
+
+func (p *Program) String() string { return stmtsString(p.Stmts, "") }

@@ -1,0 +1,65 @@
+package lang
+
+import (
+	"testing"
+
+	"aviv/internal/ir"
+)
+
+// FuzzParse checks that arbitrary input never panics the front end, and
+// that anything that parses also lowers to verifiable IR (or fails
+// cleanly).
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		"x = 1;",
+		"x = a + b * 3; y = x - 1;",
+		"if (a > 0) { r = a; } else { r = -a; }",
+		"while (i < 10) { i = i + 1; }",
+		"for (i = 0; i < 8; i = i + 2) { s = s + i; }",
+		"return;",
+		"x = ((((1))));",
+		"x = 1 << 2 >> 3 & 4 | 5 ^ 6;",
+		"x = !a && ~b || -c;",
+		"x = 1 ;; y = 2;",
+		"if (1) { } else { }",
+		"for(i=0;i<4;i=i+1){if(i%2){a=a+1;}else{a=a-1;}}",
+		"# comment\nx = 1; // trailing",
+		"x = 9223372036854775807;",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := Parse(src)
+		if err != nil {
+			return // rejection is fine; panics are not
+		}
+		fn, err := Lower(p, "fuzz")
+		if err != nil {
+			return
+		}
+		if err := fn.Verify(); err != nil {
+			t.Fatalf("lowered IR invalid for %q: %v", src, err)
+		}
+		// Unrolling must also keep the IR valid.
+		u, err := Lower(Unroll(p, 2), "fuzz2")
+		if err != nil {
+			return
+		}
+		if err := u.Verify(); err != nil {
+			t.Fatalf("unrolled IR invalid for %q: %v", src, err)
+		}
+		// Bounded evaluation must agree between original and unrolled.
+		m1 := map[string]int64{"a": 3, "b": 5, "i": 0, "s": 0, "x": 2}
+		m2 := map[string]int64{"a": 3, "b": 5, "i": 0, "s": 0, "x": 2}
+		e1 := ir.EvalFunc(fn, m1, 10000)
+		e2 := ir.EvalFunc(u, m2, 20000)
+		if e1 == nil && e2 == nil {
+			for k, v := range m1 {
+				if m2[k] != v {
+					t.Fatalf("unroll changed semantics for %q: %s %d vs %d", src, k, v, m2[k])
+				}
+			}
+		}
+	})
+}

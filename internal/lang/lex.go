@@ -1,0 +1,106 @@
+// Package lang is the front end of the reproduction: a small C-like
+// language (assignments, arithmetic/logic expressions, if/while/for,
+// return) that is parsed and lowered to the basic-block expression DAGs
+// plus control flow that the AVIV back end consumes — the role SUIF and
+// SPAM play in the paper's Fig. 1. AST-level loop unrolling (the
+// machine-independent transformation the paper's Ex3–Ex5 rely on) is
+// provided by Unroll.
+package lang
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokIdent
+	tokNumber
+	tokPunct
+	tokKeyword
+)
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+var keywords = map[string]bool{
+	"if": true, "else": true, "while": true, "for": true, "return": true,
+	"break": true, "continue": true,
+}
+
+// multi-character operators, longest first.
+var punct2 = []string{"<<", ">>", "<=", ">=", "==", "!=", "&&", "||"}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	line := 1
+	rs := []rune(src)
+	i := 0
+	for i < len(rs) {
+		r := rs[i]
+		switch {
+		case r == '\n':
+			line++
+			i++
+		case unicode.IsSpace(r):
+			i++
+		case r == '/' && i+1 < len(rs) && rs[i+1] == '/':
+			for i < len(rs) && rs[i] != '\n' {
+				i++
+			}
+		case r == '#':
+			for i < len(rs) && rs[i] != '\n' {
+				i++
+			}
+		case unicode.IsDigit(r):
+			j := i
+			for j < len(rs) && unicode.IsDigit(rs[j]) {
+				j++
+			}
+			toks = append(toks, token{tokNumber, string(rs[i:j]), line})
+			i = j
+		case unicode.IsLetter(r) || r == '_':
+			j := i
+			for j < len(rs) && (unicode.IsLetter(rs[j]) || unicode.IsDigit(rs[j]) || rs[j] == '_') {
+				j++
+			}
+			word := string(rs[i:j])
+			kind := tokIdent
+			if keywords[word] {
+				kind = tokKeyword
+			}
+			toks = append(toks, token{kind, word, line})
+			i = j
+		default:
+			matched := false
+			if i+1 < len(rs) {
+				two := string(rs[i : i+2])
+				for _, p := range punct2 {
+					if two == p {
+						toks = append(toks, token{tokPunct, p, line})
+						i += 2
+						matched = true
+						break
+					}
+				}
+			}
+			if matched {
+				break
+			}
+			if strings.ContainsRune("+-*/%&|^~!<>=();{},", r) {
+				toks = append(toks, token{tokPunct, string(r), line})
+				i++
+				break
+			}
+			return nil, fmt.Errorf("lang: line %d: unexpected character %q", line, r)
+		}
+	}
+	toks = append(toks, token{tokEOF, "", line})
+	return toks, nil
+}

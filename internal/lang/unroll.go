@@ -1,0 +1,149 @@
+package lang
+
+// Unroll applies AST-level loop unrolling by the given factor to every
+// counted for-loop whose bounds are compile-time constants and whose trip
+// count divides the factor evenly. This is the machine-independent
+// parallelism-extraction transformation the paper's front end performs
+// (Sec. II); the paper's Ex3–Ex5 are "loops that have been unrolled
+// twice". Loops that do not match the counted pattern are left alone.
+func Unroll(p *Program, factor int) *Program {
+	if factor < 2 {
+		return p
+	}
+	out := &Program{}
+	for _, s := range p.Stmts {
+		out.Stmts = append(out.Stmts, unrollStmt(s, factor))
+	}
+	return out
+}
+
+func unrollStmts(ss []Stmt, factor int) []Stmt {
+	var out []Stmt
+	for _, s := range ss {
+		out = append(out, unrollStmt(s, factor))
+	}
+	return out
+}
+
+func unrollStmt(s Stmt, factor int) Stmt {
+	switch s := s.(type) {
+	case *If:
+		return &If{Cond: s.Cond, Then: unrollStmts(s.Then, factor), Else: unrollStmts(s.Else, factor)}
+	case *While:
+		return &While{Cond: s.Cond, Body: unrollStmts(s.Body, factor)}
+	case *For:
+		body := unrollStmts(s.Body, factor)
+		trip, ok := tripCount(s)
+		if !ok || trip <= 0 || trip%int64(factor) != 0 {
+			return &For{Init: s.Init, Cond: s.Cond, Post: s.Post, Body: body}
+		}
+		// Replicate body;post factor times, keeping the final post as the
+		// loop's own post so the condition is re-tested once per group —
+		// exact because the trip count divides evenly.
+		var merged []Stmt
+		for k := 0; k < factor; k++ {
+			merged = append(merged, body...)
+			if k != factor-1 {
+				merged = append(merged, s.Post)
+			}
+		}
+		return &For{Init: s.Init, Cond: s.Cond, Post: s.Post, Body: merged}
+	default:
+		return s
+	}
+}
+
+// tripCount evaluates the iteration count of a counted loop of the form
+// for (i = c0; i < c1; i = i + c2) with constant c0, c1, c2 > 0 and a
+// body that never assigns i.
+func tripCount(f *For) (int64, bool) {
+	init, ok := f.Init.X.(*Num)
+	if !ok {
+		return 0, false
+	}
+	cond, ok := f.Cond.(*Bin)
+	if !ok || cond.Op != "<" {
+		return 0, false
+	}
+	cv, ok := cond.L.(*Var)
+	if !ok || cv.Name != f.Init.Name {
+		return 0, false
+	}
+	limit, ok := cond.R.(*Num)
+	if !ok {
+		return 0, false
+	}
+	if f.Post.Name != f.Init.Name {
+		return 0, false
+	}
+	step, ok := stepOf(f.Post, f.Init.Name)
+	if !ok || step <= 0 {
+		return 0, false
+	}
+	if assignsVar(f.Body, f.Init.Name) || hasLoopEscape(f.Body) {
+		return 0, false
+	}
+	if limit.Value <= init.Value {
+		return 0, true
+	}
+	n := (limit.Value - init.Value + step - 1) / step
+	return n, true
+}
+
+func stepOf(post *Assign, ivar string) (int64, bool) {
+	b, ok := post.X.(*Bin)
+	if !ok || b.Op != "+" {
+		return 0, false
+	}
+	if v, ok := b.L.(*Var); ok && v.Name == ivar {
+		if n, ok := b.R.(*Num); ok {
+			return n.Value, true
+		}
+	}
+	if v, ok := b.R.(*Var); ok && v.Name == ivar {
+		if n, ok := b.L.(*Num); ok {
+			return n.Value, true
+		}
+	}
+	return 0, false
+}
+
+// hasLoopEscape reports whether the statement list contains a break or
+// continue bound to THIS loop (escapes inside nested loops bind there).
+func hasLoopEscape(ss []Stmt) bool {
+	for _, s := range ss {
+		switch s := s.(type) {
+		case *Break, *Continue:
+			return true
+		case *If:
+			if hasLoopEscape(s.Then) || hasLoopEscape(s.Else) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func assignsVar(ss []Stmt, name string) bool {
+	for _, s := range ss {
+		switch s := s.(type) {
+		case *Assign:
+			if s.Name == name {
+				return true
+			}
+		case *If:
+			if assignsVar(s.Then, name) || assignsVar(s.Else, name) {
+				return true
+			}
+		case *While:
+			if assignsVar(s.Body, name) || s.Cond == nil {
+				return true
+			}
+		case *For:
+			if s.Init.Name == name || s.Post.Name == name || assignsVar(s.Body, name) {
+				return true
+			}
+		}
+	}
+	return false
+}

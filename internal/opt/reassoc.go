@@ -1,0 +1,121 @@
+package opt
+
+import "aviv/internal/ir"
+
+// Reassociation: left-leaning chains of an associative, commutative
+// operation (a+b+c+d built as ((a+b)+c)+d) serialize on any machine —
+// dependence depth n-1. Rebalancing into a tree halves the depth and
+// exposes the instruction-level parallelism the Split-Node DAG covering
+// feeds on; this is part of the "machine independent parallelism"
+// extraction the paper's front end performs (Sec. II).
+//
+// Only interior nodes with a single use are absorbed into a chain: a
+// multiply-used subterm stays a chain leaf, so sharing (CSE) is never
+// broken. Integer Add/Mul/And/Or/Xor are fully associative, so the
+// rewrite is exact.
+
+var reassociable = map[ir.Op]bool{
+	ir.OpAdd: true,
+	ir.OpMul: true,
+	ir.OpAnd: true,
+	ir.OpOr:  true,
+	ir.OpXor: true,
+}
+
+// reassociateBlock returns a copy of the block with associative chains
+// rebalanced.
+func reassociateBlock(b *ir.Block) *ir.Block {
+	users := b.Users()
+	bb := ir.NewBuilder(b.Name)
+	newOf := make(map[*ir.Node]*ir.Node, len(b.Nodes))
+
+	// get lazily materializes the new node for an old one, rebalancing
+	// chain roots on the way.
+	var get func(n *ir.Node) *ir.Node
+	get = func(n *ir.Node) *ir.Node {
+		if nn, ok := newOf[n]; ok {
+			return nn
+		}
+		var nn *ir.Node
+		switch {
+		case n.Op == ir.OpConst:
+			nn = bb.Const(n.Const)
+		case n.Op == ir.OpLoad:
+			nn = bb.Load(n.Var)
+		case reassociable[n.Op] && isChainRoot(n, users):
+			leaves := chainLeaves(n, n.Op, users, true)
+			args := make([]*ir.Node, len(leaves))
+			for i, l := range leaves {
+				args[i] = get(l)
+			}
+			nn = balanced(bb, n.Op, args)
+		default:
+			args := make([]*ir.Node, len(n.Args))
+			for i, a := range n.Args {
+				args[i] = get(a)
+			}
+			nn = bb.Op(n.Op, args...)
+		}
+		newOf[n] = nn
+		return nn
+	}
+
+	for _, n := range b.Nodes {
+		switch n.Op {
+		case ir.OpStore:
+			bb.Store(n.Var, get(n.Args[0]))
+		case ir.OpConst, ir.OpLoad:
+			// Materialized on demand.
+		default:
+			get(n)
+		}
+	}
+	switch b.Term {
+	case ir.TermBranch:
+		bb.Branch(get(b.Cond), b.Succs[0], b.Succs[1])
+	case ir.TermJump:
+		bb.Jump(b.Succs[0])
+	case ir.TermReturn:
+		bb.Return()
+	default:
+		bb.Block.Term = b.Term
+		bb.Block.Succs = append([]string(nil), b.Succs...)
+	}
+	return bb.Finish()
+}
+
+// isChainRoot reports whether n heads a same-op chain (it is not itself a
+// single-use operand of a same-op parent — that parent will absorb it).
+func isChainRoot(n *ir.Node, users map[*ir.Node][]*ir.Node) bool {
+	us := users[n]
+	if len(us) != 1 {
+		return true
+	}
+	return us[0].Op != n.Op
+}
+
+// chainLeaves collects the operands of the maximal same-op chain rooted
+// at n: single-use same-op children are absorbed recursively, everything
+// else is a leaf.
+func chainLeaves(n *ir.Node, op ir.Op, users map[*ir.Node][]*ir.Node, isRoot bool) []*ir.Node {
+	if n.Op != op || (!isRoot && len(users[n]) != 1) {
+		return []*ir.Node{n}
+	}
+	var out []*ir.Node
+	for _, a := range n.Args {
+		out = append(out, chainLeaves(a, op, users, false)...)
+	}
+	return out
+}
+
+// balanced emits a balanced tree combining args with op.
+func balanced(bb *ir.Builder, op ir.Op, args []*ir.Node) *ir.Node {
+	switch len(args) {
+	case 1:
+		return args[0]
+	case 2:
+		return bb.Op(op, args[0], args[1])
+	}
+	mid := len(args) / 2
+	return bb.Op(op, balanced(bb, op, args[:mid]), balanced(bb, op, args[mid:]))
+}

@@ -1,0 +1,272 @@
+package peephole
+
+import (
+	"fmt"
+	"testing"
+
+	"aviv/internal/cover"
+	"aviv/internal/ir"
+	"aviv/internal/isdl"
+	"aviv/internal/regalloc"
+)
+
+// Local copies of the benchmark workloads (package bench depends on this
+// package, so importing it here would cycle).
+func ex1() *ir.Block {
+	bb := ir.NewBuilder("Ex1")
+	sum := bb.Add(bb.Load("a"), bb.Load("b"))
+	prod := bb.Mul(bb.Load("c"), bb.Load("d"))
+	bb.Store("out", bb.Sub(sum, prod))
+	bb.Return()
+	return bb.Finish()
+}
+
+func ex5() *ir.Block {
+	bb := ir.NewBuilder("Ex5")
+	s := bb.Load("s")
+	e := bb.Load("e")
+	x0 := bb.Load("x0")
+	y0 := bb.Load("y0")
+	x1 := bb.Load("x1")
+	y1 := bb.Load("y1")
+	bb.Store("s", bb.Add(bb.Add(s, bb.Mul(x0, y0)), bb.Mul(x1, y1)))
+	bb.Store("e", bb.Add(bb.Add(e, bb.Mul(x0, x0)), bb.Mul(x1, x1)))
+	bb.Return()
+	return bb.Finish()
+}
+
+func fir(taps int) *ir.Block {
+	bb := ir.NewBuilder(fmt.Sprintf("fir%d", taps))
+	var acc *ir.Node
+	for i := 0; i < taps; i++ {
+		term := bb.Mul(bb.Load(fmt.Sprintf("x%d", i)), bb.Load(fmt.Sprintf("c%d", i)))
+		if acc == nil {
+			acc = term
+		} else {
+			acc = bb.Add(acc, term)
+		}
+	}
+	bb.Store("y", acc)
+	bb.Return()
+	return bb.Finish()
+}
+
+func chain(n int) *ir.Block {
+	bb := ir.NewBuilder(fmt.Sprintf("chain%d", n))
+	cur := bb.Load("x")
+	for i := 0; i < n; i++ {
+		if i%2 == 0 {
+			cur = bb.Add(cur, bb.Const(int64(i+1)))
+		} else {
+			cur = bb.Mul(cur, bb.Const(2))
+		}
+	}
+	bb.Store("y", cur)
+	bb.Return()
+	return bb.Finish()
+}
+
+func TestOptimizeNeverInvalidOrWorse(t *testing.T) {
+	workloads := []*ir.Block{ex1(), ex5(), fir(6), chain(8)}
+	for _, blk := range workloads {
+		for _, regs := range []int{2, 3, 4} {
+			m := isdl.ExampleArch(regs)
+			res, err := cover.CoverBlock(blk, m, cover.DefaultOptions())
+			if err != nil {
+				t.Fatalf("%s regs=%d: %v", blk.Name, regs, err)
+			}
+			before := res.Best
+			after := Optimize(before)
+			if err := after.Verify(); err != nil {
+				t.Fatalf("%s regs=%d: peephole produced invalid solution: %v", blk.Name, regs, err)
+			}
+			if after.Cost() > before.Cost() {
+				t.Errorf("%s regs=%d: peephole grew code %d -> %d", blk.Name, regs, before.Cost(), after.Cost())
+			}
+			// The result must still register-allocate.
+			if _, err := regalloc.Allocate(after); err != nil {
+				t.Fatalf("%s regs=%d: regalloc after peephole: %v", blk.Name, regs, err)
+			}
+		}
+	}
+}
+
+// buildPaddedSolution fabricates a solution with an unnecessary spill and
+// a sparse schedule, checking that the pass removes the spill and
+// compacts.
+func TestRemovesUselessSpillAndCompacts(t *testing.T) {
+	m := isdl.ExampleArch(4)
+	bb := ir.NewBuilder("b")
+	a := bb.Load("a")
+	b := bb.Load("b")
+	bb.Store("o", bb.Add(a, b))
+	bb.Return()
+	blk := bb.Finish()
+
+	res, err := cover.CoverBlock(blk, m, cover.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol := res.Best.Clone()
+
+	// Manually wedge a pointless spill/reload of the ADD result between
+	// the ADD and its store.
+	var addN, stN *cover.SNode
+	for _, instr := range sol.Instrs {
+		for _, n := range instr {
+			if n.Kind == cover.OpNode && n.Op == ir.OpAdd {
+				addN = n
+			}
+			if n.Kind == cover.StoreNode && n.Var == "o" {
+				stN = n
+			}
+		}
+	}
+	if addN == nil || stN == nil {
+		t.Fatal("missing nodes")
+	}
+	unlink(addN, stN)
+	spill := &cover.SNode{ID: 100, Kind: cover.StoreNode, Value: addN.Value, Var: "$sp0",
+		Step: isdl.Transfer{From: isdl.UnitLoc(addN.Unit), To: isdl.MemLoc("DM"), Bus: "DB"}}
+	reloadN := &cover.SNode{ID: 101, Kind: cover.LoadNode, Value: addN.Value, Var: "$sp0",
+		Step: isdl.Transfer{From: isdl.MemLoc("DM"), To: isdl.UnitLoc(addN.Unit), Bus: "DB"}}
+	link(addN, spill)
+	link(reloadN, stN)
+	spill.OrdSuccs = append(spill.OrdSuccs, reloadN)
+	reloadN.OrdPreds = append(reloadN.OrdPreds, spill)
+
+	// Rebuild the schedule with the extra instructions before the store.
+	var newInstrs [][]*cover.SNode
+	for _, instr := range sol.Instrs {
+		isStore := false
+		for _, n := range instr {
+			if n == stN {
+				isStore = true
+			}
+		}
+		if isStore {
+			newInstrs = append(newInstrs, []*cover.SNode{spill}, []*cover.SNode{reloadN})
+		}
+		newInstrs = append(newInstrs, instr)
+	}
+	sol.Instrs = newInstrs
+	sol.SpillCount++
+	if err := sol.Verify(); err != nil {
+		t.Fatalf("padded solution invalid: %v", err)
+	}
+
+	before := sol.Cost()
+	after := Optimize(sol)
+	if err := after.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if after.Cost() >= before {
+		t.Errorf("peephole did not shrink padded solution: %d -> %d\n%s", before, after.Cost(), after)
+	}
+	for _, instr := range after.Instrs {
+		for _, n := range instr {
+			if n.Var == "$sp0" {
+				t.Error("useless spill survived")
+			}
+		}
+	}
+}
+
+func TestSpillSlotDetection(t *testing.T) {
+	if !spillSlot("$sp0") || !spillSlot("$sp123") {
+		t.Error("spill slots not detected")
+	}
+	if spillSlot("x") || spillSlot("sp0") || spillSlot("$t1") {
+		t.Error("non-spill names detected as spill slots")
+	}
+}
+
+func TestCrossBankSpillBecomesMove(t *testing.T) {
+	// Fabricate a solution where a value is spilled from U1 and reloaded
+	// into U2; the peephole should turn the round trip into a direct
+	// U1 -> U2 move.
+	m := isdl.ExampleArch(4)
+	bb := ir.NewBuilder("x")
+	a := bb.Load("a")
+	b := bb.Load("b")
+	s1 := bb.Add(a, b)
+	bb.Store("o", bb.Mul(s1, s1))
+	bb.Return()
+	blk := bb.Finish()
+
+	// Force the assignment: ADD on U1, MUL on U2, via default covering,
+	// then rebuild a padded clone with an artificial spill.
+	res, err := cover.CoverBlock(blk, m, cover.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sol := res.Best.Clone()
+	var addN, mulN *cover.SNode
+	for _, in := range sol.Instrs {
+		for _, n := range in {
+			if n.Kind == cover.OpNode && n.Op == ir.OpAdd {
+				addN = n
+			}
+			if n.Kind == cover.OpNode && n.Op == ir.OpMul {
+				mulN = n
+			}
+		}
+	}
+	if addN == nil || mulN == nil {
+		t.Skip("covering fused differently; nothing to test")
+	}
+	if addN.Unit == mulN.Unit {
+		t.Skip("same unit; no cross-bank value")
+	}
+	// Find the move delivering ADD's value to MUL's bank; replace it with
+	// spill + reload through memory.
+	var mv *cover.SNode
+	for _, p := range mulN.Preds {
+		if p.Kind == cover.MoveNode && p.Value == addN.Value {
+			mv = p
+		}
+	}
+	if mv == nil {
+		t.Skip("no cross-bank move found")
+	}
+	spill := &cover.SNode{ID: 900, Kind: cover.StoreNode, Value: addN.Value, Var: "$sp9",
+		Step: isdl.Transfer{From: isdl.UnitLoc(addN.Unit), To: isdl.MemLoc("DM"), Bus: "DB"}}
+	link(addN, spill)
+	// Repurpose mv into a reload from the slot.
+	unlink(addN, mv)
+	mv.Kind = cover.LoadNode
+	mv.Var = "$sp9"
+	mv.Step = isdl.Transfer{From: isdl.MemLoc("DM"), To: isdl.UnitLoc(mulN.Unit), Bus: "DB"}
+	spill.OrdSuccs = append(spill.OrdSuccs, mv)
+	mv.OrdPreds = append(mv.OrdPreds, spill)
+	// Insert the spill instruction right after the ADD.
+	var newInstrs [][]*cover.SNode
+	for _, in := range sol.Instrs {
+		newInstrs = append(newInstrs, in)
+		for _, n := range in {
+			if n == addN {
+				newInstrs = append(newInstrs, []*cover.SNode{spill})
+			}
+		}
+	}
+	sol.Instrs = newInstrs
+	sol.SpillCount++
+	if err := sol.Verify(); err != nil {
+		t.Fatalf("padded solution invalid: %v\n%s", err, sol)
+	}
+
+	after := Optimize(sol)
+	if err := after.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	if after.Cost() >= sol.Cost() {
+		t.Errorf("cross-bank spill not optimized: %d -> %d\n%s", sol.Cost(), after.Cost(), after)
+	}
+	for _, in := range after.Instrs {
+		for _, n := range in {
+			if n.Var == "$sp9" {
+				t.Error("spill slot survived")
+			}
+		}
+	}
+}

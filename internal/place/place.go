@@ -1,0 +1,137 @@
+// Package place assigns program variables to data memories on banked
+// machines (X/Y memory DSPs): two operands consumed by the same
+// operation want to live in different banks so their loads can issue in
+// the same instruction over separate buses. The assignment is a greedy
+// max-cut style 2-coloring (generalized to k memories) of the
+// co-access graph, weighted by how often two variables are consumed
+// together; ties balance bank occupancy.
+package place
+
+import (
+	"sort"
+
+	"aviv/internal/ir"
+	"aviv/internal/isdl"
+)
+
+// CoAccessGraph counts, for every unordered pair of variables, how many
+// operations consume both (and would therefore like their loads
+// co-issued from different banks).
+type CoAccessGraph struct {
+	Vars    []string
+	weights map[[2]string]int
+}
+
+// Weight returns the co-access count of a variable pair.
+func (g *CoAccessGraph) Weight(a, b string) int {
+	return g.weights[pairKey(a, b)]
+}
+
+func pairKey(a, b string) [2]string {
+	if a > b {
+		a, b = b, a
+	}
+	return [2]string{a, b}
+}
+
+// BuildCoAccess analyzes a function's blocks.
+func BuildCoAccess(f *ir.Func) *CoAccessGraph {
+	g := &CoAccessGraph{weights: make(map[[2]string]int)}
+	seen := map[string]bool{}
+	addVar := func(v string) {
+		if !seen[v] {
+			seen[v] = true
+			g.Vars = append(g.Vars, v)
+		}
+	}
+	for _, b := range f.Blocks {
+		for _, n := range b.Nodes {
+			switch n.Op {
+			case ir.OpLoad, ir.OpStore:
+				addVar(n.Var)
+			}
+			if !n.Op.IsComputation() {
+				continue
+			}
+			// Variables feeding this operation directly.
+			var vars []string
+			for _, a := range n.Args {
+				if a.Op == ir.OpLoad {
+					vars = append(vars, a.Var)
+				}
+			}
+			for i := 0; i < len(vars); i++ {
+				for j := i + 1; j < len(vars); j++ {
+					if vars[i] != vars[j] {
+						g.weights[pairKey(vars[i], vars[j])]++
+					}
+				}
+			}
+		}
+	}
+	sort.Strings(g.Vars)
+	return g
+}
+
+// Assign places every variable of the function into one of the machine's
+// data memories, maximizing (greedily) the co-access weight across
+// banks. With fewer than two memories it returns nil (nothing to
+// decide). The result plugs directly into cover.Options.VarPlacement.
+func Assign(f *ir.Func, m *isdl.Machine) map[string]string {
+	if len(m.Memories) < 2 {
+		return nil
+	}
+	g := BuildCoAccess(f)
+	if len(g.Vars) == 0 {
+		return nil
+	}
+	memNames := make([]string, len(m.Memories))
+	for i, mem := range m.Memories {
+		memNames[i] = mem.Name
+	}
+
+	// Order variables by total co-access degree (heaviest first) so the
+	// hard decisions happen while banks are still flexible.
+	degree := map[string]int{}
+	for pair, w := range g.weights {
+		degree[pair[0]] += w
+		degree[pair[1]] += w
+	}
+	order := append([]string(nil), g.Vars...)
+	sort.SliceStable(order, func(i, j int) bool {
+		if degree[order[i]] != degree[order[j]] {
+			return degree[order[i]] > degree[order[j]]
+		}
+		return order[i] < order[j]
+	})
+
+	placement := make(map[string]string, len(order))
+	occupancy := map[string]int{}
+	for _, v := range order {
+		// Score each memory: cut weight gained = co-access with vars
+		// already placed in OTHER memories.
+		best, bestScore := "", -1<<30
+		for _, mem := range memNames {
+			score := 0
+			for placed, pm := range placement {
+				w := g.Weight(v, placed)
+				if w == 0 {
+					continue
+				}
+				if pm == mem {
+					score -= w // same bank: loads collide
+				} else {
+					score += w
+				}
+			}
+			// Tie-break toward the emptier bank.
+			score = score*1000 - occupancy[mem]
+			if score > bestScore {
+				best, bestScore = mem, score
+			}
+		}
+		placement[v] = best
+		occupancy[best]++
+	}
+	return placement
+}

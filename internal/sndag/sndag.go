@@ -1,0 +1,250 @@
+// Package sndag builds the Split-Node DAG of the AVIV paper (Sec. III):
+// a representation of all possible ways a basic-block expression DAG can
+// be implemented on a target processor.
+//
+// Every computation node of the original DAG becomes a *split node* whose
+// immediate descendants are *operation alternatives*, one per (functional
+// unit, machine op) pair able to perform it. Complex-instruction pattern
+// matches (Sec. III-B) add further alternatives that cover several
+// original nodes at once. *Data-transfer nodes* sit on every path between
+// an operation alternative and the alternatives of its operand producers
+// whenever the two run on different units (including multi-hop paths),
+// and on the paths from data memory for loads and to data memory for
+// stores.
+//
+// The covering engine (package cover) consumes the alternatives database;
+// the explicit node inventory (Counts, DOT) reproduces the "#Nodes in
+// Split-Node DAG" columns of the paper's Tables I and II.
+package sndag
+
+import (
+	"fmt"
+	"sort"
+
+	"aviv/internal/ir"
+	"aviv/internal/isdl"
+)
+
+// Alt is one way to implement a split node on the target machine: execute
+// Op on Unit, covering the original nodes in Covers (more than one for a
+// complex-instruction match) and consuming the values produced by the
+// Operands nodes, in machine operand order.
+type Alt struct {
+	Unit *isdl.Unit
+	Op   ir.Op
+	// Covers lists the original nodes this alternative implements.
+	// Covers[0] is the root (the split node's original node); any further
+	// entries are interior nodes absorbed by a complex instruction.
+	Covers []*ir.Node
+	// Operands lists the original nodes whose values feed this
+	// alternative. For a simple alternative these are exactly the root's
+	// args; for a complex match they are the wildcard bindings.
+	Operands []*ir.Node
+}
+
+// IsComplex reports whether the alternative is a complex-instruction
+// match absorbing more than one original node.
+func (a *Alt) IsComplex() bool { return len(a.Covers) > 1 }
+
+func (a *Alt) String() string {
+	return fmt.Sprintf("%s.%s", a.Unit.Name, a.Op)
+}
+
+// Split is the split node derived from one original computation node.
+type Split struct {
+	Orig *ir.Node
+	Alts []*Alt
+}
+
+// Counts is the node inventory of the explicit Split-Node DAG.
+type Counts struct {
+	// Anchors counts nodes carried over unchanged: loads, stores, and
+	// constants of the original DAG.
+	Anchors int
+	// SplitNodes counts split nodes (one per original computation node).
+	SplitNodes int
+	// OpNodes counts operation-alternative nodes.
+	OpNodes int
+	// TransferNodes counts data-transfer nodes over all alternative
+	// paths (one per hop per producer-alternative/consumer-alternative
+	// pair, plus load and store paths).
+	TransferNodes int
+}
+
+// Total returns the total Split-Node DAG node count.
+func (c Counts) Total() int {
+	return c.Anchors + c.SplitNodes + c.OpNodes + c.TransferNodes
+}
+
+// DAG is the Split-Node DAG for one basic block on one machine.
+type DAG struct {
+	Block   *ir.Block
+	Machine *isdl.Machine
+
+	// Splits holds one split node per original computation node, in the
+	// block's topological order (operands before users).
+	Splits  []*Split
+	splitOf map[*ir.Node]*Split
+
+	Counts Counts
+}
+
+// Build constructs the Split-Node DAG for block on machine. It fails if
+// some computation node cannot be executed by any functional unit.
+func Build(block *ir.Block, machine *isdl.Machine) (*DAG, error) {
+	if err := machine.SupportsDAG(block); err != nil {
+		return nil, err
+	}
+	d := &DAG{
+		Block:   block,
+		Machine: machine,
+		splitOf: make(map[*ir.Node]*Split),
+	}
+	users := block.Users()
+
+	for _, n := range block.Nodes {
+		switch {
+		case n.Op.IsComputation():
+			s := &Split{Orig: n}
+			// Simple alternatives: one per unit able to perform the op.
+			for _, u := range machine.UnitsFor(n.Op) {
+				s.Alts = append(s.Alts, &Alt{
+					Unit:     u,
+					Op:       n.Op,
+					Covers:   []*ir.Node{n},
+					Operands: n.Args,
+				})
+			}
+			// Complex-instruction alternatives (Sec. III-B).
+			for _, p := range machine.Patterns {
+				operands, absorbed, ok := isdl.MatchPattern(p.Tree, n, users)
+				if !ok {
+					continue
+				}
+				s.Alts = append(s.Alts, &Alt{
+					Unit:     machine.Unit(p.Unit),
+					Op:       p.Result,
+					Covers:   absorbed,
+					Operands: operands,
+				})
+			}
+			d.Splits = append(d.Splits, s)
+			d.splitOf[n] = s
+			d.Counts.SplitNodes++
+			d.Counts.OpNodes += len(s.Alts)
+		default:
+			d.Counts.Anchors++
+		}
+	}
+
+	d.Counts.TransferNodes = d.countTransferNodes()
+	return d, nil
+}
+
+// SplitOf returns the split node for an original computation node, or nil.
+func (d *DAG) SplitOf(n *ir.Node) *Split { return d.splitOf[n] }
+
+// countTransferNodes counts one transfer node per hop of the minimal
+// transfer path, for every (consumer alternative, operand producer
+// alternative) pair on distinct units, plus load paths from data memory
+// and store paths to data memory.
+func (d *DAG) countTransferNodes() int {
+	dm := isdl.MemLoc(d.Machine.DataMemory().Name)
+	total := 0
+	hops := func(from, to isdl.Loc) int {
+		c := d.Machine.PathCost(from, to)
+		if c < 0 {
+			return 0 // unreachable pairs contribute no nodes
+		}
+		return c
+	}
+	for _, s := range d.Splits {
+		for _, alt := range s.Alts {
+			to := isdl.UnitLoc(alt.Unit.Regs.Name)
+			for _, operand := range alt.Operands {
+				switch {
+				case operand.Op == ir.OpConst:
+					// Immediates need no transfer.
+				case operand.Op == ir.OpLoad:
+					total += hops(dm, to)
+				default:
+					// One set of transfer nodes per producer alternative.
+					ps := d.splitOf[operand]
+					for _, palt := range ps.Alts {
+						total += hops(isdl.UnitLoc(palt.Unit.Regs.Name), to)
+					}
+				}
+			}
+		}
+	}
+	// Store roots: value must reach data memory from each producer
+	// alternative.
+	for _, n := range d.Block.Nodes {
+		if n.Op != ir.OpStore {
+			continue
+		}
+		arg := n.Args[0]
+		if arg.Op == ir.OpConst || arg.Op == ir.OpLoad {
+			// Leaf stores route through some unit; count the cheapest
+			// such round trip once.
+			best := -1
+			for _, u := range d.Machine.Units {
+				ul := isdl.UnitLoc(u.Regs.Name)
+				c1, c2 := d.Machine.PathCost(dm, ul), d.Machine.PathCost(ul, dm)
+				if c1 < 0 || c2 < 0 {
+					continue
+				}
+				if best < 0 || c1+c2 < best {
+					best = c1 + c2
+				}
+			}
+			if best > 0 {
+				total += best
+			}
+			continue
+		}
+		ps := d.splitOf[arg]
+		for _, palt := range ps.Alts {
+			total += hops(isdl.UnitLoc(palt.Unit.Regs.Name), dm)
+		}
+	}
+	return total
+}
+
+// AssignmentSpace returns the number of possible split-node functional
+// unit assignments (the product over split nodes of their alternative
+// counts, Sec. IV-A). It saturates at maxInt to avoid overflow on large
+// blocks.
+func (d *DAG) AssignmentSpace() int {
+	const maxInt = int(^uint(0) >> 1)
+	total := 1
+	for _, s := range d.Splits {
+		n := len(s.Alts)
+		if n == 0 {
+			return 0
+		}
+		if total > maxInt/n {
+			return maxInt
+		}
+		total *= n
+	}
+	return total
+}
+
+// TopDownOrder returns the splits ordered by increasing level from the
+// top of the DAG (roots first), the order in which the assignment search
+// of Sec. IV-A examines them. Ties break by original node ID for
+// determinism.
+func (d *DAG) TopDownOrder() []*Split {
+	fromTop, _ := d.Block.Levels()
+	out := make([]*Split, len(d.Splits))
+	copy(out, d.Splits)
+	sort.SliceStable(out, func(i, j int) bool {
+		ti, tj := fromTop[out[i].Orig], fromTop[out[j].Orig]
+		if ti != tj {
+			return ti < tj
+		}
+		return out[i].Orig.ID < out[j].Orig.ID
+	})
+	return out
+}

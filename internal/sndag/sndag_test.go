@@ -1,0 +1,267 @@
+package sndag
+
+import (
+	"strings"
+	"testing"
+
+	"aviv/internal/ir"
+	"aviv/internal/isdl"
+)
+
+// fig2Block builds the paper's Fig. 2 example basic block:
+// out = (a + b) - (c * d), i.e. a SUB root consuming an ADD and a MUL.
+// 4 loads + 3 computations + 1 store = 8 nodes, matching Ex1 of Table I.
+func fig2Block() *ir.Block {
+	bb := ir.NewBuilder("fig2")
+	sum := bb.Add(bb.Load("a"), bb.Load("b"))
+	prod := bb.Mul(bb.Load("c"), bb.Load("d"))
+	bb.Store("out", bb.Sub(sum, prod))
+	bb.Return()
+	return bb.Finish()
+}
+
+func TestBuildFig4(t *testing.T) {
+	m := isdl.ExampleArch(4)
+	blk := fig2Block()
+	d, err := Build(blk, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Splits) != 3 {
+		t.Fatalf("got %d splits, want 3 (ADD, MUL, SUB)", len(d.Splits))
+	}
+	// Alternative counts per Fig. 4: ADD on U1/U2/U3, MUL on U2/U3,
+	// SUB on U1/U2.
+	wantAlts := map[ir.Op]int{ir.OpAdd: 3, ir.OpMul: 2, ir.OpSub: 2}
+	for _, s := range d.Splits {
+		if got := len(s.Alts); got != wantAlts[s.Orig.Op] {
+			t.Errorf("%s has %d alternatives, want %d", s.Orig.Op, got, wantAlts[s.Orig.Op])
+		}
+		for _, a := range s.Alts {
+			if !a.Unit.Can(a.Op) {
+				t.Errorf("alternative %s not executable", a)
+			}
+			if a.IsComplex() {
+				t.Errorf("unexpected complex alternative %s", a)
+			}
+		}
+	}
+	// The paper's assignment-space example: 2 x 2 x 3 = 12.
+	if got := d.AssignmentSpace(); got != 12 {
+		t.Errorf("AssignmentSpace = %d, want 12", got)
+	}
+	// Node inventory: 5 anchors (4 loads + 1 store), 3 splits, 7 op
+	// alternatives, and transfer nodes for every cross-unit pair:
+	// loads 3*2 + 2*2 = 10, ADD->SUB pairs 4, MUL->SUB pairs 3,
+	// store from SUB alts 2: total 19.
+	c := d.Counts
+	if c.Anchors != 5 || c.SplitNodes != 3 || c.OpNodes != 7 {
+		t.Errorf("counts = %+v, want anchors=5 splits=3 opNodes=7", c)
+	}
+	if c.TransferNodes != 19 {
+		t.Errorf("TransferNodes = %d, want 19", c.TransferNodes)
+	}
+	// Growth factor over the original 8-node DAG is in the paper's
+	// ballpark (Ex1: 8 -> 30).
+	if c.Total() < 25 || c.Total() > 40 {
+		t.Errorf("Total = %d, want roughly 30 like the paper's Ex1", c.Total())
+	}
+}
+
+func TestBuildArchII(t *testing.T) {
+	// On Architecture II the same block has far fewer alternatives
+	// (Table II: Ex1 drops from 30 to 17 nodes).
+	d2, err := Build(fig2Block(), isdl.ArchitectureII(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1, err := Build(fig2Block(), isdl.ExampleArch(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d2.Counts.Total() >= d1.Counts.Total() {
+		t.Errorf("ArchII total %d should be smaller than ExampleArch total %d",
+			d2.Counts.Total(), d1.Counts.Total())
+	}
+	for _, s := range d2.Splits {
+		switch s.Orig.Op {
+		case ir.OpMul, ir.OpSub:
+			if len(s.Alts) != 1 {
+				t.Errorf("%s has %d alts on ArchII, want 1", s.Orig.Op, len(s.Alts))
+			}
+		case ir.OpAdd:
+			if len(s.Alts) != 2 {
+				t.Errorf("ADD has %d alts on ArchII, want 2", len(s.Alts))
+			}
+		}
+	}
+	if got := d2.AssignmentSpace(); got != 2 {
+		t.Errorf("ArchII AssignmentSpace = %d, want 2", got)
+	}
+}
+
+func TestBuildRejectsUnsupported(t *testing.T) {
+	bb := ir.NewBuilder("div")
+	bb.Store("o", bb.Op(ir.OpDiv, bb.Load("a"), bb.Load("b")))
+	bb.Return()
+	if _, err := Build(bb.Finish(), isdl.ExampleArch(4)); err == nil {
+		t.Error("Build accepted a DAG with unsupported DIV")
+	}
+}
+
+func TestComplexPatternAlternative(t *testing.T) {
+	m := isdl.WideDSP(4)
+	bb := ir.NewBuilder("mac")
+	acc := bb.Load("acc")
+	x := bb.Load("x")
+	y := bb.Load("y")
+	sum := bb.Add(acc, bb.Mul(x, y))
+	bb.Store("acc", sum)
+	bb.Return()
+	d, err := Build(bb.Finish(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var addSplit *Split
+	for _, s := range d.Splits {
+		if s.Orig.Op == ir.OpAdd {
+			addSplit = s
+		}
+	}
+	if addSplit == nil {
+		t.Fatal("no ADD split")
+	}
+	var complex *Alt
+	for _, a := range addSplit.Alts {
+		if a.IsComplex() {
+			complex = a
+		}
+	}
+	if complex == nil {
+		t.Fatal("MAC pattern produced no complex alternative")
+	}
+	if complex.Op != ir.OpMAC || complex.Unit.Name != "M1" {
+		t.Errorf("complex alt = %s, want M1.MAC", complex)
+	}
+	if len(complex.Covers) != 2 {
+		t.Errorf("complex alt covers %d nodes, want 2", len(complex.Covers))
+	}
+	if len(complex.Operands) != 3 {
+		t.Errorf("complex alt has %d operands, want 3", len(complex.Operands))
+	}
+}
+
+func TestConstOperandsNeedNoTransfers(t *testing.T) {
+	m := isdl.ExampleArch(4)
+	bb := ir.NewBuilder("c")
+	bb.Store("o", bb.Add(bb.Const(1), bb.Const(2)))
+	bb.Return()
+	d, err := Build(bb.Finish(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only the store path contributes transfers: ADD alts on 3 units, one
+	// hop each to DM = 3.
+	if d.Counts.TransferNodes != 3 {
+		t.Errorf("TransferNodes = %d, want 3 (store only)", d.Counts.TransferNodes)
+	}
+}
+
+func TestTopDownOrder(t *testing.T) {
+	d, err := Build(fig2Block(), isdl.ExampleArch(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := d.TopDownOrder()
+	if len(order) != 3 {
+		t.Fatal("wrong order length")
+	}
+	// SUB is the root computation: level-from-top below store = smallest
+	// among computations.
+	if order[0].Orig.Op != ir.OpSub {
+		t.Errorf("first in top-down order is %s, want SUB", order[0].Orig.Op)
+	}
+}
+
+func TestDescribeAndDOT(t *testing.T) {
+	d, err := Build(fig2Block(), isdl.ExampleArch(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	desc := d.Describe()
+	for _, want := range []string{"split-node DAG", "U1.SUB | U2.SUB", "U2.MUL | U3.MUL", "assignment space: 12"} {
+		if !strings.Contains(desc, want) {
+			t.Errorf("Describe missing %q:\n%s", want, desc)
+		}
+	}
+	dot := d.DOT()
+	for _, want := range []string{"digraph", "diamond", "shape=box", "shape=circle"} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q", want)
+		}
+	}
+}
+
+func TestAssignmentSpaceSaturates(t *testing.T) {
+	m := isdl.ExampleArch(4)
+	bb := ir.NewBuilder("big")
+	cur := bb.Load("x")
+	for i := 0; i < 64; i++ {
+		cur = bb.Add(cur, bb.Load("y"))
+	}
+	bb.Store("o", cur)
+	bb.Return()
+	d, err := Build(bb.Finish(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3^64 overflows; must saturate to a positive value.
+	if d.AssignmentSpace() <= 0 {
+		t.Error("AssignmentSpace overflowed")
+	}
+}
+
+func TestBuildOnClusteredMachine(t *testing.T) {
+	// ADD runs on all four units of the clustered machine; MUL on two.
+	m := isdl.ClusteredVLIW(4)
+	d, err := Build(fig2Block(), m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[ir.Op]int{ir.OpAdd: 4, ir.OpMul: 2, ir.OpSub: 2}
+	for _, s := range d.Splits {
+		if got := len(s.Alts); got != want[s.Orig.Op] {
+			t.Errorf("%s: %d alternatives, want %d", s.Orig.Op, got, want[s.Orig.Op])
+		}
+	}
+	// Assignment space 4 * 2 * 2 = 16.
+	if got := d.AssignmentSpace(); got != 16 {
+		t.Errorf("AssignmentSpace = %d, want 16", got)
+	}
+	// Transfer counting must use banks: an ADD-alt on A0 feeding a
+	// SUB-alt on M0 (same bank C0) contributes no transfer nodes, so the
+	// count is lower than unit-pair arithmetic would suggest.
+	if d.Counts.TransferNodes <= 0 {
+		t.Errorf("no transfer nodes at all: %+v", d.Counts)
+	}
+}
+
+func TestTopDownOrderTieBreak(t *testing.T) {
+	// Two independent stores: the two computations share level; order
+	// must fall back to node ID deterministically.
+	bb := ir.NewBuilder("tie")
+	bb.Store("p", bb.Add(bb.Load("a"), bb.Load("b")))
+	bb.Store("q", bb.Sub(bb.Load("c"), bb.Load("d")))
+	bb.Return()
+	d, err := Build(bb.Finish(), isdl.ExampleArch(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	order := d.TopDownOrder()
+	if len(order) != 2 {
+		t.Fatal("wrong split count")
+	}
+	if order[0].Orig.ID > order[1].Orig.ID {
+		t.Errorf("tie not broken by ID: %d before %d", order[0].Orig.ID, order[1].Orig.ID)
+	}
+}

@@ -1,0 +1,146 @@
+package aviv
+
+import (
+	"fmt"
+	"testing"
+
+	"aviv/internal/bench"
+	"aviv/internal/ir"
+	"aviv/internal/isdl"
+	"aviv/internal/sim"
+)
+
+// TestStressDifferential compiles deterministic pseudo-random blocks for
+// five architectures and checks every result against the reference
+// interpreter — the regression net that caught the covering's spill
+// ping-pong bugs during development. Short mode runs a reduced sweep.
+func TestStressDifferential(t *testing.T) {
+	seeds := 120
+	if testing.Short() {
+		seeds = 20
+	}
+	machines := []*isdl.Machine{
+		isdl.ExampleArch(4),
+		isdl.ExampleArch(2),
+		isdl.ArchitectureII(2),
+		isdl.WideDSP(2),
+		isdl.SingleIssueDSP(3),
+		isdl.ClusteredVLIW(3),
+		isdl.DualMemDSP(3),
+	}
+	fails := 0
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		for _, nops := range []int{4, 9, 14} {
+			w := bench.Random(seed*7919, nops)
+			f := singleBlockFunc(w.Block)
+			mem := map[string]int64{
+				"a": seed % 97, "b": (seed * 3) % 89, "c": (seed * 7) % 83, "d": (seed * 11) % 79,
+			}
+			want := map[string]int64{}
+			for k, v := range mem {
+				want[k] = v
+			}
+			if err := ir.EvalFunc(f, want, 0); err != nil {
+				t.Fatalf("reference eval seed %d: %v", seed, err)
+			}
+			for mi, m := range machines {
+				res, err := Compile(f, m, DefaultOptions())
+				if err != nil {
+					t.Errorf("seed %d nops %d machine %d (%s): compile: %v", seed, nops, mi, m.Name, err)
+					fails++
+					continue
+				}
+				got, _, err := sim.RunProgram(res.Program, mem, 0)
+				if err != nil {
+					t.Errorf("seed %d nops %d machine %d (%s): sim: %v", seed, nops, mi, m.Name, err)
+					fails++
+					continue
+				}
+				for k, v := range want {
+					if got[k] != v {
+						t.Errorf("seed %d nops %d machine %d (%s): mem[%s] = %d, want %d",
+							seed, nops, mi, m.Name, k, got[k], v)
+						fails++
+						break
+					}
+				}
+				if fails > 10 {
+					t.Fatal("too many failures; aborting sweep")
+				}
+			}
+		}
+	}
+}
+
+// TestStressMultiBlockPrograms stresses control flow: random straight-line
+// blocks stitched into branchy programs.
+func TestStressMultiBlockPrograms(t *testing.T) {
+	seeds := 40
+	if testing.Short() {
+		seeds = 8
+	}
+	m := isdl.ExampleArchFull(4)
+	for seed := int64(1); seed <= int64(seeds); seed++ {
+		src := randomProgram(seed)
+		f, err := ParseAndLower(src, 1)
+		if err != nil {
+			t.Fatalf("seed %d: front end: %v\n%s", seed, err, src)
+		}
+		res, err := Compile(f, m, DefaultOptions())
+		if err != nil {
+			t.Errorf("seed %d: compile: %v\n%s", seed, err, src)
+			continue
+		}
+		mem := map[string]int64{"a": seed % 13, "b": (seed * 5) % 11}
+		want := map[string]int64{}
+		for k, v := range mem {
+			want[k] = v
+		}
+		if err := ir.EvalFunc(f, want, 0); err != nil {
+			t.Fatalf("seed %d: reference: %v", seed, err)
+		}
+		got, _, err := sim.RunProgram(res.Program, mem, 0)
+		if err != nil {
+			t.Errorf("seed %d: sim: %v\n%s", seed, err, res.Program)
+			continue
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Errorf("seed %d: mem[%s] = %d, want %d\nsource:\n%s", seed, k, got[k], v, src)
+				break
+			}
+		}
+	}
+}
+
+// randomProgram emits a deterministic branchy mini-C program.
+func randomProgram(seed int64) string {
+	state := uint64(seed)*0x9E3779B97F4A7C15 + 7
+	next := func(n int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(n))
+	}
+	vars := []string{"a", "b", "x", "y"}
+	expr := func() string {
+		v1 := vars[next(len(vars))]
+		v2 := vars[next(len(vars))]
+		op := []string{"+", "-", "*"}[next(3)]
+		return fmt.Sprintf("%s %s %s", v1, op, v2)
+	}
+	src := "x = a + 1;\ny = b + 2;\n"
+	for i := 0; i < 3+next(3); i++ {
+		switch next(3) {
+		case 0:
+			src += fmt.Sprintf("%s = %s;\n", vars[2+next(2)], expr())
+		case 1:
+			src += fmt.Sprintf("if (%s > %d) { %s = %s; } else { %s = %s; }\n",
+				vars[next(len(vars))], next(20),
+				vars[2+next(2)], expr(), vars[2+next(2)], expr())
+		case 2:
+			src += fmt.Sprintf("for (k%d = 0; k%d < %d; k%d = k%d + 1) { %s = %s; }\n",
+				i, i, 1+next(4), i, i, vars[2+next(2)], expr())
+		}
+	}
+	src += "out = x + y;\n"
+	return src
+}
