@@ -1,0 +1,20 @@
+# Convenience targets; `make check` is the gate ci.sh runs in CI.
+.PHONY: check test build vet fuzz bench
+
+check:
+	./ci.sh
+
+test:
+	go test ./...
+
+build:
+	go build ./...
+
+vet:
+	go vet ./...
+
+fuzz:
+	go test -run '^$$' -fuzz='^FuzzCompileSource$$' -fuzztime=10s .
+
+bench:
+	go run ./cmd/avivbench -all

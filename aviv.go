@@ -18,12 +18,16 @@ package aviv
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"aviv/internal/asm"
 	"aviv/internal/cover"
 	"aviv/internal/ir"
 	"aviv/internal/isdl"
 	"aviv/internal/lang"
+	"aviv/internal/metrics"
 	"aviv/internal/opt"
 	"aviv/internal/peephole"
 	"aviv/internal/place"
@@ -44,6 +48,13 @@ type Options struct {
 	// co-accessed operands load from different banks. Explicit
 	// Cover.VarPlacement entries win over the automatic assignment.
 	AutoPlace bool
+	// Parallelism bounds the worker pool that compiles basic blocks
+	// concurrently: <= 0 selects GOMAXPROCS, 1 forces the serial path.
+	// Per-block covering is independent (the paper's Sec. IV algorithm
+	// is per-block), so the emitted program is byte-for-byte identical
+	// at every setting; only wall time changes. When Cover.Trace is set
+	// the pool is forced serial so trace lines keep their order.
+	Parallelism int
 }
 
 // DefaultOptions returns the paper's heuristics-on configuration with the
@@ -78,6 +89,8 @@ type BlockResult struct {
 	AssignmentsExplored int
 	// PeepholeSaved counts instructions removed by the peephole pass.
 	PeepholeSaved int
+	// Metrics carries the per-phase counters and timings for this block.
+	Metrics metrics.BlockMetrics
 }
 
 // CompileResult is a fully compiled function.
@@ -86,33 +99,53 @@ type CompileResult struct {
 	Machine *isdl.Machine
 	Program *asm.Program
 	Blocks  []*BlockResult
+	// Metrics aggregates per-block effort, per-phase timings, and the
+	// worker-pool utilization of the compile.
+	Metrics *metrics.CompileMetrics
 }
 
 // CodeSize returns the total program code size in instructions,
 // including control-flow instructions.
 func (r *CompileResult) CodeSize() int { return r.Program.CodeSize() }
 
-// CompileBlock compiles a single basic block.
+// CompileBlock compiles a single basic block, recording per-phase
+// timings and effort counters in the result's Metrics.
 func CompileBlock(b *ir.Block, m *isdl.Machine, opts Options) (*BlockResult, error) {
+	total := metrics.StartTimer()
+	bm := metrics.BlockMetrics{Block: b.Name}
+	phase := metrics.StartTimer()
 	res, err := cover.CoverBlock(b, m, opts.Cover)
 	if err != nil {
 		return nil, fmt.Errorf("aviv: block %s: %w", b.Name, err)
 	}
+	bm.Cover = phase.Elapsed()
 	sol := res.Best
 	saved := 0
 	if opts.Peephole {
+		phase = metrics.StartTimer()
 		before := sol.Cost()
 		sol = peephole.Optimize(sol)
 		saved = before - sol.Cost()
+		bm.Peephole = phase.Elapsed()
 	}
+	phase = metrics.StartTimer()
 	alloc, err := regalloc.Allocate(sol)
 	if err != nil {
 		return nil, fmt.Errorf("aviv: block %s: %w", b.Name, err)
 	}
+	bm.Regalloc = phase.Elapsed()
+	phase = metrics.StartTimer()
 	code, err := asm.EmitBlock(sol, alloc)
 	if err != nil {
 		return nil, fmt.Errorf("aviv: block %s: %w", b.Name, err)
 	}
+	bm.Emit = phase.Elapsed()
+	bm.DAGNodes = res.DAG.Counts.Total()
+	bm.Instructions = sol.Cost()
+	bm.Spills = sol.SpillCount
+	bm.AssignmentsExplored = res.AssignmentsExplored
+	bm.PeepholeSaved = saved
+	bm.Total = total.Elapsed()
 	return &BlockResult{
 		Block:               b,
 		DAG:                 res.DAG,
@@ -121,12 +154,39 @@ func CompileBlock(b *ir.Block, m *isdl.Machine, opts Options) (*BlockResult, err
 		Code:                code,
 		AssignmentsExplored: res.AssignmentsExplored,
 		PeepholeSaved:       saved,
+		Metrics:             bm,
 	}, nil
+}
+
+// poolSize resolves Options.Parallelism to a concrete worker count for a
+// function with nBlocks basic blocks.
+func (o Options) poolSize(nBlocks int) int {
+	par := o.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > nBlocks {
+		par = nBlocks
+	}
+	if par < 1 {
+		par = 1
+	}
+	if o.Cover.Trace != nil {
+		par = 1 // keep trace lines in covering order
+	}
+	return par
 }
 
 // Compile compiles a whole function: every basic block through the
 // concurrent covering pipeline, plus one control-flow instruction per
 // block terminator (Sec. III-C).
+//
+// Blocks are compiled by a bounded worker pool (Options.Parallelism;
+// per-block covering dominates compile time and is independent across
+// blocks) and reassembled in original block order, so the result is
+// byte-for-byte identical to the serial Parallelism=1 path. On error the
+// first failing block in original block order is reported, also
+// regardless of parallelism.
 func Compile(f *ir.Func, m *isdl.Machine, opts Options) (*CompileResult, error) {
 	if err := f.Verify(); err != nil {
 		return nil, fmt.Errorf("aviv: %w", err)
@@ -142,20 +202,60 @@ func Compile(f *ir.Func, m *isdl.Machine, opts Options) (*CompileResult, error) 
 		}
 		opts.Cover.VarPlacement = merged
 	}
+	par := opts.poolSize(len(f.Blocks))
+	coll := metrics.NewCollector(par)
+	results := make([]*BlockResult, len(f.Blocks))
+	errs := make([]error, len(f.Blocks))
+	compileOne := func(i, worker int) {
+		br, err := CompileBlock(f.Blocks[i], m, opts)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		results[i] = br
+		coll.ReportBlock(i, worker, br.Metrics)
+	}
+	if par == 1 {
+		for i := range f.Blocks {
+			compileOne(i, 0)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < par; w++ {
+			wg.Add(1)
+			go func(worker int) {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(f.Blocks) {
+						return
+					}
+					compileOne(i, worker)
+				}
+			}(w)
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 	out := &CompileResult{
 		Func:    f,
 		Machine: m,
 		Program: &asm.Program{Machine: m},
 	}
-	for _, b := range f.Blocks {
-		br, err := CompileBlock(b, m, opts)
-		if err != nil {
-			return nil, err
-		}
+	for _, br := range results {
 		out.Blocks = append(out.Blocks, br)
 		out.Program.Blocks = append(out.Program.Blocks, br.Code)
 	}
 	layoutBlocks(out.Program)
+	out.Metrics = coll.Finish()
+	for i, bm := range out.Metrics.Blocks {
+		out.Blocks[i].Metrics.Worker = bm.Worker
+	}
 	return out, nil
 }
 

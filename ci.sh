@@ -1,0 +1,28 @@
+#!/bin/sh
+# ci.sh — the repository's check gate. Run before every commit:
+#
+#   ./ci.sh          full gate (vet, build, race tests, fuzz smoke)
+#   ./ci.sh -short   skip the fuzz smoke
+#
+# The -race run doubles as the determinism proof for the parallel
+# block-compilation pipeline: TestParallelDeterminism compiles the same
+# multi-block function at pool sizes 1/2/8 under the race detector.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test -race =="
+go test -race ./...
+
+if [ "${1:-}" != "-short" ]; then
+    echo "== fuzz smoke (FuzzCompileSource, 10s) =="
+    go test -run '^$' -fuzz='^FuzzCompileSource$' -fuzztime=10s .
+fi
+
+echo "ci.sh: all checks passed"

@@ -7,6 +7,8 @@
 //	avivbench -fig N              Figures 2-9 (worked examples)
 //	avivbench -baseline           concurrent vs sequential-phase comparison
 //	avivbench -ablation           heuristic knob ablation study
+//	avivbench -parscale           parallel block-compilation speedup study
+//	avivbench -stats -parallel 4  compile-metrics report at a pool size
 //	avivbench -all                everything above
 package main
 
@@ -14,8 +16,10 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
+	"aviv"
 	"aviv/internal/asm"
 	"aviv/internal/baseline"
 	"aviv/internal/bench"
@@ -37,6 +41,9 @@ func main() {
 	scaling := flag.Bool("scaling", false, "measure covering effort vs block size")
 	rom := flag.Bool("rom", false, "compare code ROM size (instrs x word width) across machines")
 	suite := flag.Bool("suite", false, "run the extended DSP kernel suite across machines (simulator-validated)")
+	parscale := flag.Bool("parscale", false, "measure parallel block-compilation speedup on a multi-block workload")
+	parallel := flag.Int("parallel", 0, "worker-pool size for -stats and the top -parscale row (0 = GOMAXPROCS)")
+	stats := flag.Bool("stats", false, "print the compile-metrics report for the multi-block workload at -parallel N")
 	all := flag.Bool("all", false, "run every table, figure, and study")
 	flag.Parse()
 
@@ -107,6 +114,18 @@ func main() {
 	if *suite || *all {
 		ran = true
 		if err := suiteStudy(); err != nil {
+			fail(err)
+		}
+	}
+	if *parscale || *all {
+		ran = true
+		if err := parallelScaleStudy(*parallel); err != nil {
+			fail(err)
+		}
+	}
+	if *stats {
+		ran = true
+		if err := statsReport(*parallel); err != nil {
 			fail(err)
 		}
 	}
@@ -320,6 +339,96 @@ func romStudy() error {
 		fmt.Printf("%-16s %10d %8d %10d %10d\n",
 			m.Name, layout.Bits, total, total*layout.Bits, m.HardwareCost())
 	}
+	fmt.Println()
+	return nil
+}
+
+// parallelWorkload is the many-block function used by the parallel
+// pipeline studies: enough independent covering problems to keep an
+// 8-worker pool busy.
+func parallelWorkload() (*ir.Func, map[string]int64) {
+	return bench.MultiBlock(1, 24, 16)
+}
+
+// parallelScaleStudy measures the wall-clock speedup of the parallel
+// block-compilation pipeline, verifying that the emitted assembly is
+// byte-for-byte identical at every pool size and that the compiled
+// program simulates to the reference interpreter's memory state.
+func parallelScaleStudy(maxPar int) error {
+	f, mem := parallelWorkload()
+	m := isdl.ExampleArchFull(4)
+	want := map[string]int64{}
+	for k, v := range mem {
+		want[k] = v
+	}
+	if err := ir.EvalFunc(f, want, 0); err != nil {
+		return err
+	}
+	fmt.Printf("==== Parallel block compilation (%d blocks, %d CPUs) ====\n",
+		len(f.Blocks), runtime.NumCPU())
+	if runtime.NumCPU() < 4 {
+		fmt.Println("(host has fewer than 4 CPUs: pool sizes above the core count cannot speed up wall clock)")
+	}
+	fmt.Printf("%-12s %12s %9s %12s\n", "parallelism", "wall", "speedup", "utilization")
+	pools := []int{1, 2, 4, 8}
+	if maxPar > 8 {
+		pools = append(pools, maxPar)
+	}
+	var refText string
+	var refWall time.Duration
+	for _, par := range pools {
+		opts := aviv.DefaultOptions()
+		opts.Parallelism = par
+		var res *aviv.CompileResult
+		best := time.Duration(1<<63 - 1)
+		util := 0.0
+		for rep := 0; rep < 3; rep++ {
+			start := time.Now()
+			r, err := aviv.Compile(f, m, opts)
+			if err != nil {
+				return err
+			}
+			if d := time.Since(start); d < best {
+				best, res, util = d, r, r.Metrics.Utilization()
+			}
+		}
+		text := res.Program.String()
+		if par == 1 {
+			refText, refWall = text, best
+			got, _, err := sim.RunProgram(res.Program, mem, 0)
+			if err != nil {
+				return err
+			}
+			for k, v := range want {
+				if got[k] != v {
+					return fmt.Errorf("parscale: mem[%s] = %d, want %d", k, got[k], v)
+				}
+			}
+		} else if text != refText {
+			return fmt.Errorf("parscale: assembly at parallelism %d differs from serial output", par)
+		}
+		fmt.Printf("%-12d %12v %8.2fx %11.0f%%\n",
+			par, best.Round(time.Microsecond), float64(refWall)/float64(best), 100*util)
+	}
+	fmt.Println("(assembly verified byte-for-byte identical at every pool size)")
+	fmt.Println()
+	return nil
+}
+
+// statsReport prints the compile-metrics report for the multi-block
+// workload at the requested pool size.
+func statsReport(par int) error {
+	f, mem := parallelWorkload()
+	_ = mem
+	m := isdl.ExampleArchFull(4)
+	opts := aviv.DefaultOptions()
+	opts.Parallelism = par
+	res, err := aviv.Compile(f, m, opts)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("==== Compile metrics (%s, code size %d) ====\n", f.Name, res.CodeSize())
+	fmt.Print(res.Metrics.String())
 	fmt.Println()
 	return nil
 }

@@ -38,8 +38,9 @@ func main() {
 	memFlag := flag.String("mem", "", "initial data memory for -run, e.g. \"a=3,b=4\"")
 	exhaustive := flag.Bool("exhaustive", false, "disable the covering heuristics (paper's parenthesised mode)")
 	place := flag.String("place", "", "variable memory placement, e.g. \"x=XM,c=YM\" (dual-memory machines)")
-	stats := flag.Bool("stats", false, "print per-block code generation statistics")
+	stats := flag.Bool("stats", false, "print per-block code generation statistics and compile metrics")
 	trace := flag.Bool("trace", false, "trace simulated instructions")
+	parallel := flag.Int("parallel", 0, "block-compilation worker pool size (0 = GOMAXPROCS, 1 = serial; output is identical at any setting)")
 	flag.Parse()
 
 	die := func(err error) {
@@ -76,6 +77,7 @@ func main() {
 	if *exhaustive {
 		opts = aviv.ExhaustiveOptions()
 	}
+	opts.Parallelism = *parallel
 	if *place != "" {
 		placement := map[string]string{}
 		for _, kv := range strings.Split(*place, ",") {
@@ -99,6 +101,9 @@ func main() {
 			fmt.Printf("; block %-8s DAG %3d nodes -> SN-DAG %4d nodes, %2d instrs, %d spills, %d assignments explored, peephole saved %d\n",
 				br.Block.Name, len(br.Block.Nodes), br.DAG.Counts.Total(),
 				br.Solution.Cost(), br.Solution.SpillCount, br.AssignmentsExplored, br.PeepholeSaved)
+		}
+		for _, line := range strings.Split(strings.TrimRight(res.Metrics.String(), "\n"), "\n") {
+			fmt.Printf("; %s\n", line)
 		}
 	}
 	if *emitAsm {

@@ -1,0 +1,74 @@
+package aviv
+
+import (
+	"strings"
+	"testing"
+
+	"aviv/internal/asm"
+	"aviv/internal/ir"
+	"aviv/internal/isdl"
+	"aviv/internal/sim"
+)
+
+// FuzzCompileSource drives the whole pipeline from arbitrary source
+// text. Invariants: the compiler never panics; whatever it accepts must
+// round-trip through the binary object format; and if the reference
+// interpreter finishes the program within budget, the simulated program
+// must finish too and leave the same data memory behind.
+func FuzzCompileSource(f *testing.F) {
+	seeds := []string{
+		"x = a + b;",
+		"out = (a + b) - (c * d);",
+		"if (a > b) { m = a; } else { m = b; }",
+		"s = 0; for (i = 0; i < 4; i = i + 1) { s = s + a; }",
+		"while (n > 0) { s = s + n; n = n - 1; }",
+		// Multi-block control flow: chained conditionals.
+		"if (a > 0) { x = a; } if (b > 0) { y = b; } z = x + y;",
+		// An unrolled-loop shape: straight-line repetition.
+		"s = 0; s = s + a * a; s = s + b * b; s = s + c * c; s = s + d * d;",
+		"x = -a; y = ~b; z = x * y + 1;",
+		"if (a == b) { r = 1; } else { if (a < b) { r = 2; } else { r = 3; } }",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	m := isdl.ExampleArchFull(4)
+	f.Fuzz(func(t *testing.T, src string) {
+		res, err := CompileSource(src, m, 1, DefaultOptions())
+		if err != nil {
+			return // rejection (parse error, unsupported op, ...) is fine
+		}
+		// The binary object format must accept anything the compiler emits.
+		loaded, err := asm.Decode(asm.Encode(res.Program), m)
+		if err != nil {
+			t.Fatalf("object round trip failed for %q: %v", src, err)
+		}
+		// Reference semantics with a finite budget: programs the
+		// interpreter cannot finish (runaway loops) are out of scope.
+		f2, err := ParseAndLower(src, 1)
+		if err != nil {
+			t.Fatalf("ParseAndLower failed after CompileSource succeeded for %q: %v", src, err)
+		}
+		want := map[string]int64{"a": 6, "b": 4, "c": 3, "d": 2, "n": 3, "x": 1, "y": 1}
+		if ir.EvalFunc(f2, want, 200000) != nil {
+			return
+		}
+		mem := map[string]int64{"a": 6, "b": 4, "c": 3, "d": 2, "n": 3, "x": 1, "y": 1}
+		got, _, err := sim.RunProgram(loaded, mem, 400000)
+		if err != nil {
+			t.Fatalf("simulation trapped for %q: %v\n%s", src, err, res.Program)
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Fatalf("mem[%s] = %d, interpreter says %d for %q\n%s", k, got[k], v, src, res.Program)
+			}
+		}
+		for k := range got {
+			if !strings.HasPrefix(k, "$") {
+				if _, ok := want[k]; !ok {
+					t.Fatalf("stray write mem[%s] for %q", k, src)
+				}
+			}
+		}
+	})
+}

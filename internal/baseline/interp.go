@@ -1,0 +1,21 @@
+package baseline
+
+import "aviv/internal/ir"
+
+// Interpret executes f directly on the IR-level semantics, mutating mem
+// in place and returning it. It is the reference oracle of the
+// differential test harness: any compiled program — from this package's
+// sequential phase-ordered generator or from the concurrent AVIV
+// pipeline — must leave data memory in exactly this state when run on
+// the instruction-level simulator. maxSteps bounds execution (<= 0
+// selects the interpreter's default budget) so malformed control flow
+// cannot loop forever.
+func Interpret(f *ir.Func, mem map[string]int64, maxSteps int) (map[string]int64, error) {
+	if mem == nil {
+		mem = map[string]int64{}
+	}
+	if err := ir.EvalFunc(f, mem, maxSteps); err != nil {
+		return nil, err
+	}
+	return mem, nil
+}

@@ -1,0 +1,58 @@
+package bench
+
+import (
+	"fmt"
+
+	"aviv/internal/ir"
+)
+
+// MultiBlock builds a deterministic pseudo-random function of nBlocks
+// chained basic blocks, each a DAG of opsPerBlock ADD/SUB/MUL operations.
+// Every fourth block ends in a conditional branch that may skip the next
+// block (forward-only edges, so every path terminates); the rest chain by
+// unconditional jump, which exercises the fallthrough layout. The second
+// return value is an initial data memory for simulator validation; the
+// reference semantics come from ir.EvalFunc on the same function.
+//
+// It is the workload of the parallel compile-pipeline studies: the blocks
+// are independent covering problems of similar size, so an N-worker pool
+// has real work to balance.
+func MultiBlock(seed int64, nBlocks, opsPerBlock int) (*ir.Func, map[string]int64) {
+	if nBlocks < 1 {
+		nBlocks = 1
+	}
+	state := uint64(seed)*2654435761 + 12345
+	next := func(n int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(n))
+	}
+	mem := map[string]int64{"a": 11, "b": 7, "c": 5, "d": 3}
+	f := &ir.Func{Name: fmt.Sprintf("multi%d_%d", seed, nBlocks)}
+	ops := []ir.Op{ir.OpAdd, ir.OpSub, ir.OpMul}
+	for i := 0; i < nBlocks; i++ {
+		bb := ir.NewBuilder(fmt.Sprintf("b%d", i))
+		avail := []*ir.Node{bb.Load("a"), bb.Load("b"), bb.Load("c"), bb.Load("d")}
+		if i > 0 {
+			// Chain a value produced by an earlier block through memory.
+			avail = append(avail, bb.Load(fmt.Sprintf("t%d", i-1)))
+		}
+		for k := 0; k < opsPerBlock; k++ {
+			x := avail[next(len(avail))]
+			y := avail[next(len(avail))]
+			avail = append(avail, bb.Op(ops[next(len(ops))], x, y))
+		}
+		bb.Store(fmt.Sprintf("t%d", i), avail[len(avail)-1])
+		switch {
+		case i == nBlocks-1:
+			bb.Return()
+		case i%4 == 3 && i+2 < nBlocks:
+			// Forward conditional: skip the next block when the test holds.
+			cond := bb.Op(ir.OpCmpGT, avail[len(avail)-1], bb.Const(int64(next(100))))
+			bb.Branch(cond, fmt.Sprintf("b%d", i+2), fmt.Sprintf("b%d", i+1))
+		default:
+			bb.Jump(fmt.Sprintf("b%d", i+1))
+		}
+		f.Blocks = append(f.Blocks, bb.Finish())
+	}
+	return f, mem
+}

@@ -3,6 +3,7 @@ package cover
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"aviv/internal/ir"
 	"aviv/internal/sndag"
@@ -11,13 +12,20 @@ import (
 // Trace records the covering run step by step for the figure-reproduction
 // harness: assignment-search incremental costs and pruning decisions
 // (Fig. 6), generated cliques (Fig. 8), selected instructions, and spill
-// events (Fig. 9).
+// events (Fig. 9). Appends are mutex-guarded so one Trace can be shared
+// by coverings running on different goroutines, though line order is
+// only meaningful for a serial run (aviv.Compile forces Parallelism 1
+// when a Trace is set).
 type Trace struct {
+	mu    sync.Mutex
 	Lines []string
 }
 
 func (t *Trace) logf(format string, args ...any) {
-	t.Lines = append(t.Lines, fmt.Sprintf(format, args...))
+	line := fmt.Sprintf(format, args...)
+	t.mu.Lock()
+	t.Lines = append(t.Lines, line)
+	t.mu.Unlock()
 }
 
 func (t *Trace) assignStep(n *ir.Node, alt *sndag.Alt, cost int, pruned bool) {
@@ -30,5 +38,7 @@ func (t *Trace) assignStep(n *ir.Node, alt *sndag.Alt, cost int, pruned bool) {
 
 // String returns the full trace text.
 func (t *Trace) String() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
 	return strings.Join(t.Lines, "\n")
 }

@@ -25,6 +25,19 @@ func FuzzParse(f *testing.F) {
 		"for(i=0;i<4;i=i+1){if(i%2){a=a+1;}else{a=a-1;}}",
 		"# comment\nx = 1; // trailing",
 		"x = 9223372036854775807;",
+		// Multi-block control flow: chained and nested conditionals create
+		// several basic blocks joined by branches.
+		"if (a > 0) { x = a; } if (b > 0) { y = b; } z = x + y;",
+		"if (a > b) { if (b > 0) { r = 1; } else { r = 2; } } else { r = 3; }",
+		"while (a > 0) { if (a % 2) { s = s + a; } a = a - 1; }",
+		// Unrolled-loop shapes: a loop whose body the unroller replicates,
+		// and its already-unrolled straight-line equivalent.
+		"s = 0; for (i = 0; i < 8; i = i + 1) { s = s + a * i; }",
+		"s = s + a * a; s = s + b * b; s = s + c * c; s = s + d * d;",
+		"for (i = 0; i < 6; i = i + 3) { x = x + i; y = y * 2; }",
+		// Nested loops: the unroller must keep inner control flow intact.
+		"for (i = 0; i < 3; i = i + 1) { for (j = 0; j < 2; j = j + 1) { s = s + i * j; } }",
+		"i = 0; while (i < 4) { j = 0; while (j < i) { t = t + 1; j = j + 1; } i = i + 1; }",
 	}
 	for _, s := range seeds {
 		f.Add(s)

@@ -1,0 +1,205 @@
+// Package metrics collects per-block and per-phase counters and timings
+// for a compilation run: covering effort (assignments explored), peephole
+// savings, wall time per back-end phase, and worker utilization of the
+// parallel block-compilation pipeline. The numbers feed the -stats output
+// of cmd/avivcc and cmd/avivbench and the scaling studies.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// BlockMetrics records the compilation effort spent on one basic block.
+type BlockMetrics struct {
+	// Block is the basic-block name.
+	Block string
+	// Worker is the index of the pipeline worker that compiled the
+	// block (0 for the serial path).
+	Worker int
+
+	// DAGNodes is the Split-Node DAG size (the paper's "#Nodes" metric).
+	DAGNodes int
+	// Instructions is the covered block body size (code-size objective).
+	Instructions int
+	// Spills counts values spilled to memory by the covering.
+	Spills int
+	// AssignmentsExplored counts complete functional-unit assignments
+	// covered in detail (Sec. IV-A beam).
+	AssignmentsExplored int
+	// PeepholeSaved counts instructions removed by the peephole pass.
+	PeepholeSaved int
+
+	// Per-phase wall time.
+	Cover    time.Duration // Split-Node DAG build + concurrent covering
+	Peephole time.Duration // post-allocation cleanup pass
+	Regalloc time.Duration // detailed register allocation
+	Emit     time.Duration // assembly emission
+	// Total is the whole per-block pipeline, including overhead not
+	// attributed to a named phase.
+	Total time.Duration
+}
+
+// CompileMetrics aggregates a whole-function compilation.
+type CompileMetrics struct {
+	// Blocks holds per-block metrics in original (source) block order,
+	// regardless of the order workers finished in.
+	Blocks []BlockMetrics
+	// Parallelism is the worker-pool size used (1 = serial path).
+	Parallelism int
+	// Wall is the end-to-end Compile wall time.
+	Wall time.Duration
+	// WorkerBusy is the per-worker busy time, indexed by worker.
+	WorkerBusy []time.Duration
+}
+
+// TotalAssignments sums assignments explored across blocks.
+func (m *CompileMetrics) TotalAssignments() int {
+	n := 0
+	for _, b := range m.Blocks {
+		n += b.AssignmentsExplored
+	}
+	return n
+}
+
+// TotalPeepholeSaved sums instructions removed by the peephole pass.
+func (m *CompileMetrics) TotalPeepholeSaved() int {
+	n := 0
+	for _, b := range m.Blocks {
+		n += b.PeepholeSaved
+	}
+	return n
+}
+
+// TotalSpills sums spills across blocks.
+func (m *CompileMetrics) TotalSpills() int {
+	n := 0
+	for _, b := range m.Blocks {
+		n += b.Spills
+	}
+	return n
+}
+
+// PhaseTotals sums the per-phase block times across the function.
+func (m *CompileMetrics) PhaseTotals() (cover, peephole, regalloc, emit time.Duration) {
+	for _, b := range m.Blocks {
+		cover += b.Cover
+		peephole += b.Peephole
+		regalloc += b.Regalloc
+		emit += b.Emit
+	}
+	return
+}
+
+// BusyTotal sums worker busy time — the CPU time the pipeline spent
+// compiling blocks.
+func (m *CompileMetrics) BusyTotal() time.Duration {
+	var t time.Duration
+	for _, d := range m.WorkerBusy {
+		t += d
+	}
+	return t
+}
+
+// Utilization is the fraction of the pool's wall-clock capacity spent
+// busy: BusyTotal / (Parallelism * Wall). 1.0 means every worker was
+// compiling for the whole run; low values mean the pool was starved
+// (few blocks, or one straggler block dominating).
+func (m *CompileMetrics) Utilization() float64 {
+	if m.Parallelism <= 0 || m.Wall <= 0 {
+		return 0
+	}
+	return float64(m.BusyTotal()) / (float64(m.Parallelism) * float64(m.Wall))
+}
+
+// String formats the metrics as the multi-line report printed by the
+// -stats flags.
+func (m *CompileMetrics) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "compile: %d blocks, parallelism %d, wall %v, utilization %.0f%%\n",
+		len(m.Blocks), m.Parallelism, m.Wall.Round(time.Microsecond), 100*m.Utilization())
+	cover, peep, ra, emit := m.PhaseTotals()
+	fmt.Fprintf(&sb, "phases:  cover %v, peephole %v, regalloc %v, emit %v (cpu across workers)\n",
+		cover.Round(time.Microsecond), peep.Round(time.Microsecond),
+		ra.Round(time.Microsecond), emit.Round(time.Microsecond))
+	fmt.Fprintf(&sb, "effort:  %d assignments explored, %d spills, %d instrs saved by peephole\n",
+		m.TotalAssignments(), m.TotalSpills(), m.TotalPeepholeSaved())
+	for _, b := range m.Blocks {
+		fmt.Fprintf(&sb, "block %-10s w%-2d %4d SN-DAG nodes, %3d instrs, %2d spills, %6d assignments, peephole -%d, %v\n",
+			b.Block, b.Worker, b.DAGNodes, b.Instructions, b.Spills,
+			b.AssignmentsExplored, b.PeepholeSaved, b.Total.Round(time.Microsecond))
+	}
+	return sb.String()
+}
+
+// Collector accumulates block metrics from concurrently running pipeline
+// workers. All methods are safe for concurrent use.
+type Collector struct {
+	mu          sync.Mutex
+	parallelism int
+	start       time.Time
+	blocks      map[int]BlockMetrics // keyed by original block index
+	busy        []time.Duration
+}
+
+// NewCollector starts a collection for a run with the given worker-pool
+// size. The wall clock starts immediately.
+func NewCollector(parallelism int) *Collector {
+	if parallelism < 1 {
+		parallelism = 1
+	}
+	return &Collector{
+		parallelism: parallelism,
+		start:       time.Now(),
+		blocks:      make(map[int]BlockMetrics),
+		busy:        make([]time.Duration, parallelism),
+	}
+}
+
+// ReportBlock records the metrics for the block at the given original
+// index, compiled by the given worker, and credits the worker's busy time.
+func (c *Collector) ReportBlock(index, worker int, bm BlockMetrics) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	bm.Worker = worker
+	c.blocks[index] = bm
+	if worker >= 0 && worker < len(c.busy) {
+		c.busy[worker] += bm.Total
+	}
+}
+
+// Finish stops the wall clock and returns the aggregated metrics, with
+// blocks restored to original order.
+func (c *Collector) Finish() *CompileMetrics {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := &CompileMetrics{
+		Parallelism: c.parallelism,
+		Wall:        time.Since(c.start),
+		WorkerBusy:  append([]time.Duration(nil), c.busy...),
+	}
+	idxs := make([]int, 0, len(c.blocks))
+	for i := range c.blocks {
+		idxs = append(idxs, i)
+	}
+	sort.Ints(idxs)
+	for _, i := range idxs {
+		m.Blocks = append(m.Blocks, c.blocks[i])
+	}
+	return m
+}
+
+// Timer measures one phase: call Phase around the phase body, or Start /
+// the returned stop func for manual control.
+type Timer struct {
+	start time.Time
+}
+
+// StartTimer begins timing.
+func StartTimer() Timer { return Timer{start: time.Now()} }
+
+// Elapsed returns the time since StartTimer.
+func (t Timer) Elapsed() time.Duration { return time.Since(t.start) }

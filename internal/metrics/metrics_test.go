@@ -1,0 +1,94 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCollectorOrdersBlocksAndCreditsWorkers(t *testing.T) {
+	c := NewCollector(3)
+	var wg sync.WaitGroup
+	// Report out of order from concurrent goroutines.
+	for i := 9; i >= 0; i-- {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c.ReportBlock(i, i%3, BlockMetrics{
+				Block:               "b" + string(rune('0'+i)),
+				AssignmentsExplored: i,
+				PeepholeSaved:       1,
+				Spills:              2,
+				Total:               time.Millisecond,
+			})
+		}(i)
+	}
+	wg.Wait()
+	m := c.Finish()
+	if len(m.Blocks) != 10 {
+		t.Fatalf("got %d blocks, want 10", len(m.Blocks))
+	}
+	for i, b := range m.Blocks {
+		if b.Block != "b"+string(rune('0'+i)) {
+			t.Errorf("block %d out of order: %s", i, b.Block)
+		}
+		if b.Worker != i%3 {
+			t.Errorf("block %d worker = %d, want %d", i, b.Worker, i%3)
+		}
+	}
+	if got := m.TotalAssignments(); got != 45 {
+		t.Errorf("TotalAssignments = %d, want 45", got)
+	}
+	if got := m.TotalPeepholeSaved(); got != 10 {
+		t.Errorf("TotalPeepholeSaved = %d, want 10", got)
+	}
+	if got := m.TotalSpills(); got != 20 {
+		t.Errorf("TotalSpills = %d, want 20", got)
+	}
+	if got := m.BusyTotal(); got != 10*time.Millisecond {
+		t.Errorf("BusyTotal = %v, want 10ms", got)
+	}
+	if m.Parallelism != 3 {
+		t.Errorf("Parallelism = %d, want 3", m.Parallelism)
+	}
+	if len(m.WorkerBusy) != 3 {
+		t.Errorf("WorkerBusy len = %d, want 3", len(m.WorkerBusy))
+	}
+}
+
+func TestPhaseTotalsAndUtilization(t *testing.T) {
+	m := &CompileMetrics{
+		Parallelism: 2,
+		Wall:        100 * time.Millisecond,
+		WorkerBusy:  []time.Duration{80 * time.Millisecond, 40 * time.Millisecond},
+		Blocks: []BlockMetrics{
+			{Cover: 10 * time.Millisecond, Peephole: time.Millisecond, Regalloc: 2 * time.Millisecond, Emit: 3 * time.Millisecond},
+			{Cover: 20 * time.Millisecond, Peephole: 2 * time.Millisecond, Regalloc: 4 * time.Millisecond, Emit: 6 * time.Millisecond},
+		},
+	}
+	cover, peep, ra, emit := m.PhaseTotals()
+	if cover != 30*time.Millisecond || peep != 3*time.Millisecond ||
+		ra != 6*time.Millisecond || emit != 9*time.Millisecond {
+		t.Errorf("PhaseTotals = %v %v %v %v", cover, peep, ra, emit)
+	}
+	if u := m.Utilization(); u < 0.59 || u > 0.61 {
+		t.Errorf("Utilization = %v, want 0.6", u)
+	}
+	// Degenerate metrics do not divide by zero.
+	if u := new(CompileMetrics).Utilization(); u != 0 {
+		t.Errorf("zero-value Utilization = %v, want 0", u)
+	}
+}
+
+func TestStringReport(t *testing.T) {
+	c := NewCollector(0) // clamps to 1
+	c.ReportBlock(0, 0, BlockMetrics{Block: "entry", DAGNodes: 12, Instructions: 5, AssignmentsExplored: 7})
+	m := c.Finish()
+	s := m.String()
+	for _, want := range []string{"parallelism 1", "block entry", "7 assignments", "phases:"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report missing %q:\n%s", want, s)
+		}
+	}
+}
