@@ -1,5 +1,5 @@
 # Convenience targets; `make check` is the gate ci.sh runs in CI.
-.PHONY: check test build vet fuzz bench
+.PHONY: check test build vet lint fuzz bench
 
 check:
 	./ci.sh
@@ -12,6 +12,10 @@ build:
 
 vet:
 	go vet ./...
+
+lint:
+	for f in examples/machines/*.isdl; do go run ./cmd/isdldump -lint $$f; done
+	go test -run 'TestMutation|TestLint' ./internal/verify
 
 fuzz:
 	go test -run '^$$' -fuzz='^FuzzCompileSource$$' -fuzztime=10s .

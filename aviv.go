@@ -33,6 +33,7 @@ import (
 	"aviv/internal/place"
 	"aviv/internal/regalloc"
 	"aviv/internal/sndag"
+	"aviv/internal/verify"
 )
 
 // Options configure compilation.
@@ -55,6 +56,12 @@ type Options struct {
 	// at every setting; only wall time changes. When Cover.Trace is set
 	// the pool is forced serial so trace lines keep their order.
 	Parallelism int
+	// Verify runs the static translation validator (internal/verify) on
+	// the compiled output: source IR, per-block schedule/allocation, and
+	// post-layout control flow are re-checked against the machine
+	// description, and Compile fails with a *verify.VerifyError when any
+	// invariant is violated.
+	Verify bool
 }
 
 // DefaultOptions returns the paper's heuristics-on configuration with the
@@ -191,6 +198,11 @@ func Compile(f *ir.Func, m *isdl.Machine, opts Options) (*CompileResult, error) 
 	if err := f.Verify(); err != nil {
 		return nil, fmt.Errorf("aviv: %w", err)
 	}
+	if opts.Verify {
+		if verr := verify.Func(f); verr != nil {
+			return nil, fmt.Errorf("aviv: source IR rejected by verifier: %w", verr)
+		}
+	}
 	if opts.AutoPlace && len(m.Memories) > 1 {
 		auto := place.Assign(f, m)
 		merged := make(map[string]string, len(auto)+len(opts.Cover.VarPlacement))
@@ -252,11 +264,49 @@ func Compile(f *ir.Func, m *isdl.Machine, opts Options) (*CompileResult, error) 
 		out.Program.Blocks = append(out.Program.Blocks, br.Code)
 	}
 	layoutBlocks(out.Program)
+	var verr *verify.VerifyError
+	if opts.Verify {
+		verr = verifyResult(out)
+	}
 	out.Metrics = coll.Finish()
 	for i, bm := range out.Metrics.Blocks {
 		out.Blocks[i].Metrics.Worker = bm.Worker
+		// The collector snapshotted block metrics before verification
+		// ran; push the verify timings the other way.
+		out.Metrics.Blocks[i].Verify = out.Blocks[i].Metrics.Verify
+		out.Metrics.Blocks[i].Violations = out.Blocks[i].Metrics.Violations
+	}
+	if verr != nil {
+		return out, fmt.Errorf("aviv: translation validation failed: %w", verr)
 	}
 	return out, nil
+}
+
+// verifyResult runs the static translation validator over the laid-out
+// program, recording per-block verify time and violation counts in the
+// block metrics. Layout- and program-level violations are charged to the
+// block they name when it exists.
+func verifyResult(out *CompileResult) *verify.VerifyError {
+	byName := make(map[string]*BlockResult, len(out.Blocks))
+	var all []verify.Violation
+	for _, br := range out.Blocks {
+		byName[br.Code.Name] = br
+		t := metrics.StartTimer()
+		vs := verify.BlockCode(br.Code, out.Machine, br.Block)
+		br.Metrics.Verify = t.Elapsed()
+		br.Metrics.Violations = len(vs)
+		all = append(all, vs...)
+	}
+	for _, v := range verify.Layout(out.Program, out.Func) {
+		if br := byName[v.Block]; br != nil {
+			br.Metrics.Violations++
+		}
+		all = append(all, v)
+	}
+	if len(all) == 0 {
+		return nil
+	}
+	return &verify.VerifyError{Violations: all}
 }
 
 // layoutBlocks orders the program's blocks to maximize fallthroughs,
@@ -301,10 +351,24 @@ func layoutBlocks(p *asm.Program) {
 			cur = byName[nextName]
 		}
 	}
-	// Convert jumps-to-next into fallthroughs.
+	// Convert jumps-to-next into fallthroughs — and the reverse: an
+	// implicit fall whose target did not end up adjacent (its chain was
+	// entered from elsewhere first) must become an explicit jump, or the
+	// program would fall into the wrong block on real hardware.
 	for i, b := range order {
-		if b.Branch.Kind == asm.BranchJump && i+1 < len(order) && order[i+1].Name == b.Branch.Target {
-			b.Branch = asm.Branch{Kind: asm.BranchNone, Target: b.Branch.Target}
+		next := ""
+		if i+1 < len(order) {
+			next = order[i+1].Name
+		}
+		switch b.Branch.Kind {
+		case asm.BranchJump:
+			if b.Branch.Target == next {
+				b.Branch = asm.Branch{Kind: asm.BranchNone, Target: b.Branch.Target}
+			}
+		case asm.BranchNone:
+			if b.Branch.Target != "" && b.Branch.Target != next {
+				b.Branch = asm.Branch{Kind: asm.BranchJump, Target: b.Branch.Target}
+			}
 		}
 	}
 	p.Blocks = order

@@ -7,6 +7,10 @@
 # The -race run doubles as the determinism proof for the parallel
 # block-compilation pipeline: TestParallelDeterminism compiles the same
 # multi-block function at pool sizes 1/2/8 under the race detector.
+#
+# The lint stage runs the ISDL machine linter over the shipped example
+# descriptions and the verifier's mutation self-test (every corruption
+# class must be rejected with a diagnostic).
 set -eu
 
 cd "$(dirname "$0")"
@@ -16,6 +20,14 @@ go vet ./...
 
 echo "== go build =="
 go build ./...
+
+echo "== lint: ISDL machine descriptions =="
+for f in examples/machines/*.isdl; do
+    go run ./cmd/isdldump -lint "$f"
+done
+
+echo "== lint: verifier mutation self-test =="
+go test -run 'TestMutation|TestLint' ./internal/verify
 
 echo "== go test -race =="
 go test -race ./...

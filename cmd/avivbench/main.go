@@ -379,6 +379,7 @@ func parallelScaleStudy(maxPar int) error {
 	for _, par := range pools {
 		opts := aviv.DefaultOptions()
 		opts.Parallelism = par
+		opts.Verify = true // every parscale compile is also translation-validated
 		var res *aviv.CompileResult
 		best := time.Duration(1<<63 - 1)
 		util := 0.0
@@ -423,6 +424,7 @@ func statsReport(par int) error {
 	m := isdl.ExampleArchFull(4)
 	opts := aviv.DefaultOptions()
 	opts.Parallelism = par
+	opts.Verify = true // the verify phase shows up in the report below
 	res, err := aviv.Compile(f, m, opts)
 	if err != nil {
 		return err

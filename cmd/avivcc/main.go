@@ -41,6 +41,7 @@ func main() {
 	stats := flag.Bool("stats", false, "print per-block code generation statistics and compile metrics")
 	trace := flag.Bool("trace", false, "trace simulated instructions")
 	parallel := flag.Int("parallel", 0, "block-compilation worker pool size (0 = GOMAXPROCS, 1 = serial; output is identical at any setting)")
+	verifyFlag := flag.Bool("verify", false, "run the static translation validator on the compiled output (fails the compile on any violation)")
 	flag.Parse()
 
 	die := func(err error) {
@@ -78,6 +79,7 @@ func main() {
 		opts = aviv.ExhaustiveOptions()
 	}
 	opts.Parallelism = *parallel
+	opts.Verify = *verifyFlag
 	if *place != "" {
 		placement := map[string]string{}
 		for _, kv := range strings.Split(*place, ",") {

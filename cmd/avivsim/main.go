@@ -4,6 +4,10 @@
 //
 //	avivsim -march machine.isdl -mem "a=3,b=4" prog.avob
 //	avivsim -example prog.avob
+//
+// Exit codes (so CI and scripts can gate on the simulator): 0 success,
+// 1 usage or I/O error, 2 the program failed to decode/parse or was
+// rejected by the static verifier, 3 the simulator trapped.
 package main
 
 import (
@@ -17,6 +21,14 @@ import (
 	"aviv/internal/asm"
 	"aviv/internal/isdl"
 	"aviv/internal/sim"
+	"aviv/internal/verify"
+)
+
+// Exit codes.
+const (
+	exitUsage  = 1 // bad flags, unreadable files
+	exitDecode = 2 // object/assembly rejected at load or by the verifier
+	exitTrap   = 3 // simulator trapped at run time
 )
 
 func main() {
@@ -29,12 +41,14 @@ func main() {
 	disasm := flag.Bool("d", false, "disassemble instead of running")
 	asmText := flag.Bool("asm", false, "input is assembly text rather than a binary object")
 	assembleTo := flag.String("o", "", "with -asm: assemble to this binary object instead of running")
+	verifyFlag := flag.Bool("verify", false, "statically verify the loaded program against the machine before running")
 	flag.Parse()
 
-	die := func(err error) {
+	dieCode := func(code int, err error) {
 		fmt.Fprintln(os.Stderr, "avivsim:", err)
-		os.Exit(1)
+		os.Exit(code)
 	}
+	die := func(err error) { dieCode(exitUsage, err) }
 
 	var machine *isdl.Machine
 	switch {
@@ -66,7 +80,12 @@ func main() {
 		prog, err = asm.Decode(obj, machine)
 	}
 	if err != nil {
-		die(err)
+		dieCode(exitDecode, err)
+	}
+	if *verifyFlag {
+		if verr := verify.Program(prog, nil); verr != nil {
+			dieCode(exitDecode, verr)
+		}
 	}
 	if *assembleTo != "" {
 		if err := os.WriteFile(*assembleTo, asm.Encode(prog), 0o644); err != nil {
@@ -99,7 +118,7 @@ func main() {
 		m.TraceFn = func(s string) { fmt.Fprintln(os.Stderr, s) }
 	}
 	if err := m.Run(*maxCycles); err != nil {
-		die(err)
+		dieCode(exitTrap, err)
 	}
 	fmt.Printf("halted after %d cycles\n", m.Cycles)
 	final := m.Mem()

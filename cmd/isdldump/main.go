@@ -4,9 +4,10 @@
 // (multi-hop) transfer-path database.
 //
 //	isdldump machine.isdl
-//	isdldump -example      # the paper's Fig. 3 machine
-//	isdldump -arch2        # the paper's Table II machine
-//	isdldump -wide         # the 4-unit MAC machine
+//	isdldump -example          # the paper's Fig. 3 machine
+//	isdldump -arch2            # the paper's Table II machine
+//	isdldump -wide             # the 4-unit MAC machine
+//	isdldump -lint machine.isdl  # lint only; nonzero exit on problems
 package main
 
 import (
@@ -16,6 +17,7 @@ import (
 
 	"aviv/internal/asm"
 	"aviv/internal/isdl"
+	"aviv/internal/verify"
 )
 
 func main() {
@@ -23,6 +25,7 @@ func main() {
 	arch2 := flag.Bool("arch2", false, "dump Architecture II")
 	wide := flag.Bool("wide", false, "dump the 4-unit WideDSP machine")
 	regs := flag.Int("regs", 4, "registers per file for built-in machines")
+	lint := flag.Bool("lint", false, "lint the description (verify.LintMachine) and exit nonzero on problems")
 	flag.Parse()
 
 	var m *isdl.Machine
@@ -39,7 +42,13 @@ func main() {
 			fmt.Fprintln(os.Stderr, "isdldump:", err)
 			os.Exit(1)
 		}
-		m, err = isdl.Parse(string(src))
+		// The linter wants the unfinalized description so it can report
+		// every problem, not just the first one Finalize trips over.
+		if *lint {
+			m, err = isdl.ParseRaw(string(src))
+		} else {
+			m, err = isdl.Parse(string(src))
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "isdldump:", err)
 			os.Exit(1)
@@ -47,6 +56,16 @@ func main() {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *lint {
+		if err := verify.LintMachine(m); err != nil {
+			for _, v := range err.Violations {
+				fmt.Fprintln(os.Stderr, "isdldump:", v.String())
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("%s: lints clean\n", m.Name)
+		return
 	}
 	fmt.Print(m.Describe())
 	fmt.Printf("hardware area estimate: %d\n", m.HardwareCost())

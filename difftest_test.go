@@ -151,6 +151,7 @@ func diffOne(t *testing.T, src string, m *isdl.Machine, mem map[string]int64, op
 	if err != nil {
 		t.Fatalf("%s: reference interpreter: %v\n%s", label, err, src)
 	}
+	opts.Verify = true // every difftest compile also runs the static verifier
 	res, err := CompileSource(src, m, 1, opts)
 	if err != nil {
 		t.Fatalf("%s: compile: %v\n%s", label, err, src)

@@ -1,6 +1,7 @@
 package aviv
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -8,6 +9,7 @@ import (
 	"aviv/internal/ir"
 	"aviv/internal/isdl"
 	"aviv/internal/sim"
+	"aviv/internal/verify"
 )
 
 // FuzzCompileSource drives the whole pipeline from arbitrary source
@@ -34,9 +36,18 @@ func FuzzCompileSource(f *testing.F) {
 	}
 	m := isdl.ExampleArchFull(4)
 	f.Fuzz(func(t *testing.T, src string) {
-		res, err := CompileSource(src, m, 1, DefaultOptions())
+		opts := DefaultOptions()
+		opts.Verify = true
+		res, err := CompileSource(src, m, 1, opts)
 		if err != nil {
-			return // rejection (parse error, unsupported op, ...) is fine
+			// Rejection (parse error, unsupported op, ...) is fine — but a
+			// translation-validation failure means the compiler produced
+			// broken code and must fail loudly, not hide in the corpus.
+			var verr *verify.VerifyError
+			if errors.As(err, &verr) {
+				t.Fatalf("verifier rejected compiled output for %q: %v", src, verr)
+			}
+			return
 		}
 		// The binary object format must accept anything the compiler emits.
 		loaded, err := asm.Decode(asm.Encode(res.Program), m)

@@ -122,6 +122,11 @@ func (op Op) String() string {
 	return opNames[op]
 }
 
+// Valid reports whether op is a defined operation code (excluding
+// OpInvalid). Out-of-range values decoded from corrupted objects or
+// hand-built IR fail this check.
+func (op Op) Valid() bool { return op > OpInvalid && op < numOps }
+
 // Arity returns the number of value operands op takes.
 func (op Op) Arity() int {
 	if op >= numOps {

@@ -26,8 +26,7 @@ import (
 //
 // '#' and '//' start comments running to end of line.
 func Parse(src string) (*Machine, error) {
-	p := &parser{toks: lex(src)}
-	m, err := p.parse()
+	m, err := ParseRaw(src)
 	if err != nil {
 		return nil, err
 	}
@@ -35,6 +34,14 @@ func Parse(src string) (*Machine, error) {
 		return nil, err
 	}
 	return m, nil
+}
+
+// ParseRaw parses a textual machine description without finalizing it.
+// Linters use it to examine descriptions Finalize would reject at the
+// first problem, so every defect can be reported at once.
+func ParseRaw(src string) (*Machine, error) {
+	p := &parser{toks: lex(src)}
+	return p.parse()
 }
 
 type token struct {

@@ -32,12 +32,16 @@ type BlockMetrics struct {
 	AssignmentsExplored int
 	// PeepholeSaved counts instructions removed by the peephole pass.
 	PeepholeSaved int
+	// Violations counts translation-validation diagnostics flagged on the
+	// block (always 0 on a successful compile with verification on).
+	Violations int
 
 	// Per-phase wall time.
 	Cover    time.Duration // Split-Node DAG build + concurrent covering
 	Peephole time.Duration // post-allocation cleanup pass
 	Regalloc time.Duration // detailed register allocation
 	Emit     time.Duration // assembly emission
+	Verify   time.Duration // static translation validation
 	// Total is the whole per-block pipeline, including overhead not
 	// attributed to a named phase.
 	Total time.Duration
@@ -84,14 +88,24 @@ func (m *CompileMetrics) TotalSpills() int {
 }
 
 // PhaseTotals sums the per-phase block times across the function.
-func (m *CompileMetrics) PhaseTotals() (cover, peephole, regalloc, emit time.Duration) {
+func (m *CompileMetrics) PhaseTotals() (cover, peephole, regalloc, emit, verify time.Duration) {
 	for _, b := range m.Blocks {
 		cover += b.Cover
 		peephole += b.Peephole
 		regalloc += b.Regalloc
 		emit += b.Emit
+		verify += b.Verify
 	}
 	return
+}
+
+// TotalViolations sums translation-validation diagnostics across blocks.
+func (m *CompileMetrics) TotalViolations() int {
+	n := 0
+	for _, b := range m.Blocks {
+		n += b.Violations
+	}
+	return n
 }
 
 // BusyTotal sums worker busy time — the CPU time the pipeline spent
@@ -121,12 +135,12 @@ func (m *CompileMetrics) String() string {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "compile: %d blocks, parallelism %d, wall %v, utilization %.0f%%\n",
 		len(m.Blocks), m.Parallelism, m.Wall.Round(time.Microsecond), 100*m.Utilization())
-	cover, peep, ra, emit := m.PhaseTotals()
-	fmt.Fprintf(&sb, "phases:  cover %v, peephole %v, regalloc %v, emit %v (cpu across workers)\n",
+	cover, peep, ra, emit, verify := m.PhaseTotals()
+	fmt.Fprintf(&sb, "phases:  cover %v, peephole %v, regalloc %v, emit %v, verify %v (cpu across workers)\n",
 		cover.Round(time.Microsecond), peep.Round(time.Microsecond),
-		ra.Round(time.Microsecond), emit.Round(time.Microsecond))
-	fmt.Fprintf(&sb, "effort:  %d assignments explored, %d spills, %d instrs saved by peephole\n",
-		m.TotalAssignments(), m.TotalSpills(), m.TotalPeepholeSaved())
+		ra.Round(time.Microsecond), emit.Round(time.Microsecond), verify.Round(time.Microsecond))
+	fmt.Fprintf(&sb, "effort:  %d assignments explored, %d spills, %d instrs saved by peephole, %d verifier violations\n",
+		m.TotalAssignments(), m.TotalSpills(), m.TotalPeepholeSaved(), m.TotalViolations())
 	for _, b := range m.Blocks {
 		fmt.Fprintf(&sb, "block %-10s w%-2d %4d SN-DAG nodes, %3d instrs, %2d spills, %6d assignments, peephole -%d, %v\n",
 			b.Block, b.Worker, b.DAGNodes, b.Instructions, b.Spills,

@@ -63,14 +63,14 @@ func TestPhaseTotalsAndUtilization(t *testing.T) {
 		Wall:        100 * time.Millisecond,
 		WorkerBusy:  []time.Duration{80 * time.Millisecond, 40 * time.Millisecond},
 		Blocks: []BlockMetrics{
-			{Cover: 10 * time.Millisecond, Peephole: time.Millisecond, Regalloc: 2 * time.Millisecond, Emit: 3 * time.Millisecond},
-			{Cover: 20 * time.Millisecond, Peephole: 2 * time.Millisecond, Regalloc: 4 * time.Millisecond, Emit: 6 * time.Millisecond},
+			{Cover: 10 * time.Millisecond, Peephole: time.Millisecond, Regalloc: 2 * time.Millisecond, Emit: 3 * time.Millisecond, Verify: time.Millisecond},
+			{Cover: 20 * time.Millisecond, Peephole: 2 * time.Millisecond, Regalloc: 4 * time.Millisecond, Emit: 6 * time.Millisecond, Verify: 4 * time.Millisecond},
 		},
 	}
-	cover, peep, ra, emit := m.PhaseTotals()
+	cover, peep, ra, emit, verify := m.PhaseTotals()
 	if cover != 30*time.Millisecond || peep != 3*time.Millisecond ||
-		ra != 6*time.Millisecond || emit != 9*time.Millisecond {
-		t.Errorf("PhaseTotals = %v %v %v %v", cover, peep, ra, emit)
+		ra != 6*time.Millisecond || emit != 9*time.Millisecond || verify != 5*time.Millisecond {
+		t.Errorf("PhaseTotals = %v %v %v %v %v", cover, peep, ra, emit, verify)
 	}
 	if u := m.Utilization(); u < 0.59 || u > 0.61 {
 		t.Errorf("Utilization = %v, want 0.6", u)

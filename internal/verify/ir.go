@@ -1,0 +1,137 @@
+package verify
+
+import (
+	"aviv/internal/ir"
+)
+
+// Func statically re-verifies a source IR function independently of
+// ir.Func.Verify: every block DAG must be acyclic with operands defined
+// before use and inside the block, node arities must match their ops,
+// load/store nodes must name a memory location, and terminators must be
+// consistent with the control-flow edges. Returns nil when clean.
+func Func(f *ir.Func) *VerifyError {
+	s := &sink{}
+	names := make(map[string]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		if names[b.Name] {
+			s.add("ir/dup-block", Coord{Block: b.Name, Instr: -1}, "duplicate block name")
+			continue
+		}
+		names[b.Name] = true
+	}
+	for _, b := range f.Blocks {
+		verifyBlockIR(s, b)
+		for _, succ := range b.Succs {
+			if !names[succ] {
+				s.add("ir/succ", Coord{Block: b.Name, Instr: -1}, "unknown successor %q", succ)
+			}
+		}
+	}
+	return asError(s.vs)
+}
+
+func verifyBlockIR(s *sink, b *ir.Block) {
+	s.block = b.Name
+	defer func() { s.block = "" }()
+
+	pos := make(map[*ir.Node]int, len(b.Nodes))
+	for i, n := range b.Nodes {
+		c := Coord{Instr: -1, Slot: n.String()}
+		if !n.Op.Valid() {
+			s.add("ir/bad-op", c, "node n%d has invalid op %v", n.ID, n.Op)
+			pos[n] = i
+			continue
+		}
+		if got, want := len(n.Args), n.Op.Arity(); got != want {
+			s.add("ir/arity", c, "%s has %d operands, want %d", n.Op, got, want)
+		}
+		// pos only holds nodes seen earlier in the list, so one lookup
+		// covers both "not in this block" and "defined later".
+		for _, a := range n.Args {
+			if _, in := pos[a]; !in {
+				s.add("ir/def-before-use", c, "operand n%d is not defined earlier in the block", a.ID)
+			}
+		}
+		if (n.Op == ir.OpLoad || n.Op == ir.OpStore) && n.Var == "" {
+			s.add("ir/leaf-fields", c, "%s node n%d has no memory location name", n.Op, n.ID)
+		}
+		pos[n] = i
+	}
+
+	// Acyclicity, independent of the Nodes ordering: DFS over Args.
+	if cyc := findCycle(b.Nodes); cyc != nil {
+		s.add("ir/cycle", blockLevel(cyc.String()), "node n%d is part of an operand cycle", cyc.ID)
+	}
+
+	switch b.Term {
+	case ir.TermBranch:
+		if b.Cond == nil {
+			s.add("ir/term", blockLevel("branch"), "branch terminator without a condition node")
+		} else {
+			if _, in := pos[b.Cond]; !in {
+				s.add("ir/term", blockLevel("branch"), "branch condition n%d is not in the block", b.Cond.ID)
+			}
+			if b.Cond.Op == ir.OpStore {
+				s.add("ir/term", blockLevel("branch"), "branch condition n%d is a store, which produces no value", b.Cond.ID)
+			}
+		}
+		if len(b.Succs) != 2 {
+			s.add("ir/term", blockLevel("branch"), "branch with %d successors, want 2", len(b.Succs))
+		}
+	case ir.TermJump:
+		if len(b.Succs) != 1 {
+			s.add("ir/term", blockLevel("jump"), "jump with %d successors, want 1", len(b.Succs))
+		}
+	case ir.TermReturn:
+		if len(b.Succs) != 0 {
+			s.add("ir/term", blockLevel("return"), "return with %d successors, want 0", len(b.Succs))
+		}
+	case ir.TermNone:
+		if len(b.Succs) > 1 {
+			s.add("ir/term", blockLevel("fallthrough"), "fallthrough with %d successors, want <= 1", len(b.Succs))
+		}
+	default:
+		s.add("ir/term", blockLevel(""), "unknown terminator kind %d", b.Term)
+	}
+}
+
+// findCycle returns a node on an Args cycle, or nil when the graph is
+// acyclic. Iterative three-color DFS so adversarial inputs cannot blow
+// the goroutine stack.
+func findCycle(nodes []*ir.Node) *ir.Node {
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[*ir.Node]int, len(nodes))
+	type frame struct {
+		n   *ir.Node
+		arg int
+	}
+	for _, root := range nodes {
+		if color[root] != white {
+			continue
+		}
+		stack := []frame{{n: root}}
+		color[root] = gray
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.arg >= len(f.n.Args) {
+				color[f.n] = black
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			a := f.n.Args[f.arg]
+			f.arg++
+			switch color[a] {
+			case white:
+				color[a] = gray
+				stack = append(stack, frame{n: a})
+			case gray:
+				return a
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,246 @@
+package verify
+
+import (
+	"aviv/internal/isdl"
+)
+
+// LintMachine statically lints an ISDL machine description. It goes
+// beyond isdl.Finalize's accept/reject checks: it re-implements the
+// structural rules independently (so every problem is reported, not just
+// the first), and adds the covering-level invariants the code generator
+// relies on but Finalize does not enforce —
+//
+//   - every functional unit offers at least one (computation) operation,
+//   - register banks have positive sizes and units sharing a bank agree
+//     on the size,
+//   - latency entries name supported operations with cycles >= 1,
+//   - the machine has a data memory (variables and spills live there),
+//   - the transfer graph connects every ordered pair of register banks
+//     and connects every bank to and from a memory; a stranded bank
+//     makes Split-Node DAG construction dead-end the moment a value must
+//     cross it,
+//   - constraints reference known units performing the named ops, and a
+//     single-slot constraint (which bans the op on that unit outright)
+//     is flagged,
+//   - buses are positive-width and actually carried by some transfer,
+//   - complex-instruction patterns name a unit that can perform their
+//     result op.
+//
+// The machine need not be finalized; LintMachine finalizes a clean
+// description itself to build the transfer-path closure. Returns nil
+// when the description lints clean.
+func LintMachine(m *isdl.Machine) *VerifyError {
+	s := &sink{}
+
+	if len(m.Units) == 0 {
+		s.add("isdl/no-units", Coord{Instr: -1}, "machine %s declares no functional units", m.Name)
+		return asError(s.vs)
+	}
+
+	bankSize := map[string]int{}
+	bankFirst := map[string]string{} // bank -> first declaring unit
+	unitSeen := map[string]bool{}
+	for _, u := range m.Units {
+		c := blockLevel("unit " + u.Name)
+		if unitSeen[u.Name] {
+			s.add("isdl/unit-dup", c, "duplicate unit %s", u.Name)
+		}
+		unitSeen[u.Name] = true
+		if len(u.Ops) == 0 {
+			s.add("isdl/unit-empty", c, "unit %s offers no operations and can never be selected", u.Name)
+		}
+		for op := range u.Ops {
+			if !op.Valid() || !op.IsComputation() {
+				s.add("isdl/unit-op", c, "unit %s declares %s, which is not a functional-unit operation", u.Name, op)
+			}
+		}
+		if u.Regs.Size < 1 {
+			s.add("isdl/bank-size", c, "bank %s has %d registers", u.Regs.Name, u.Regs.Size)
+		}
+		if sz, seen := bankSize[u.Regs.Name]; seen {
+			if sz != u.Regs.Size {
+				s.add("isdl/bank-mismatch", c, "bank %s shared by %s (%d regs) and %s (%d regs)",
+					u.Regs.Name, bankFirst[u.Regs.Name], sz, u.Name, u.Regs.Size)
+			}
+		} else {
+			bankSize[u.Regs.Name] = u.Regs.Size
+			bankFirst[u.Regs.Name] = u.Name
+		}
+		for op, lat := range u.Latency {
+			if !u.Ops[op] {
+				s.add("isdl/latency", c, "unit %s declares a latency for %s, which it cannot perform", u.Name, op)
+			}
+			if lat < 1 {
+				s.add("isdl/latency", c, "unit %s declares latency %d for %s", u.Name, lat, op)
+			}
+		}
+	}
+
+	memSeen := map[string]bool{}
+	for _, mem := range m.Memories {
+		if memSeen[mem.Name] {
+			s.add("isdl/mem-dup", blockLevel("memory "+mem.Name), "duplicate memory %s", mem.Name)
+		}
+		memSeen[mem.Name] = true
+	}
+	if len(m.Memories) == 0 {
+		s.add("isdl/no-memory", Coord{Instr: -1},
+			"machine %s has no data memory: variables and spill slots have nowhere to live", m.Name)
+	}
+
+	busSeen := map[string]bool{}
+	busUsed := map[string]bool{}
+	for _, b := range m.Buses {
+		c := blockLevel("bus " + b.Name)
+		if busSeen[b.Name] {
+			s.add("isdl/bus-dup", c, "duplicate bus %s", b.Name)
+		}
+		busSeen[b.Name] = true
+		if b.Width < 1 {
+			s.add("isdl/bus-width", c, "bus %s has width %d", b.Name, b.Width)
+		}
+	}
+
+	for _, t := range m.Transfers {
+		c := blockLevel("transfer " + t.String())
+		switch t.From.Kind {
+		case isdl.LocUnit:
+			if _, ok := bankSize[t.From.Name]; !ok {
+				s.add("isdl/transfer", c, "source bank %s does not exist", t.From.Name)
+			}
+		case isdl.LocMem:
+			if !memSeen[t.From.Name] {
+				s.add("isdl/transfer", c, "source memory %s does not exist", t.From.Name)
+			}
+		}
+		switch t.To.Kind {
+		case isdl.LocUnit:
+			if _, ok := bankSize[t.To.Name]; !ok {
+				s.add("isdl/transfer", c, "destination bank %s does not exist", t.To.Name)
+			}
+		case isdl.LocMem:
+			if !memSeen[t.To.Name] {
+				s.add("isdl/transfer", c, "destination memory %s does not exist", t.To.Name)
+			}
+		}
+		if !busSeen[t.Bus] {
+			s.add("isdl/transfer", c, "bus %s does not exist", t.Bus)
+		}
+		busUsed[t.Bus] = true
+	}
+	for _, b := range m.Buses {
+		if !busUsed[b.Name] {
+			s.add("isdl/bus-dead", blockLevel("bus "+b.Name), "bus %s carries no declared transfer", b.Name)
+		}
+	}
+
+	for _, con := range m.Constraints {
+		c := blockLevel("constraint " + con.String())
+		if len(con.Forbid) == 0 {
+			s.add("isdl/constraint", c, "constraint forbids nothing")
+			continue
+		}
+		slotSeen := map[isdl.SlotRef]bool{}
+		for _, slot := range con.Forbid {
+			u := findUnit(m, slot.Unit)
+			if u == nil {
+				s.add("isdl/constraint", c, "unknown unit %s", slot.Unit)
+			} else if !u.Ops[slot.Op] {
+				s.add("isdl/constraint", c, "unit %s cannot perform %s", slot.Unit, slot.Op)
+			}
+			if slotSeen[slot] {
+				s.add("isdl/constraint", c, "slot %s listed twice", slot)
+			}
+			slotSeen[slot] = true
+		}
+		if len(con.Forbid) == 1 {
+			s.add("isdl/constraint-total", c,
+				"single-slot constraint bans %s outright; remove the op from the unit instead", con.Forbid[0])
+		}
+	}
+
+	for _, p := range m.Patterns {
+		c := blockLevel("pattern " + p.String())
+		u := findUnit(m, p.Unit)
+		if u == nil {
+			s.add("isdl/pattern", c, "unknown unit %s", p.Unit)
+		} else if !u.Ops[p.Result] {
+			s.add("isdl/pattern", c, "unit %s cannot perform the pattern result %s", p.Unit, p.Result)
+		}
+	}
+
+	// The connectivity checks need the transfer-path closure. Only a
+	// description that finalizes cleanly has one; a finalize failure at
+	// this point means Finalize rejects something the structural lints
+	// above did not model, which is itself worth reporting.
+	if len(s.vs) == 0 {
+		if err := m.Finalize(); err != nil {
+			s.add("isdl/finalize", Coord{Instr: -1}, "%v", err)
+			return asError(s.vs)
+		}
+		lintConnectivity(s, m)
+	}
+	return asError(s.vs)
+}
+
+// lintConnectivity checks the covering's reachability assumptions on a
+// finalized machine: every ordered pair of register banks must be
+// connected (possibly multi-hop), and every bank must both load from and
+// store to at least one memory.
+func lintConnectivity(s *sink, m *isdl.Machine) {
+	banks := m.Banks()
+	for _, from := range banks {
+		for _, to := range banks {
+			if from == to {
+				continue
+			}
+			if !m.Reachable(isdl.UnitLoc(from), isdl.UnitLoc(to)) {
+				s.add("isdl/disconnected", blockLevel("bank "+from),
+					"no transfer path from bank %s to bank %s: covering dead-ends when a value must cross", from, to)
+			}
+		}
+	}
+	for _, bank := range banks {
+		canLoad, canStore := false, false
+		for _, mem := range m.Memories {
+			if m.Reachable(isdl.MemLoc(mem.Name), isdl.UnitLoc(bank)) {
+				canLoad = true
+			}
+			if m.Reachable(isdl.UnitLoc(bank), isdl.MemLoc(mem.Name)) {
+				canStore = true
+			}
+		}
+		if len(m.Memories) > 0 && !canLoad {
+			s.add("isdl/mem-path", blockLevel("bank "+bank),
+				"bank %s cannot load from any memory", bank)
+		}
+		if len(m.Memories) > 0 && !canStore {
+			s.add("isdl/mem-path", blockLevel("bank "+bank),
+				"bank %s cannot store to any memory (spills are impossible)", bank)
+		}
+	}
+	for _, mem := range m.Memories {
+		reached := false
+		for _, bank := range banks {
+			if m.Reachable(isdl.UnitLoc(bank), isdl.MemLoc(mem.Name)) ||
+				m.Reachable(isdl.MemLoc(mem.Name), isdl.UnitLoc(bank)) {
+				reached = true
+				break
+			}
+		}
+		if !reached {
+			s.add("isdl/mem-dead", blockLevel("memory "+mem.Name),
+				"memory %s is connected to no register bank", mem.Name)
+		}
+	}
+}
+
+// findUnit looks a unit up without requiring a finalized machine.
+func findUnit(m *isdl.Machine, name string) *isdl.Unit {
+	for _, u := range m.Units {
+		if u.Name == name {
+			return u
+		}
+	}
+	return nil
+}

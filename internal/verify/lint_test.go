@@ -1,0 +1,232 @@
+package verify
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"aviv/internal/ir"
+	"aviv/internal/isdl"
+)
+
+// TestLintBuiltinMachines lints every built-in architecture: the machines
+// the test suite and benchmarks compile for must themselves be clean.
+func TestLintBuiltinMachines(t *testing.T) {
+	machines := []*isdl.Machine{
+		isdl.ExampleArch(4),
+		isdl.ArchitectureII(4),
+		isdl.SingleIssueDSP(4),
+		isdl.WideDSP(4),
+		isdl.ExampleArchFull(4),
+		isdl.DualMemDSP(4),
+		isdl.ClusteredVLIW(4),
+	}
+	for _, m := range machines {
+		if err := LintMachine(m); err != nil {
+			t.Errorf("builtin %s does not lint clean: %v", m.Name, err)
+		}
+	}
+}
+
+// TestLintExampleMachines lints the textual machine descriptions shipped
+// under examples/machines — the same files the ci.sh lint stage feeds to
+// isdldump -lint — via the ParseRaw path the CLI uses.
+func TestLintExampleMachines(t *testing.T) {
+	dir := filepath.Join("..", "..", "examples", "machines")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading %s: %v", dir, err)
+	}
+	var linted int
+	for _, e := range entries {
+		if filepath.Ext(e.Name()) != ".isdl" {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		m, err := isdl.ParseRaw(string(src))
+		if err != nil {
+			t.Errorf("%s does not parse: %v", e.Name(), err)
+			continue
+		}
+		if verr := LintMachine(m); verr != nil {
+			t.Errorf("%s does not lint clean: %v", e.Name(), verr)
+		}
+		linted++
+	}
+	if linted < 3 {
+		t.Errorf("linted only %d example descriptions, want at least 3", linted)
+	}
+}
+
+func TestLintNoUnits(t *testing.T) {
+	m := isdl.NewMachine("empty")
+	if err := LintMachine(m); !err.Has("isdl/no-units") {
+		t.Errorf("want isdl/no-units, got %v", err)
+	}
+}
+
+func TestLintEmptyUnit(t *testing.T) {
+	m := isdl.NewMachine("m")
+	m.AddUnit("U1", 4, ir.OpAdd)
+	m.AddUnit("DEAD", 4)
+	m.AddMemory("MEM")
+	m.AddBus("DB", 1)
+	m.ConnectAll("DB")
+	if err := LintMachine(m); !err.Has("isdl/unit-empty") {
+		t.Errorf("want isdl/unit-empty, got %v", err)
+	}
+}
+
+func TestLintBankMismatch(t *testing.T) {
+	m := isdl.NewMachine("m")
+	u1 := m.AddUnit("U1", 4, ir.OpAdd)
+	u2 := m.AddUnit("U2", 4, ir.OpSub)
+	u1.Regs = isdl.RegFile{Name: "RF", Size: 4}
+	u2.Regs = isdl.RegFile{Name: "RF", Size: 8} // disagreeing shared size
+	m.AddMemory("MEM")
+	m.AddBus("DB", 1)
+	m.ConnectAll("DB")
+	if err := LintMachine(m); !err.Has("isdl/bank-mismatch") {
+		t.Errorf("want isdl/bank-mismatch, got %v", err)
+	}
+}
+
+func TestLintBadBankSize(t *testing.T) {
+	m := isdl.NewMachine("m")
+	m.AddUnit("U1", 0, ir.OpAdd)
+	m.AddMemory("MEM")
+	m.AddBus("DB", 1)
+	m.ConnectAll("DB")
+	if err := LintMachine(m); !err.Has("isdl/bank-size") {
+		t.Errorf("want isdl/bank-size, got %v", err)
+	}
+}
+
+func TestLintLatency(t *testing.T) {
+	m := isdl.NewMachine("m")
+	u := m.AddUnit("U1", 4, ir.OpAdd)
+	u.SetLatency(ir.OpMul, 2) // latency for an op the unit lacks
+	u.SetLatency(ir.OpAdd, 0) // nonpositive latency
+	m.AddMemory("MEM")
+	m.AddBus("DB", 1)
+	m.ConnectAll("DB")
+	err := LintMachine(m)
+	if !err.Has("isdl/latency") {
+		t.Errorf("want isdl/latency, got %v", err)
+	}
+	if len(err.Violations) < 2 {
+		t.Errorf("want both latency problems reported, got %v", err)
+	}
+}
+
+func TestLintNoMemory(t *testing.T) {
+	m := isdl.NewMachine("m")
+	m.AddUnit("U1", 4, ir.OpAdd)
+	m.AddBus("DB", 1)
+	m.ConnectAll("DB")
+	if err := LintMachine(m); !err.Has("isdl/no-memory") {
+		t.Errorf("want isdl/no-memory, got %v", err)
+	}
+}
+
+func TestLintDeadBusAndBadWidth(t *testing.T) {
+	m := isdl.NewMachine("m")
+	m.AddUnit("U1", 4, ir.OpAdd)
+	m.AddMemory("MEM")
+	m.AddBus("DB", 1)
+	m.AddBus("XB", 0) // bad width, and carries nothing
+	m.ConnectAll("DB")
+	err := LintMachine(m)
+	if !err.Has("isdl/bus-width") {
+		t.Errorf("want isdl/bus-width, got %v", err)
+	}
+	if !err.Has("isdl/bus-dead") {
+		t.Errorf("want isdl/bus-dead, got %v", err)
+	}
+}
+
+func TestLintTransferUnknownEndpoints(t *testing.T) {
+	m := isdl.NewMachine("m")
+	m.AddUnit("U1", 4, ir.OpAdd)
+	m.AddMemory("MEM")
+	m.AddBus("DB", 1)
+	m.ConnectAll("DB")
+	m.AddTransfer(isdl.UnitLoc("GHOST"), isdl.UnitLoc("U1"), "DB")
+	m.AddTransfer(isdl.UnitLoc("U1"), isdl.MemLoc("NOWHERE"), "NB")
+	err := LintMachine(m)
+	if !err.Has("isdl/transfer") {
+		t.Errorf("want isdl/transfer, got %v", err)
+	}
+}
+
+func TestLintConstraint(t *testing.T) {
+	m := isdl.NewMachine("m")
+	m.AddUnit("U1", 4, ir.OpAdd)
+	m.AddUnit("U2", 4, ir.OpMul)
+	m.AddMemory("MEM")
+	m.AddBus("DB", 1)
+	m.ConnectAll("DB")
+	m.AddConstraint(isdl.SlotRef{Unit: "NOPE", Op: ir.OpAdd}, isdl.SlotRef{Unit: "U2", Op: ir.OpSub})
+	m.AddConstraint(isdl.SlotRef{Unit: "U1", Op: ir.OpAdd}) // total ban
+	err := LintMachine(m)
+	if !err.Has("isdl/constraint") {
+		t.Errorf("want isdl/constraint, got %v", err)
+	}
+	if !err.Has("isdl/constraint-total") {
+		t.Errorf("want isdl/constraint-total, got %v", err)
+	}
+}
+
+// TestLintDisconnected builds two islands with no transfer between them:
+// covering dead-ends as soon as a value must cross, and the linter must
+// say so before any compile is attempted.
+func TestLintDisconnected(t *testing.T) {
+	m := isdl.NewMachine("m")
+	m.AddUnit("U1", 4, ir.OpAdd)
+	m.AddUnit("U2", 4, ir.OpMul)
+	m.AddMemory("MEM")
+	m.AddBus("DB", 1)
+	// U1 <-> MEM only; U2 is stranded.
+	m.AddTransfer(isdl.UnitLoc("U1"), isdl.MemLoc("MEM"), "DB")
+	m.AddTransfer(isdl.MemLoc("MEM"), isdl.UnitLoc("U1"), "DB")
+	err := LintMachine(m)
+	if !err.Has("isdl/disconnected") {
+		t.Errorf("want isdl/disconnected, got %v", err)
+	}
+	if !err.Has("isdl/mem-path") {
+		t.Errorf("want isdl/mem-path for the stranded bank, got %v", err)
+	}
+}
+
+func TestLintDeadMemory(t *testing.T) {
+	m := isdl.NewMachine("m")
+	m.AddUnit("U1", 4, ir.OpAdd)
+	m.AddMemory("MEM")
+	m.AddMemory("ROM") // never connected
+	m.AddBus("DB", 2)
+	m.AddTransfer(isdl.UnitLoc("U1"), isdl.MemLoc("MEM"), "DB")
+	m.AddTransfer(isdl.MemLoc("MEM"), isdl.UnitLoc("U1"), "DB")
+	if err := LintMachine(m); !err.Has("isdl/mem-dead") {
+		t.Errorf("want isdl/mem-dead, got %v", err)
+	}
+}
+
+// TestLintReportsAll checks that the linter keeps going after the first
+// problem — the point of re-implementing Finalize's checks one by one.
+func TestLintReportsAll(t *testing.T) {
+	m := isdl.NewMachine("m")
+	m.AddUnit("U1", 0) // bad bank size AND empty repertoire
+	m.AddBus("XB", 0)  // bad width AND dead; also no memory
+	err := LintMachine(m)
+	if err == nil {
+		t.Fatal("want violations, got clean")
+	}
+	for _, rule := range []string{"isdl/unit-empty", "isdl/bank-size", "isdl/bus-width", "isdl/no-memory"} {
+		if !err.Has(rule) {
+			t.Errorf("missing %s in %v", rule, err)
+		}
+	}
+}

@@ -1,0 +1,536 @@
+package verify
+
+import (
+	"sort"
+	"strings"
+
+	"aviv/internal/asm"
+	"aviv/internal/ir"
+	"aviv/internal/isdl"
+)
+
+// Program validates a complete compiled program against its machine
+// description and, when f is non-nil, against the source IR: every block
+// body via BlockCode and the block ordering/branches via Layout. Returns
+// nil when the program verifies clean.
+func Program(p *asm.Program, f *ir.Func) *VerifyError {
+	s := &sink{}
+	for _, b := range p.Blocks {
+		var src *ir.Block
+		if f != nil {
+			src = f.Block(b.Name)
+		}
+		s.vs = append(s.vs, BlockCode(b, p.Machine, src)...)
+	}
+	s.vs = append(s.vs, Layout(p, f)...)
+	return asError(s.vs)
+}
+
+// writeEvent is one register definition: issued at cycle issue, its value
+// readable from cycle commit on.
+type writeEvent struct {
+	issue  int
+	commit int
+	what   string // the slot that wrote, for diagnostics
+}
+
+// regState tracks, per (bank, register), every write in block order.
+type regState map[string]map[int][]writeEvent
+
+func (rs regState) write(bank string, reg, issue, commit int, what string) {
+	m := rs[bank]
+	if m == nil {
+		m = make(map[int][]writeEvent)
+		rs[bank] = m
+	}
+	m[reg] = append(m[reg], writeEvent{issue: issue, commit: commit, what: what})
+}
+
+// BlockCode statically validates one emitted block body against the
+// machine description, re-deriving every invariant the covering,
+// register-allocation, and peephole passes are supposed to maintain:
+//
+//   - instruction grouping legality (unit exclusivity including MOVI
+//     slots, bus widths, explicit ISDL constraints via CheckGroup),
+//   - operation slots name known units able to perform their op, with
+//     the op's IR arity and in-range destination/source registers,
+//   - moves ride a declared single-step transfer (bank to bank, or to or
+//     from some data memory) over their bus,
+//   - cross-instruction def-before-use under the no-interlock timing
+//     model: an operation's result commits LatencyOf cycles after issue,
+//     a move's one cycle after issue, and every register read must
+//     observe the value the program order intended — never an undefined
+//     register, an in-flight result, or a value clobbered by an
+//     overlapping definition of the same register,
+//   - register-file pressure: simultaneously live values in a bank never
+//     exceed its size,
+//   - spill-slot loads are preceded by a committed store of the same
+//     slot within the block (spill slots are block-local by
+//     construction),
+//   - the conditional branch reads a defined, committed condition
+//     register,
+//
+// and, when src is non-nil, that the block's memory traffic matches the
+// source DAG: it stores exactly the variables the IR stores and loads
+// only variables the IR loads.
+func BlockCode(b *asm.Block, m *isdl.Machine, src *ir.Block) []Violation {
+	s := &sink{block: b.Name}
+	regs := make(regState)
+	lastRead := make(map[string]map[int]int) // bank -> reg -> latest read cycle
+	spillStore := make(map[string]int)       // spill slot -> earliest commit cycle
+	var loadedVars, storedVars []string
+
+	// readReg checks one register read at cycle t against the writes
+	// recorded so far (all writes are recorded up front, so reads see the
+	// whole block's definition history — needed because a later-issued
+	// write can commit early and clobber).
+	readReg := func(t int, bank string, reg int, c Coord) {
+		if lastRead[bank] == nil {
+			lastRead[bank] = make(map[int]int)
+		}
+		if t > lastRead[bank][reg] {
+			lastRead[bank][reg] = t
+		}
+		events := regs[bank][reg]
+		// The intended definition is the most recently issued write
+		// before the reading cycle (reads happen before the same cycle's
+		// writes commit).
+		intended := -1
+		for i, w := range events {
+			if w.issue < t && (intended < 0 || w.issue > events[intended].issue) {
+				intended = i
+			}
+		}
+		if intended < 0 {
+			s.add("asm/undef-read", c, "reads %s.R%d, which has no prior definition in the block", bank, reg)
+			return
+		}
+		in := events[intended]
+		if in.commit > t {
+			s.add("asm/latency", c,
+				"reads %s.R%d at cycle %d, but %s commits at cycle %d (latency not drained)",
+				bank, reg, t, in.what, in.commit)
+			return
+		}
+		// What the hardware would actually deliver: the latest commit at
+		// or before t. If that is not the intended write, the value was
+		// clobbered by an overlapping definition.
+		observed := intended
+		for i, w := range events {
+			if w.commit <= t && w.commit > events[observed].commit {
+				observed = i
+			}
+		}
+		if events[observed].commit > in.commit {
+			s.add("asm/clobber", c,
+				"reads %s.R%d at cycle %d expecting %s, but %s overwrites it at cycle %d",
+				bank, reg, t, in.what, events[observed].what, events[observed].commit)
+		}
+	}
+
+	// Pass 1: structure + record every write with its commit cycle.
+	for t, in := range b.Instrs {
+		var slots []isdl.SlotRef
+		busUse := make(map[string]int)
+		unitUsed := make(map[string]string) // unit -> slot description
+
+		for _, op := range in.Ops {
+			c := at(t, op.String())
+			u := m.Unit(op.Unit)
+			if u == nil {
+				s.add("asm/unknown-unit", c, "no unit %s on machine %s", op.Unit, m.Name)
+				continue
+			}
+			if prev, used := unitUsed[op.Unit]; used {
+				s.add("asm/unit-conflict", c, "unit %s already issues %s in this instruction", op.Unit, prev)
+			}
+			unitUsed[op.Unit] = op.String()
+
+			bank := u.Regs.Name
+			size := m.BankSize(bank)
+			if op.Dst < 0 || op.Dst >= size {
+				s.add("asm/reg-range", c, "destination R%d outside bank %s (size %d)", op.Dst, bank, size)
+			}
+			for _, src := range op.Srcs {
+				if !src.IsImm && (src.Reg < 0 || src.Reg >= size) {
+					s.add("asm/reg-range", c, "source R%d outside bank %s (size %d)", src.Reg, bank, size)
+				}
+			}
+
+			switch {
+			case op.Op == ir.OpConst:
+				// MOVI: occupies the unit but is not a grouping slot
+				// (mirrors covering's legality model).
+				if len(op.Srcs) != 1 || !op.Srcs[0].IsImm {
+					s.add("asm/arity", c, "MOVI needs exactly one immediate source")
+				}
+				regs.write(bank, op.Dst, t, t+1, op.String())
+			case op.Op.Valid() && op.Op.IsComputation():
+				if got, want := len(op.Srcs), op.Op.Arity(); got != want {
+					s.add("asm/arity", c, "%s has %d sources, want %d", op.Op, got, want)
+				}
+				if !u.Can(op.Op) {
+					s.add("asm/op-unsupported", c, "unit %s cannot perform %s", op.Unit, op.Op)
+				}
+				slots = append(slots, isdl.SlotRef{Unit: op.Unit, Op: op.Op})
+				regs.write(bank, op.Dst, t, t+u.LatencyOf(op.Op), op.String())
+			default:
+				s.add("asm/bad-op", c, "%s is not an executable operation slot", op.Op)
+			}
+		}
+
+		for _, mv := range in.Moves {
+			c := at(t, mv.String())
+			busUse[mv.Bus]++
+			fromMem := mv.FromUnit == ""
+			toMem := mv.ToUnit == ""
+			switch {
+			case fromMem && toMem:
+				s.add("asm/bad-move", c, "memory-to-memory move")
+				continue
+			case fromMem && mv.FromMem == "":
+				s.add("asm/bad-move", c, "move with no source")
+				continue
+			case toMem && mv.ToMem == "":
+				s.add("asm/bad-move", c, "move with no destination")
+				continue
+			}
+			okBanks := true
+			if !fromMem {
+				if size := m.BankSize(mv.FromUnit); size == 0 {
+					s.add("asm/unknown-bank", c, "no register bank %s on machine %s", mv.FromUnit, m.Name)
+					okBanks = false
+				} else if mv.FromReg < 0 || mv.FromReg >= size {
+					s.add("asm/reg-range", c, "source R%d outside bank %s (size %d)", mv.FromReg, mv.FromUnit, size)
+				}
+			}
+			if !toMem {
+				if size := m.BankSize(mv.ToUnit); size == 0 {
+					s.add("asm/unknown-bank", c, "no register bank %s on machine %s", mv.ToUnit, m.Name)
+					okBanks = false
+				} else if mv.ToReg < 0 || mv.ToReg >= size {
+					s.add("asm/reg-range", c, "destination R%d outside bank %s (size %d)", mv.ToReg, mv.ToUnit, size)
+				}
+			}
+			if okBanks && !moveHasTransfer(m, mv) {
+				s.add("asm/transfer-path", c, "no declared transfer carries this move on bus %s", mv.Bus)
+			}
+			switch {
+			case fromMem: // load
+				if spillSlot(mv.FromMem) {
+					// Checked against spill stores in pass 2.
+				} else {
+					loadedVars = append(loadedVars, mv.FromMem)
+				}
+				regs.write(mv.ToUnit, mv.ToReg, t, t+1, mv.String())
+			case toMem: // store
+				if spillSlot(mv.ToMem) {
+					if first, ok := spillStore[mv.ToMem]; !ok || t+1 < first {
+						spillStore[mv.ToMem] = t + 1
+					}
+				} else {
+					storedVars = append(storedVars, mv.ToMem)
+				}
+			default: // register-to-register
+				regs.write(mv.ToUnit, mv.ToReg, t, t+1, mv.String())
+			}
+		}
+
+		if err := m.CheckGroup(slots, busUse); err != nil {
+			s.add("asm/group", at(t, ""), "%v", err)
+		}
+	}
+
+	// Pass 2: reads, double writes, spill pairing — with the complete
+	// write history available.
+	for t, in := range b.Instrs {
+		for _, op := range in.Ops {
+			if op.Op == ir.OpConst {
+				continue
+			}
+			u := m.Unit(op.Unit)
+			if u == nil {
+				continue
+			}
+			c := at(t, op.String())
+			for _, src := range op.Srcs {
+				if !src.IsImm && src.Reg >= 0 && src.Reg < m.BankSize(u.Regs.Name) {
+					readReg(t, u.Regs.Name, src.Reg, c)
+				}
+			}
+		}
+		for _, mv := range in.Moves {
+			c := at(t, mv.String())
+			if mv.FromUnit != "" {
+				if size := m.BankSize(mv.FromUnit); size > 0 && mv.FromReg >= 0 && mv.FromReg < size {
+					readReg(t, mv.FromUnit, mv.FromReg, c)
+				}
+			}
+			if mv.FromUnit == "" && spillSlot(mv.FromMem) {
+				if first, ok := spillStore[mv.FromMem]; !ok {
+					s.add("asm/spill-pairing", c, "reloads spill slot %s, which is never stored in this block", mv.FromMem)
+				} else if first > t {
+					s.add("asm/spill-pairing", c,
+						"reloads spill slot %s at cycle %d, but its first store commits at cycle %d", mv.FromMem, t, first)
+				}
+			}
+		}
+	}
+
+	// Double writes: two definitions of one register committing on the
+	// same cycle leave its value machine-dependent.
+	for bank, byReg := range regs {
+		for reg, events := range byReg {
+			byCommit := make(map[int]int)
+			for _, w := range events {
+				byCommit[w.commit]++
+			}
+			for cycle, n := range byCommit {
+				if n > 1 {
+					s.add("asm/double-write", blockLevel(""),
+						"%d definitions of %s.R%d commit on cycle %d", n, bank, reg, cycle)
+				}
+			}
+		}
+	}
+
+	// Branch condition: read one cycle after the last body instruction.
+	if b.Branch.Kind == asm.BranchCond && b.Branch.CondConst == nil {
+		t := len(b.Instrs)
+		c := at(t, "branch")
+		size := m.BankSize(b.Branch.CondUnit)
+		if size == 0 {
+			s.add("asm/unknown-bank", c, "branch condition in unknown bank %s", b.Branch.CondUnit)
+		} else if b.Branch.CondReg < 0 || b.Branch.CondReg >= size {
+			s.add("asm/reg-range", c, "condition R%d outside bank %s (size %d)", b.Branch.CondReg, b.Branch.CondUnit, size)
+		} else {
+			readReg(t, b.Branch.CondUnit, b.Branch.CondReg, c)
+		}
+	}
+
+	checkPressure(s, m, regs, lastRead, b)
+	if src != nil {
+		checkMemoryTraffic(s, src, loadedVars, storedVars)
+	}
+	return s.vs
+}
+
+// moveHasTransfer reports whether some single-step declared transfer
+// carries the move on its bus. Emitted moves lose the memory bank
+// identity (only the variable name survives), so memory endpoints match
+// any declared data memory.
+func moveHasTransfer(m *isdl.Machine, mv asm.Move) bool {
+	for _, tr := range m.Transfers {
+		if tr.Bus != mv.Bus {
+			continue
+		}
+		if mv.FromUnit == "" { // load: memory -> bank
+			if tr.From.Kind == isdl.LocMem && tr.To == isdl.UnitLoc(mv.ToUnit) {
+				return true
+			}
+		} else if mv.ToUnit == "" { // store: bank -> memory
+			if tr.From == isdl.UnitLoc(mv.FromUnit) && tr.To.Kind == isdl.LocMem {
+				return true
+			}
+		} else if tr.From == isdl.UnitLoc(mv.FromUnit) && tr.To == isdl.UnitLoc(mv.ToUnit) {
+			return true
+		}
+	}
+	return false
+}
+
+// spillSlot mirrors the compiler-internal spill naming convention:
+// compiler-temporary memory slots are "$"-prefixed and block-local.
+func spillSlot(name string) bool { return strings.HasPrefix(name, "$") }
+
+// checkPressure re-derives register liveness from the emitted code and
+// checks that no bank ever holds more simultaneously live values than it
+// has registers. With explicit register numbers this is implied by the
+// range and clobber checks, but it is the invariant the paper leans on
+// ("coloring cannot fail"), so it is recomputed independently.
+func checkPressure(s *sink, m *isdl.Machine, regs regState, lastRead map[string]map[int]int, b *asm.Block) {
+	horizon := len(b.Instrs) + 1
+	for bank, byReg := range regs {
+		size := m.BankSize(bank)
+		if size == 0 {
+			continue
+		}
+		// A register is live from its first definition's commit until its
+		// last read (or last redefinition); counting per-register overlap
+		// is exact here because each register holds at most one live
+		// value at a time once the clobber checks pass.
+		liveAt := make([]int, horizon+1)
+		for reg, events := range byReg {
+			lo, hi := horizon, 0
+			for _, w := range events {
+				if w.commit < lo {
+					lo = w.commit
+				}
+				if w.commit > hi {
+					hi = w.commit
+				}
+			}
+			if r, ok := lastRead[bank][reg]; ok && r > hi {
+				hi = r
+			}
+			for t := lo; t <= hi && t <= horizon; t++ {
+				liveAt[t]++
+			}
+		}
+		for t, n := range liveAt {
+			if n > size {
+				s.add("asm/pressure", at(t, ""),
+					"bank %s holds %d live values at cycle %d, size %d", bank, n, t, size)
+				break
+			}
+		}
+	}
+}
+
+// checkMemoryTraffic compares the block's variable loads/stores with the
+// source DAG: the stored-variable sets must be equal (a missing store
+// drops a result; an extra store corrupts memory), and loads may only
+// name variables the DAG loads.
+func checkMemoryTraffic(s *sink, src *ir.Block, loaded, stored []string) {
+	irLoads := make(map[string]bool)
+	irStores := make(map[string]bool)
+	for _, n := range src.Nodes {
+		switch n.Op {
+		case ir.OpLoad:
+			irLoads[n.Var] = true
+		case ir.OpStore:
+			irStores[n.Var] = true
+		}
+	}
+	for _, v := range uniqueSorted(loaded) {
+		if !irLoads[v] {
+			s.add("asm/mem-traffic", blockLevel("load "+v), "loads %s, which the source DAG never reads", v)
+		}
+	}
+	asmStores := make(map[string]bool)
+	for _, v := range uniqueSorted(stored) {
+		asmStores[v] = true
+		if !irStores[v] {
+			s.add("asm/mem-traffic", blockLevel("store "+v), "stores %s, which the source DAG never writes", v)
+		}
+	}
+	missing := make([]string, 0)
+	for v := range irStores {
+		if !asmStores[v] {
+			missing = append(missing, v)
+		}
+	}
+	sort.Strings(missing)
+	for _, v := range missing {
+		s.add("asm/mem-traffic", blockLevel("store "+v), "source DAG stores %s, but the emitted code never does", v)
+	}
+}
+
+func uniqueSorted(in []string) []string {
+	sort.Strings(in)
+	out := in[:0]
+	for i, v := range in {
+		if i == 0 || v != in[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Layout validates the program's block ordering and control transfers
+// after layout: block names are unique, every branch target resolves,
+// fallthroughs actually fall to the next block, and (when f is non-nil)
+// the block set and per-block control flow match the source function.
+func Layout(p *asm.Program, f *ir.Func) []Violation {
+	s := &sink{}
+	index := make(map[string]int, len(p.Blocks))
+	for i, b := range p.Blocks {
+		if _, dup := index[b.Name]; dup {
+			s.add("asm/dup-block", Coord{Block: b.Name, Instr: -1}, "duplicate block name")
+			continue
+		}
+		index[b.Name] = i
+	}
+	for i, b := range p.Blocks {
+		c := Coord{Block: b.Name, Instr: -1, Slot: b.Branch.String()}
+		target := func(name string) bool {
+			_, ok := index[name]
+			return ok
+		}
+		switch b.Branch.Kind {
+		case asm.BranchJump:
+			if !target(b.Branch.Target) {
+				s.add("asm/branch-target", c, "jump to unknown block %q", b.Branch.Target)
+			}
+		case asm.BranchCond:
+			if !target(b.Branch.Target) {
+				s.add("asm/branch-target", c, "branch to unknown block %q", b.Branch.Target)
+			}
+			// Both arms are explicit targets of the branch instruction
+			// (BNZ encodes taken and else), so neither needs adjacency.
+			if !target(b.Branch.Else) {
+				s.add("asm/branch-target", c, "branch else-arm to unknown block %q", b.Branch.Else)
+			}
+		case asm.BranchNone:
+			if b.Branch.Target == "" {
+				break // end of program
+			}
+			j, ok := index[b.Branch.Target]
+			if !ok {
+				s.add("asm/branch-target", c, "fallthrough to unknown block %q", b.Branch.Target)
+			} else if j != i+1 {
+				s.add("asm/fallthrough", c, "falls through to %s, which is block %d, not the next block", b.Branch.Target, j)
+			}
+		}
+	}
+	if f != nil {
+		checkLayoutIR(s, p, f, index)
+	}
+	return s.vs
+}
+
+// checkLayoutIR checks the laid-out program against the source control
+// flow: same block set, and each block's control transfer implements its
+// IR terminator.
+func checkLayoutIR(s *sink, p *asm.Program, f *ir.Func, index map[string]int) {
+	for _, ib := range f.Blocks {
+		if _, ok := index[ib.Name]; !ok {
+			s.add("asm/layout-ir", Coord{Block: ib.Name, Instr: -1}, "source block missing from the program")
+		}
+	}
+	for _, b := range p.Blocks {
+		ib := f.Block(b.Name)
+		c := Coord{Block: b.Name, Instr: -1, Slot: b.Branch.String()}
+		if ib == nil {
+			s.add("asm/layout-ir", c, "block does not exist in the source function")
+			continue
+		}
+		switch ib.Term {
+		case ir.TermBranch:
+			if b.Branch.Kind != asm.BranchCond {
+				s.add("asm/layout-ir", c, "source block branches conditionally, emitted block does not")
+			} else if b.Branch.Target != ib.Succs[0] || b.Branch.Else != ib.Succs[1] {
+				s.add("asm/layout-ir", c, "branch arms (%s, %s) do not match source successors (%s, %s)",
+					b.Branch.Target, b.Branch.Else, ib.Succs[0], ib.Succs[1])
+			}
+		case ir.TermJump:
+			if (b.Branch.Kind != asm.BranchJump && b.Branch.Kind != asm.BranchNone) ||
+				b.Branch.Target != ib.Succs[0] {
+				s.add("asm/layout-ir", c, "source block jumps to %s, emitted block transfers elsewhere", ib.Succs[0])
+			}
+		case ir.TermReturn:
+			if b.Branch.Kind != asm.BranchHalt {
+				s.add("asm/layout-ir", c, "source block returns, emitted block does not halt")
+			}
+		case ir.TermNone:
+			if len(ib.Succs) == 1 {
+				if (b.Branch.Kind != asm.BranchNone && b.Branch.Kind != asm.BranchJump) ||
+					b.Branch.Target != ib.Succs[0] {
+					s.add("asm/layout-ir", c, "source block falls to %s, emitted block transfers elsewhere", ib.Succs[0])
+				}
+			} else if b.Branch.Kind != asm.BranchHalt && b.Branch.Kind != asm.BranchNone {
+				s.add("asm/layout-ir", c, "source block ends the function, emitted block transfers control")
+			}
+		}
+	}
+}

@@ -1,0 +1,328 @@
+package verify
+
+import (
+	"strings"
+	"testing"
+
+	"aviv/internal/asm"
+	"aviv/internal/ir"
+	"aviv/internal/isdl"
+)
+
+func TestFuncCleanIR(t *testing.T) {
+	f := &ir.Func{Name: "f"}
+	b := ir.NewBlock("entry")
+	a := b.NewLoad("a")
+	c := b.NewConst(2)
+	sum := b.NewNode(ir.OpAdd, a, c)
+	b.NewStore("out", sum)
+	b.Term = ir.TermReturn
+	f.Blocks = []*ir.Block{b}
+	if err := Func(f); err != nil {
+		t.Errorf("clean IR rejected: %v", err)
+	}
+}
+
+func TestFuncBadArity(t *testing.T) {
+	f := &ir.Func{Name: "f"}
+	b := ir.NewBlock("entry")
+	a := b.NewLoad("a")
+	bad := b.NewNode(ir.OpAdd, a) // ADD wants 2 args
+	b.NewStore("out", bad)
+	b.Term = ir.TermReturn
+	f.Blocks = []*ir.Block{b}
+	if err := Func(f); !err.Has("ir/arity") {
+		t.Errorf("want ir/arity, got %v", err)
+	}
+}
+
+func TestFuncDefBeforeUse(t *testing.T) {
+	f := &ir.Func{Name: "f"}
+	b := ir.NewBlock("entry")
+	a := b.NewLoad("a")
+	c := b.NewLoad("b")
+	sum := b.NewNode(ir.OpAdd, a, c)
+	b.NewStore("out", sum)
+	b.Term = ir.TermReturn
+	// Corrupt the topological order: move the ADD before its operands.
+	b.Nodes[0], b.Nodes[2] = b.Nodes[2], b.Nodes[0]
+	f.Blocks = []*ir.Block{b}
+	if err := Func(f); !err.Has("ir/def-before-use") {
+		t.Errorf("want ir/def-before-use, got %v", err)
+	}
+}
+
+func TestFuncCycle(t *testing.T) {
+	f := &ir.Func{Name: "f"}
+	b := ir.NewBlock("entry")
+	a := b.NewLoad("a")
+	x := b.NewNode(ir.OpNeg, a)
+	y := b.NewNode(ir.OpNeg, x)
+	x.Args[0] = y // close the cycle x -> y -> x
+	b.NewStore("out", y)
+	b.Term = ir.TermReturn
+	f.Blocks = []*ir.Block{b}
+	err := Func(f)
+	if !err.Has("ir/cycle") {
+		t.Errorf("want ir/cycle, got %v", err)
+	}
+}
+
+func TestFuncBadTerminators(t *testing.T) {
+	f := &ir.Func{Name: "f"}
+	b := ir.NewBlock("entry")
+	b.Term = ir.TermBranch // branch with no condition and no successors
+	f.Blocks = []*ir.Block{b}
+	if err := Func(f); !err.Has("ir/term") {
+		t.Errorf("want ir/term, got %v", err)
+	}
+
+	f2 := &ir.Func{Name: "g"}
+	b2 := ir.NewBlock("entry")
+	b2.Term = ir.TermJump
+	b2.Succs = []string{"nowhere"}
+	f2.Blocks = []*ir.Block{b2}
+	if err := Func(f2); !err.Has("ir/succ") {
+		t.Errorf("want ir/succ, got %v", err)
+	}
+}
+
+func TestFuncBadOp(t *testing.T) {
+	f := &ir.Func{Name: "f"}
+	b := ir.NewBlock("entry")
+	n := b.NewNode(ir.Op(200))
+	_ = n
+	b.Term = ir.TermReturn
+	f.Blocks = []*ir.Block{b}
+	if err := Func(f); !err.Has("ir/bad-op") {
+		t.Errorf("want ir/bad-op, got %v", err)
+	}
+}
+
+// twoUnitMachine builds a small two-unit VLIW for hand-written blocks:
+// U1 (ADD/SUB), U2 (MUL), crossbar bus DB of width 1, memory MEM.
+func twoUnitMachine(t *testing.T) *isdl.Machine {
+	t.Helper()
+	m := isdl.NewMachine("two")
+	m.AddUnit("U1", 4, ir.OpAdd, ir.OpSub)
+	m.AddUnit("U2", 4, ir.OpMul)
+	m.AddMemory("MEM")
+	m.AddBus("DB", 1)
+	m.ConnectAll("DB")
+	if err := m.Finalize(); err != nil {
+		t.Fatalf("finalize: %v", err)
+	}
+	return m
+}
+
+func load(bus, v, unit string, reg int) asm.Move {
+	return asm.Move{Bus: bus, FromMem: v, ToUnit: unit, ToReg: reg}
+}
+
+func store(bus, unit string, reg int, v string) asm.Move {
+	return asm.Move{Bus: bus, FromUnit: unit, FromReg: reg, ToMem: v}
+}
+
+// cleanBlock is a correct hand-compiled body for out = (a+b) computed on
+// U1: load a, load b, add, store.
+func cleanBlock() *asm.Block {
+	return &asm.Block{
+		Name: "entry",
+		Instrs: []asm.Instr{
+			{Moves: []asm.Move{load("DB", "a", "U1", 0)}},
+			{Moves: []asm.Move{load("DB", "b", "U1", 1)}},
+			{Ops: []asm.MicroOp{{Unit: "U1", Op: ir.OpAdd, Dst: 2,
+				Srcs: []asm.Operand{{Reg: 0}, {Reg: 1}}}}},
+			{Moves: []asm.Move{store("DB", "U1", 2, "out")}},
+		},
+		Branch: asm.Branch{Kind: asm.BranchHalt},
+	}
+}
+
+func TestBlockCodeClean(t *testing.T) {
+	m := twoUnitMachine(t)
+	if vs := BlockCode(cleanBlock(), m, nil); len(vs) != 0 {
+		t.Errorf("clean block flagged: %v", vs)
+	}
+}
+
+func TestBlockCodeUndefRead(t *testing.T) {
+	m := twoUnitMachine(t)
+	b := cleanBlock()
+	b.Instrs[2].Ops[0].Srcs[1].Reg = 3 // R3 is never written
+	vs := BlockCode(b, m, nil)
+	if !hasRule(vs, "asm/undef-read") {
+		t.Errorf("want asm/undef-read, got %v", vs)
+	}
+}
+
+func TestBlockCodeLatency(t *testing.T) {
+	m := isdl.NewMachine("slow")
+	u := m.AddUnit("U1", 4, ir.OpAdd, ir.OpMul)
+	u.SetLatency(ir.OpMul, 3)
+	m.AddMemory("MEM")
+	m.AddBus("DB", 1)
+	m.ConnectAll("DB")
+	if err := m.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	b := &asm.Block{
+		Name: "entry",
+		Instrs: []asm.Instr{
+			{Moves: []asm.Move{load("DB", "a", "U1", 0)}},
+			{Ops: []asm.MicroOp{{Unit: "U1", Op: ir.OpMul, Dst: 1,
+				Srcs: []asm.Operand{{Reg: 0}, {Reg: 0}}}}},
+			// MUL commits at cycle 1+3=4; reading its result at cycle 2 is
+			// too early on an interlock-free machine.
+			{Ops: []asm.MicroOp{{Unit: "U1", Op: ir.OpAdd, Dst: 2,
+				Srcs: []asm.Operand{{Reg: 1}, {Reg: 0}}}}},
+			{Moves: []asm.Move{store("DB", "U1", 2, "out")}},
+		},
+		Branch: asm.Branch{Kind: asm.BranchHalt},
+	}
+	vs := BlockCode(b, m, nil)
+	if !hasRule(vs, "asm/latency") {
+		t.Errorf("want asm/latency, got %v", vs)
+	}
+}
+
+func TestBlockCodeClobber(t *testing.T) {
+	m := twoUnitMachine(t)
+	b := cleanBlock()
+	// A second definition of U1.R0 lands between the load of a (used by
+	// the ADD at cycle 2) and its read: the ADD sees b, not a.
+	b.Instrs[1].Moves[0].ToReg = 0 // the load of b now writes over R0
+	vs := BlockCode(b, m, nil)
+	if !hasRule(vs, "asm/clobber") && !hasRule(vs, "asm/undef-read") {
+		t.Errorf("want asm/clobber (or undef-read for R1), got %v", vs)
+	}
+}
+
+func TestBlockCodeTransferPath(t *testing.T) {
+	// No transfer from U2's bank to U1's bank: only U1 <-> MEM.
+	m := isdl.NewMachine("island")
+	m.AddUnit("U1", 4, ir.OpAdd)
+	m.AddUnit("U2", 4, ir.OpMul)
+	m.AddMemory("MEM")
+	m.AddBus("DB", 2)
+	m.AddTransfer(isdl.UnitLoc("U1"), isdl.MemLoc("MEM"), "DB")
+	m.AddTransfer(isdl.MemLoc("MEM"), isdl.UnitLoc("U1"), "DB")
+	m.AddTransfer(isdl.MemLoc("MEM"), isdl.UnitLoc("U2"), "DB")
+	if err := m.Finalize(); err != nil {
+		t.Fatal(err)
+	}
+	b := &asm.Block{
+		Name: "entry",
+		Instrs: []asm.Instr{
+			{Moves: []asm.Move{load("DB", "a", "U2", 0)}},
+			{Moves: []asm.Move{{Bus: "DB", FromUnit: "U2", FromReg: 0, ToUnit: "U1", ToReg: 0}}},
+			{Moves: []asm.Move{store("DB", "U1", 0, "out")}},
+		},
+		Branch: asm.Branch{Kind: asm.BranchHalt},
+	}
+	vs := BlockCode(b, m, nil)
+	if !hasRule(vs, "asm/transfer-path") {
+		t.Errorf("want asm/transfer-path, got %v", vs)
+	}
+}
+
+func TestBlockCodeGroupBusOverflow(t *testing.T) {
+	m := twoUnitMachine(t)
+	b := cleanBlock()
+	// Two moves on the width-1 bus in one instruction.
+	b.Instrs[0].Moves = append(b.Instrs[0].Moves, load("DB", "b", "U1", 1))
+	b.Instrs = append(b.Instrs[:1], b.Instrs[2:]...) // drop old load of b
+	vs := BlockCode(b, m, nil)
+	if !hasRule(vs, "asm/group") {
+		t.Errorf("want asm/group, got %v", vs)
+	}
+}
+
+func TestBlockCodeSpillPairing(t *testing.T) {
+	m := twoUnitMachine(t)
+	b := cleanBlock()
+	// Reload a spill slot that was never stored.
+	b.Instrs[1].Moves = []asm.Move{load("DB", "$sp0", "U1", 1)}
+	vs := BlockCode(b, m, nil)
+	if !hasRule(vs, "asm/spill-pairing") {
+		t.Errorf("want asm/spill-pairing, got %v", vs)
+	}
+}
+
+func TestBlockCodeMemTraffic(t *testing.T) {
+	m := twoUnitMachine(t)
+	src := ir.NewBlock("entry")
+	a := src.NewLoad("a")
+	bv := src.NewLoad("b")
+	sum := src.NewNode(ir.OpAdd, a, bv)
+	src.NewStore("out", sum)
+	src.Term = ir.TermReturn
+
+	good := cleanBlock()
+	if vs := BlockCode(good, m, src); len(vs) != 0 {
+		t.Errorf("clean block with source cross-check flagged: %v", vs)
+	}
+
+	// Store to the wrong variable: "out" is dropped, "oops" appears.
+	bad := cleanBlock()
+	bad.Instrs[3].Moves[0].ToMem = "oops"
+	vs := BlockCode(bad, m, src)
+	if !hasRule(vs, "asm/mem-traffic") {
+		t.Errorf("want asm/mem-traffic, got %v", vs)
+	}
+}
+
+func TestBlockCodeBranchCond(t *testing.T) {
+	m := twoUnitMachine(t)
+	b := cleanBlock()
+	b.Branch = asm.Branch{Kind: asm.BranchCond, Target: "x", Else: "y",
+		CondUnit: "U1", CondReg: 3} // R3 never defined
+	vs := BlockCode(b, m, nil)
+	if !hasRule(vs, "asm/undef-read") {
+		t.Errorf("want asm/undef-read on the branch condition, got %v", vs)
+	}
+}
+
+func TestLayout(t *testing.T) {
+	m := twoUnitMachine(t)
+	mk := func(name string, br asm.Branch) *asm.Block {
+		return &asm.Block{Name: name, Branch: br}
+	}
+	p := &asm.Program{Machine: m, Blocks: []*asm.Block{
+		mk("b0", asm.Branch{Kind: asm.BranchNone, Target: "b1"}),
+		mk("b1", asm.Branch{Kind: asm.BranchJump, Target: "__nowhere"}),
+	}}
+	vs := Layout(p, nil)
+	if !hasRule(vs, "asm/branch-target") {
+		t.Errorf("want asm/branch-target, got %v", vs)
+	}
+
+	p2 := &asm.Program{Machine: m, Blocks: []*asm.Block{
+		mk("b0", asm.Branch{Kind: asm.BranchNone, Target: "b2"}), // not adjacent
+		mk("b1", asm.Branch{Kind: asm.BranchHalt}),
+		mk("b2", asm.Branch{Kind: asm.BranchHalt}),
+	}}
+	vs = Layout(p2, nil)
+	if !hasRule(vs, "asm/fallthrough") {
+		t.Errorf("want asm/fallthrough, got %v", vs)
+	}
+}
+
+func TestViolationString(t *testing.T) {
+	v := Violation{Rule: "asm/latency", Coord: Coord{Block: "b1", Instr: 3, Slot: "U1: ADD R2, R0, R1"}, Msg: "boom"}
+	s := v.String()
+	for _, want := range []string{"asm/latency", "b1", "I3", "boom"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("violation string %q missing %q", s, want)
+		}
+	}
+}
+
+func hasRule(vs []Violation, rule string) bool {
+	for _, v := range vs {
+		if v.Rule == rule {
+			return true
+		}
+	}
+	return false
+}

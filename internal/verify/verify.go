@@ -1,0 +1,139 @@
+// Package verify is an independent static translation validator for the
+// AVIV back end. It re-checks compiled output against the ISDL machine
+// description and the source IR without executing anything and without
+// trusting how covering, register allocation, peephole, or layout
+// produced the code — the checks are implemented from the machine model
+// alone, so a bug in any producing pass surfaces as a structured
+// diagnostic instead of a silent miscompile.
+//
+// Three entry points cover the pipeline ends:
+//
+//   - Func re-verifies the IR a compilation starts from (acyclic DAGs,
+//     def-before-use, operand arity, terminator consistency).
+//   - LintMachine lints an ISDL machine description for mistakes the
+//     code generator would otherwise trip over mid-covering (empty
+//     units, inconsistent shared banks, a transfer graph that strands a
+//     register bank, constraints naming unknown slots).
+//   - Program validates emitted VLIW assembly: instruction grouping
+//     legality (via isdl.CheckGroup), operand register-bank legality,
+//     cross-instruction def-before-use honoring operation latencies,
+//     register-file pressure, spill-slot load/store pairing, and
+//     branch/fallthrough resolution after block layout.
+//
+// The paper asserts these invariants (register pressure bounded during
+// covering so Chaitin coloring "cannot fail"; peephole re-compaction
+// preserving semantics) but never checks them; this package is the
+// check.
+package verify
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Coord pinpoints where a violation was found. The zero value means the
+// violation is machine- or program-level.
+type Coord struct {
+	// Block is the basic-block name, or "" for program/machine level.
+	Block string
+	// Instr is the instruction index within the block; -1 when the
+	// violation is not tied to one instruction.
+	Instr int
+	// Slot names the offending slot: a unit name, a bus move, "branch",
+	// a constraint, ... "" when not applicable.
+	Slot string
+}
+
+// Violation is one verifier diagnostic.
+type Violation struct {
+	// Rule is a stable identifier of the invariant violated, e.g.
+	// "asm/latency" or "isdl/disconnected".
+	Rule string
+	Coord
+	// Msg is the human-readable explanation.
+	Msg string
+}
+
+func (v Violation) String() string {
+	var sb strings.Builder
+	sb.WriteString(v.Rule)
+	sb.WriteString(":")
+	if v.Block != "" {
+		fmt.Fprintf(&sb, " block %s", v.Block)
+		if v.Instr >= 0 {
+			fmt.Fprintf(&sb, " I%d", v.Instr)
+		}
+		if v.Slot != "" {
+			fmt.Fprintf(&sb, " [%s]", v.Slot)
+		}
+		sb.WriteString(":")
+	} else if v.Slot != "" {
+		fmt.Fprintf(&sb, " [%s]:", v.Slot)
+	}
+	sb.WriteString(" ")
+	sb.WriteString(v.Msg)
+	return sb.String()
+}
+
+// VerifyError aggregates every violation found by one verifier run.
+type VerifyError struct {
+	Violations []Violation
+}
+
+func (e *VerifyError) Error() string {
+	if len(e.Violations) == 0 {
+		return "verify: no violations"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "verify: %d violation(s):", len(e.Violations))
+	for i, v := range e.Violations {
+		if i == 8 {
+			fmt.Fprintf(&sb, "\n  ... and %d more", len(e.Violations)-i)
+			break
+		}
+		sb.WriteString("\n  ")
+		sb.WriteString(v.String())
+	}
+	return sb.String()
+}
+
+// Has reports whether any violation carries the given rule.
+func (e *VerifyError) Has(rule string) bool {
+	if e == nil {
+		return false
+	}
+	for _, v := range e.Violations {
+		if v.Rule == rule {
+			return true
+		}
+	}
+	return false
+}
+
+// asError wraps a violation list, returning nil when it is empty so
+// callers can use the usual err != nil idiom.
+func asError(vs []Violation) *VerifyError {
+	if len(vs) == 0 {
+		return nil
+	}
+	return &VerifyError{Violations: vs}
+}
+
+// sink collects violations with a default coordinate.
+type sink struct {
+	vs    []Violation
+	block string
+}
+
+func (s *sink) add(rule string, c Coord, format string, args ...any) {
+	if c.Block == "" {
+		c.Block = s.block
+	}
+	s.vs = append(s.vs, Violation{Rule: rule, Coord: c, Msg: fmt.Sprintf(format, args...)})
+}
+
+// at builds an instruction-level coordinate.
+func at(instr int, slot string) Coord { return Coord{Instr: instr, Slot: slot} }
+
+// blockLevel is a block-level coordinate (no instruction).
+func blockLevel(slot string) Coord { return Coord{Instr: -1, Slot: slot} }

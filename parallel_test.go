@@ -127,8 +127,8 @@ func TestCompileMetrics(t *testing.T) {
 	if u := cm.Utilization(); u <= 0 || u > 1.000001 {
 		t.Errorf("Utilization() = %v, want in (0, 1]", u)
 	}
-	cov, peep, ra, emit := cm.PhaseTotals()
-	if phases := cov + peep + ra + emit; phases <= 0 {
+	cov, peep, ra, emit, vfy := cm.PhaseTotals()
+	if phases := cov + peep + ra + emit + vfy; phases <= 0 {
 		t.Errorf("PhaseTotals() sum %v, want > 0", phases)
 	}
 	if cm.String() == "" {
