@@ -1,5 +1,5 @@
 # Convenience targets; `make check` is the gate ci.sh runs in CI.
-.PHONY: check test build vet lint fuzz bench
+.PHONY: check test build vet lint staticcheck fuzz bench
 
 check:
 	./ci.sh
@@ -12,6 +12,12 @@ build:
 
 vet:
 	go vet ./...
+
+# Pinned in ci.sh (STATICCHECK_VERSION); skipped with a warning when the
+# binary is not on PATH — it is never downloaded by the build.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "warning: staticcheck not installed; skipping"; fi
 
 lint:
 	for f in examples/machines/*.isdl; do go run ./cmd/isdldump -lint $$f; done

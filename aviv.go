@@ -24,6 +24,7 @@ import (
 
 	"aviv/internal/asm"
 	"aviv/internal/cover"
+	"aviv/internal/dataflow"
 	"aviv/internal/ir"
 	"aviv/internal/isdl"
 	"aviv/internal/lang"
@@ -152,6 +153,7 @@ func CompileBlock(b *ir.Block, m *isdl.Machine, opts Options) (*BlockResult, err
 	bm.Spills = sol.SpillCount
 	bm.AssignmentsExplored = res.AssignmentsExplored
 	bm.PeepholeSaved = saved
+	bm.PrunedStores = res.PrunedStores
 	bm.Total = total.Elapsed()
 	return &BlockResult{
 		Block:               b,
@@ -203,6 +205,20 @@ func Compile(f *ir.Func, m *isdl.Machine, opts Options) (*CompileResult, error) 
 			return nil, fmt.Errorf("aviv: source IR rejected by verifier: %w", verr)
 		}
 	}
+	// Global liveness runs once up front; each block's live-out set lets
+	// the covering prune stores no successor ever observes, so dead
+	// values stop occupying register banks and generating spill traffic.
+	analysisTimer := metrics.StartTimer()
+	liveOuts := dataflow.Liveness(f).OutSets()
+	analysisTime := analysisTimer.Elapsed()
+	if opts.Verify {
+		// Self-distrust: re-derive liveness by an independent path search
+		// and refuse to compile on any disagreement — a wrong live-out set
+		// licenses an unsound store prune.
+		if vs := verify.CheckLiveness(f, liveOuts); len(vs) > 0 {
+			return nil, fmt.Errorf("aviv: liveness cross-check failed: %w", &verify.VerifyError{Violations: vs})
+		}
+	}
 	if opts.AutoPlace && len(m.Memories) > 1 {
 		auto := place.Assign(f, m)
 		merged := make(map[string]string, len(auto)+len(opts.Cover.VarPlacement))
@@ -219,7 +235,9 @@ func Compile(f *ir.Func, m *isdl.Machine, opts Options) (*CompileResult, error) 
 	results := make([]*BlockResult, len(f.Blocks))
 	errs := make([]error, len(f.Blocks))
 	compileOne := func(i, worker int) {
-		br, err := CompileBlock(f.Blocks[i], m, opts)
+		o := opts
+		o.Cover.LiveOut = liveOuts[i]
+		br, err := CompileBlock(f.Blocks[i], m, o)
 		if err != nil {
 			errs[i] = err
 			return
@@ -266,9 +284,10 @@ func Compile(f *ir.Func, m *isdl.Machine, opts Options) (*CompileResult, error) 
 	layoutBlocks(out.Program)
 	var verr *verify.VerifyError
 	if opts.Verify {
-		verr = verifyResult(out)
+		verr = verifyResult(out, liveOuts)
 	}
 	out.Metrics = coll.Finish()
+	out.Metrics.Analysis.Liveness = analysisTime
 	for i, bm := range out.Metrics.Blocks {
 		out.Blocks[i].Metrics.Worker = bm.Worker
 		// The collector snapshotted block metrics before verification
@@ -286,13 +305,23 @@ func Compile(f *ir.Func, m *isdl.Machine, opts Options) (*CompileResult, error) 
 // program, recording per-block verify time and violation counts in the
 // block metrics. Layout- and program-level violations are charged to the
 // block they name when it exists.
-func verifyResult(out *CompileResult) *verify.VerifyError {
+//
+// Each block's code is validated against the block the covering actually
+// consumed (Solution.Block — the liveness-pruned clone when pruning
+// happened), and the prune itself is re-derived independently by
+// verify.CheckPrune, so neither the dataflow solver nor the pruner is
+// trusted with the source-to-code correspondence.
+func verifyResult(out *CompileResult, liveOuts []map[string]bool) *verify.VerifyError {
 	byName := make(map[string]*BlockResult, len(out.Blocks))
 	var all []verify.Violation
-	for _, br := range out.Blocks {
+	for i, br := range out.Blocks {
 		byName[br.Code.Name] = br
 		t := metrics.StartTimer()
-		vs := verify.BlockCode(br.Code, out.Machine, br.Block)
+		covered := br.Solution.Block
+		vs := verify.BlockCode(br.Code, out.Machine, covered)
+		if covered != br.Block {
+			vs = append(vs, verify.CheckPrune(br.Block, covered, liveOuts[i])...)
+		}
 		br.Metrics.Verify = t.Elapsed()
 		br.Metrics.Violations = len(vs)
 		all = append(all, vs...)

@@ -291,3 +291,44 @@ func randomBlock(seed int64, nOps int) *ir.Block {
 	bb.Return()
 	return bb.Finish()
 }
+
+// TestCompilePrunesCrossBlockDeadStores: a store whose variable is
+// overwritten on every successor path before any read is pruned by the
+// covering (via the global liveness hand-off in Options.Cover.LiveOut),
+// the pruned program still simulates to the reference final memory, and
+// the independent liveness/prune cross-checks in internal/verify accept
+// the result.
+func TestCompilePrunesCrossBlockDeadStores(t *testing.T) {
+	m, err := isdl.Parse(isdl.ExampleArchISDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := ir.NewBlock("entry")
+	e.NewStore("t", e.NewNode(ir.OpAdd, e.NewLoad("a"), e.NewLoad("b")))
+	e.NewStore("out", e.NewConst(1))
+	e.Term = ir.TermBranch
+	e.Cond = e.NewLoad("c")
+	e.Succs = []string{"left", "right"}
+	l := ir.NewBlock("left")
+	l.NewStore("t", l.NewConst(0))
+	l.Term = ir.TermReturn
+	r := ir.NewBlock("right")
+	r.NewStore("t", r.NewConst(9))
+	r.Term = ir.TermReturn
+	f := &ir.Func{Name: "prune", Blocks: []*ir.Block{e, l, r}}
+
+	opts := DefaultOptions()
+	opts.Verify = true
+	for _, c := range []int64{0, 1} {
+		res := checkCompiled(t, f, m, map[string]int64{"a": 2, "b": 3, "c": c}, opts)
+		if got := res.Metrics.TotalPrunedStores(); got != 1 {
+			t.Errorf("c=%d: %d stores pruned, want 1 (the cross-block-dead store of t)", c, got)
+		}
+		// The entry solution must not contain the pruned store.
+		for _, n := range res.Blocks[0].Solution.Block.Nodes {
+			if n.Op == ir.OpStore && n.Var == "t" {
+				t.Errorf("c=%d: pruned store of t still in covered block", c)
+			}
+		}
+	}
+}

@@ -24,6 +24,7 @@ import (
 	"aviv/internal/baseline"
 	"aviv/internal/bench"
 	"aviv/internal/cover"
+	"aviv/internal/dataflow/diag"
 	"aviv/internal/ir"
 	"aviv/internal/isdl"
 	"aviv/internal/place"
@@ -429,6 +430,14 @@ func statsReport(par int) error {
 	if err != nil {
 		return err
 	}
+	// The compile pipeline only runs (and times) the liveness analysis it
+	// consumes; fold in a full diagnostics pass so the report shows every
+	// analysis timing plus the diagnostic count for the workload.
+	rep := diag.Analyze(f)
+	res.Metrics.Analysis.ReachingDefs = rep.Metrics.ReachingDefs
+	res.Metrics.Analysis.AvailableExprs = rep.Metrics.AvailableExprs
+	res.Metrics.Analysis.Dominators = rep.Metrics.Dominators
+	res.Metrics.Analysis.Diagnostics = rep.Metrics.Diagnostics
 	fmt.Printf("==== Compile metrics (%s, code size %d) ====\n", f.Name, res.CodeSize())
 	fmt.Print(res.Metrics.String())
 	fmt.Println()

@@ -11,6 +11,7 @@
 //	avivcc -example                                       # built-in Fig. 3 machine
 //	avivcc -exhaustive ...                                # heuristics off
 //	avivcc -stats ...                                     # per-block statistics
+//	avivcc -analyze prog.c                                # dataflow diagnostics (no machine needed)
 package main
 
 import (
@@ -23,7 +24,9 @@ import (
 
 	"aviv"
 	"aviv/internal/asm"
+	"aviv/internal/dataflow/diag"
 	"aviv/internal/isdl"
+	"aviv/internal/lang"
 	"aviv/internal/sim"
 )
 
@@ -42,11 +45,47 @@ func main() {
 	trace := flag.Bool("trace", false, "trace simulated instructions")
 	parallel := flag.Int("parallel", 0, "block-compilation worker pool size (0 = GOMAXPROCS, 1 = serial; output is identical at any setting)")
 	verifyFlag := flag.Bool("verify", false, "run the static translation validator on the compiled output (fails the compile on any violation)")
+	analyze := flag.Bool("analyze", false, "run the global dataflow diagnostics on the lowered IR and print findings (no machine description needed)")
 	flag.Parse()
 
 	die := func(err error) {
 		fmt.Fprintln(os.Stderr, "avivcc:", err)
 		os.Exit(1)
+	}
+
+	if *analyze {
+		// Diagnostics run on the unoptimized lowered IR — the optimizer
+		// would remove exactly the defects (dead stores, unreachable
+		// blocks) the programmer should hear about — and need no machine.
+		if flag.NArg() != 1 {
+			die(fmt.Errorf("need exactly one source file"))
+		}
+		src, err := os.ReadFile(flag.Arg(0))
+		if err != nil {
+			die(err)
+		}
+		prog, err := lang.Parse(string(src))
+		if err != nil {
+			die(err)
+		}
+		if *unroll > 1 {
+			prog = lang.Unroll(prog, *unroll)
+		}
+		f, err := lang.Lower(prog, "main")
+		if err != nil {
+			die(err)
+		}
+		rep := diag.Analyze(f)
+		fmt.Print(rep.String())
+		if *stats {
+			a := rep.Metrics
+			fmt.Printf("; analyze: liveness %v, reachdefs %v, avail %v, dom %v, %d diagnostics\n",
+				a.Liveness, a.ReachingDefs, a.AvailableExprs, a.Dominators, a.Diagnostics)
+		}
+		if rep.Metrics.Diagnostics > 0 {
+			os.Exit(1)
+		}
+		return
 	}
 
 	var machine *isdl.Machine

@@ -6,7 +6,9 @@ import (
 	"testing"
 
 	"aviv/internal/baseline"
+	"aviv/internal/dataflow"
 	"aviv/internal/isdl"
+	"aviv/internal/lang"
 	"aviv/internal/sim"
 )
 
@@ -218,5 +220,34 @@ func TestDifferentialParallelAgrees(t *testing.T) {
 	for seed := int64(0); seed < 10; seed += 2 {
 		src, mem := genProgram(seed, false)
 		diffOne(t, src, m, mem, opts, fmt.Sprintf("seed%d/parallel8", seed))
+	}
+}
+
+// TestAnalysesMatchOraclesOnDifftestCorpus cross-checks every global
+// dataflow analysis against its brute-force path-search oracle on every
+// program of the differential corpus — both the raw lowered IR (where
+// planted inefficiencies survive for the analyses to find) and the
+// optimized IR the back end actually consumes.
+func TestAnalysesMatchOraclesOnDifftestCorpus(t *testing.T) {
+	for seed := int64(0); seed < 50; seed++ {
+		src, _ := genProgram(seed, seed%2 == 1)
+		prog, err := lang.Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v\n%s", seed, err, src)
+		}
+		raw, err := lang.Lower(prog, "main")
+		if err != nil {
+			t.Fatalf("seed %d: lower: %v\n%s", seed, err, src)
+		}
+		if err := dataflow.CheckOracles(raw); err != nil {
+			t.Errorf("seed %d (lowered): %v\n%s", seed, err, src)
+		}
+		optimized, err := ParseAndLower(src, 1)
+		if err != nil {
+			t.Fatalf("seed %d: optimize: %v", seed, err)
+		}
+		if err := dataflow.CheckOracles(optimized); err != nil {
+			t.Errorf("seed %d (optimized): %v\n%s", seed, err, src)
+		}
 	}
 }

@@ -6,8 +6,11 @@ import (
 	"testing"
 
 	"aviv/internal/asm"
+	"aviv/internal/dataflow"
+	"aviv/internal/dataflow/diag"
 	"aviv/internal/ir"
 	"aviv/internal/isdl"
+	"aviv/internal/lang"
 	"aviv/internal/sim"
 	"aviv/internal/verify"
 )
@@ -36,6 +39,20 @@ func FuzzCompileSource(f *testing.F) {
 	}
 	m := isdl.ExampleArchFull(4)
 	f.Fuzz(func(t *testing.T, src string) {
+		// The dataflow analyses and the diagnostics pass must handle
+		// anything the front end accepts: no panics, solver agreeing with
+		// the brute-force oracles, and a deterministic report.
+		if prog, perr := lang.Parse(src); perr == nil {
+			if lowered, lerr := lang.Lower(prog, "main"); lerr == nil {
+				if oerr := dataflow.CheckOracles(lowered); oerr != nil {
+					t.Fatalf("analysis/oracle disagreement for %q: %v", src, oerr)
+				}
+				rep := diag.Analyze(lowered)
+				if again := diag.Analyze(lowered); again.String() != rep.String() {
+					t.Fatalf("non-deterministic diagnostics for %q:\n%s\nvs\n%s", src, rep.String(), again.String())
+				}
+			}
+		}
 		opts := DefaultOptions()
 		opts.Verify = true
 		res, err := CompileSource(src, m, 1, opts)
@@ -53,6 +70,17 @@ func FuzzCompileSource(f *testing.F) {
 		loaded, err := asm.Decode(asm.Encode(res.Program), m)
 		if err != nil {
 			t.Fatalf("object round trip failed for %q: %v", src, err)
+		}
+		// The emitted program — and with it the liveness-driven store
+		// pruning — must be byte-identical under a parallel worker pool.
+		par := opts
+		par.Parallelism = 8
+		res8, err := CompileSource(src, m, 1, par)
+		if err != nil {
+			t.Fatalf("parallel compile failed after serial succeeded for %q: %v", src, err)
+		}
+		if res8.Program.String() != res.Program.String() {
+			t.Fatalf("parallel output differs for %q:\n%s\nvs\n%s", src, res.Program, res8.Program)
 		}
 		// Reference semantics with a finite budget: programs the
 		// interpreter cannot finish (runaway loops) are out of scope.

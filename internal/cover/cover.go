@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"strings"
 
+	"aviv/internal/dataflow"
 	"aviv/internal/ir"
 	"aviv/internal/isdl"
 	"aviv/internal/sndag"
@@ -70,6 +71,9 @@ type Result struct {
 	AssignmentsExplored int
 	// DAG is the Split-Node DAG the covering worked from.
 	DAG *sndag.DAG
+	// PrunedStores counts stores removed before covering because
+	// Options.LiveOut proved them dead past the block.
+	PrunedStores int
 }
 
 // CoverBlock runs the full concurrent code-generation step of Sec. IV on
@@ -77,11 +81,19 @@ type Result struct {
 // assignments, and cover each selected assignment with a minimal-cost
 // set of maximal groupings; the cheapest covering wins.
 func CoverBlock(block *ir.Block, m *isdl.Machine, opts Options) (*Result, error) {
+	pruned := 0
+	if opts.LiveOut != nil {
+		block, pruned = dataflow.PruneBlock(block, opts.LiveOut)
+	}
 	d, err := sndag.Build(block, m)
 	if err != nil {
 		return nil, err
 	}
-	return CoverDAG(d, opts)
+	res, err := CoverDAG(d, opts)
+	if res != nil {
+		res.PrunedStores = pruned
+	}
+	return res, err
 }
 
 // CoverDAG is CoverBlock for a pre-built Split-Node DAG.

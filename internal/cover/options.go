@@ -57,6 +57,15 @@ type Options struct {
 	// instruction, which is the entire point.
 	VarPlacement map[string]string
 
+	// LiveOut, when non-nil, is the set of memory variables live at the
+	// block's exit as computed by global dataflow analysis
+	// (dataflow.Liveness). Stores whose variable is provably dead across
+	// blocks are pruned before the Split-Node DAG is built, so values no
+	// successor ever reads stop occupying register-bank slots and
+	// generating spill traffic. nil means every variable is assumed live
+	// at the block exit — the pessimistic (always safe) default.
+	LiveOut map[string]bool
+
 	// Trace, when non-nil, collects a step-by-step record of the
 	// covering run (used by the figure-reproduction harness).
 	Trace *Trace

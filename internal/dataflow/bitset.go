@@ -1,0 +1,92 @@
+package dataflow
+
+// BitSet is a fixed-capacity bit vector. All sets participating in one
+// analysis share the same universe size, so the operations below assume
+// equal lengths.
+type BitSet []uint64
+
+// NewBitSet returns an empty set with capacity for n bits.
+func NewBitSet(n int) BitSet {
+	return make(BitSet, (n+63)/64)
+}
+
+// Get reports whether bit i is set.
+func (s BitSet) Get(i int) bool {
+	return s[i/64]&(1<<uint(i%64)) != 0
+}
+
+// Set sets bit i.
+func (s BitSet) Set(i int) {
+	s[i/64] |= 1 << uint(i%64)
+}
+
+// Clear clears bit i.
+func (s BitSet) Clear(i int) {
+	s[i/64] &^= 1 << uint(i%64)
+}
+
+// Copy returns an independent copy of s.
+func (s BitSet) Copy() BitSet {
+	t := make(BitSet, len(s))
+	copy(t, s)
+	return t
+}
+
+// Equal reports whether s and t contain the same bits.
+func (s BitSet) Equal(t BitSet) bool {
+	for i := range s {
+		if s[i] != t[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// UnionWith adds every bit of t to s and reports whether s changed.
+func (s BitSet) UnionWith(t BitSet) bool {
+	changed := false
+	for i := range s {
+		if n := s[i] | t[i]; n != s[i] {
+			s[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// IntersectWith removes bits of s not in t and reports whether s changed.
+func (s BitSet) IntersectWith(t BitSet) bool {
+	changed := false
+	for i := range s {
+		if n := s[i] & t[i]; n != s[i] {
+			s[i] = n
+			changed = true
+		}
+	}
+	return changed
+}
+
+// DiffWith removes every bit of t from s.
+func (s BitSet) DiffWith(t BitSet) {
+	for i := range s {
+		s[i] &^= t[i]
+	}
+}
+
+// FillUpTo sets bits [0, n).
+func (s BitSet) FillUpTo(n int) {
+	for i := 0; i < n; i++ {
+		s.Set(i)
+	}
+}
+
+// Count returns the number of set bits in the first n positions.
+func (s BitSet) Count(n int) int {
+	c := 0
+	for i := 0; i < n; i++ {
+		if s.Get(i) {
+			c++
+		}
+	}
+	return c
+}

@@ -1,0 +1,175 @@
+// Package dataflow is a classic iterative bit-vector dataflow framework
+// in the Kildall tradition over the ir.Func control-flow graph: a
+// generic worklist solver (forward/backward direction, union/intersect
+// meet, gen/kill transfer functions, deterministic reverse-postorder
+// iteration) plus four concrete analyses — liveness of memory slots,
+// reaching definitions, available expressions, and dominators.
+//
+// The paper's own lifetime analysis is explicitly pessimistic (the
+// peephole pass exists to clean up after it, Sec. IV-G); this package
+// computes the precise global facts once, for three clients: the
+// machine-independent optimizer (global dead-store elimination and
+// cross-block CSE in internal/opt), the covering (per-block live-out
+// sets shrink register pressure and spill traffic, cover.Options.LiveOut),
+// and the user-facing diagnostics pass (internal/dataflow/diag,
+// avivcc -analyze).
+//
+// Cross-block values in this IR travel only through named memory
+// locations — register values never outlive a block — so every fact
+// universe is over memory variables (or expressions over their entry
+// values), never registers. Within a block, ir.Block.Nodes order is
+// execution order (ir.EvalBlock), which makes the per-block gen/kill
+// summaries simple forward or backward scans.
+//
+// Every analysis has an independent brute-force oracle (oracle.go) used
+// by the tests, in the same self-distrusting style as internal/verify.
+package dataflow
+
+import (
+	"sort"
+
+	"aviv/internal/ir"
+)
+
+// CFG is the control-flow graph of a function in index form: block
+// indices into F.Blocks, predecessor/successor adjacency, and a
+// deterministic reverse-postorder over the reachable blocks.
+type CFG struct {
+	F     *ir.Func
+	Index map[string]int // block name -> index in F.Blocks
+
+	Succs [][]int
+	Preds [][]int
+
+	// RPO is a reverse postorder of the reachable blocks (entry first),
+	// followed by the unreachable blocks in source order so every block
+	// still gets a deterministic position.
+	RPO []int
+	// Reach marks blocks reachable from the entry along Succs edges.
+	Reach []bool
+}
+
+// NewCFG builds the CFG of f. Every successor edge of every terminator
+// is included (a branch contributes both arms, even on a constant
+// condition) — the sound choice for facts that feed code generation.
+func NewCFG(f *ir.Func) *CFG { return newCFG(f, false) }
+
+// NewCFGFolded builds the CFG of f with constant branch conditions
+// folded: a branch on a constant contributes only its taken arm. The
+// diagnostics pass uses this sharper graph so defects guarded by
+// never-taken branches (e.g. code after `while (1)`) are reported; code
+// generation keeps the full graph of NewCFG.
+func NewCFGFolded(f *ir.Func) *CFG { return newCFG(f, true) }
+
+func newCFG(f *ir.Func, foldConst bool) *CFG {
+	g := &CFG{
+		F:     f,
+		Index: make(map[string]int, len(f.Blocks)),
+		Succs: make([][]int, len(f.Blocks)),
+		Preds: make([][]int, len(f.Blocks)),
+		Reach: make([]bool, len(f.Blocks)),
+	}
+	for i, b := range f.Blocks {
+		g.Index[b.Name] = i
+	}
+	for i, b := range f.Blocks {
+		succs := b.Succs
+		if foldConst && b.Term == ir.TermBranch && b.Cond != nil && b.Cond.Op == ir.OpConst {
+			if b.Cond.Const != 0 {
+				succs = b.Succs[:1]
+			} else {
+				succs = b.Succs[1:2]
+			}
+		}
+		for _, name := range succs {
+			j, ok := g.Index[name]
+			if !ok {
+				continue // f.Verify rejects this; stay total anyway
+			}
+			g.Succs[i] = append(g.Succs[i], j)
+			g.Preds[j] = append(g.Preds[j], i)
+		}
+	}
+	if len(f.Blocks) > 0 {
+		g.buildRPO()
+	}
+	return g
+}
+
+// buildRPO runs an iterative depth-first search from the entry,
+// visiting successors in edge order, and records the reverse postorder.
+func (g *CFG) buildRPO() {
+	type frame struct {
+		block int
+		next  int // next successor edge to follow
+	}
+	var post []int
+	stack := []frame{{block: 0}}
+	g.Reach[0] = true
+	for len(stack) > 0 {
+		top := &stack[len(stack)-1]
+		if top.next < len(g.Succs[top.block]) {
+			s := g.Succs[top.block][top.next]
+			top.next++
+			if !g.Reach[s] {
+				g.Reach[s] = true
+				stack = append(stack, frame{block: s})
+			}
+			continue
+		}
+		post = append(post, top.block)
+		stack = stack[:len(stack)-1]
+	}
+	g.RPO = make([]int, 0, len(g.F.Blocks))
+	for i := len(post) - 1; i >= 0; i-- {
+		g.RPO = append(g.RPO, post[i])
+	}
+	for i := range g.F.Blocks {
+		if !g.Reach[i] {
+			g.RPO = append(g.RPO, i)
+		}
+	}
+}
+
+// IsExit reports whether block i leaves the function: a return, or a
+// fallthrough off the end (no successors).
+func (g *CFG) IsExit(i int) bool { return len(g.Succs[i]) == 0 }
+
+// Vars returns the sorted universe of memory locations the function
+// reads or writes.
+func (g *CFG) Vars() []string {
+	seen := make(map[string]bool)
+	var out []string
+	for _, b := range g.F.Blocks {
+		for _, v := range b.Vars() {
+			if !seen[v] {
+				seen[v] = true
+				out = append(out, v)
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// liveNodes marks the nodes of b reachable from its roots (stores and
+// the branch condition). Blocks produced by ir.Builder contain no dead
+// nodes, but hand-built blocks may; analyses ignore dead loads so a
+// stray unreferenced load does not manufacture liveness.
+func liveNodes(b *ir.Block) map[*ir.Node]bool {
+	live := make(map[*ir.Node]bool, len(b.Nodes))
+	var mark func(*ir.Node)
+	mark = func(n *ir.Node) {
+		if live[n] {
+			return
+		}
+		live[n] = true
+		for _, a := range n.Args {
+			mark(a)
+		}
+	}
+	for _, r := range b.Roots() {
+		mark(r)
+	}
+	return live
+}

@@ -1,0 +1,265 @@
+// Package diag derives whole-program diagnostics from the global
+// dataflow analyses (package dataflow): reads of possibly uninitialized
+// memory, stores whose value is dead across block boundaries, stores no
+// load or function exit ever observes, and unreachable blocks. The pass
+// runs on the unoptimized lowered IR over the constant-folded CFG
+// (dataflow.NewCFGFolded), so a `while(1)` loop or a constant branch
+// contributes only the edges an execution can actually take — the
+// precision that separates "dead because overwritten" from "dead
+// because nobody ever looks".
+//
+// Diagnostics are deterministic: one Analyze call on the same function
+// always yields the same report, ordered by (block, node, class).
+package diag
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"aviv/internal/dataflow"
+	"aviv/internal/ir"
+	"aviv/internal/metrics"
+)
+
+// Diagnostic classes.
+const (
+	ClassUseBeforeInit    = "use-before-init"
+	ClassDeadStore        = "dead-store"
+	ClassStoreUnobserved  = "store-unobserved"
+	ClassUnreachableBlock = "unreachable-block"
+)
+
+// Diagnostic is one finding, anchored to a block and (when node-level)
+// to a node ID within it.
+type Diagnostic struct {
+	Class string
+	Block string
+	// Node is the ID of the offending node within its block, or -1 for a
+	// block-level finding.
+	Node int
+	// Var is the memory variable the finding concerns ("" for
+	// unreachable blocks).
+	Var string
+	Msg string
+}
+
+func (d Diagnostic) String() string {
+	if d.Node >= 0 {
+		return fmt.Sprintf("%s: block %s n%d: %s", d.Class, d.Block, d.Node, d.Msg)
+	}
+	return fmt.Sprintf("%s: block %s: %s", d.Class, d.Block, d.Msg)
+}
+
+// Report is the outcome of one Analyze run.
+type Report struct {
+	Func  string
+	Diags []Diagnostic
+	// Metrics records per-analysis wall time and the diagnostic count.
+	Metrics metrics.AnalysisMetrics
+}
+
+// String renders the report one diagnostic per line, or a single "no
+// diagnostics" line — a stable format the golden-file tests pin down.
+func (r *Report) String() string {
+	if len(r.Diags) == 0 {
+		return "no diagnostics\n"
+	}
+	var sb strings.Builder
+	for _, d := range r.Diags {
+		sb.WriteString(d.String())
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Analyze runs the four dataflow analyses over f's folded CFG and
+// derives the diagnostics.
+func Analyze(f *ir.Func) *Report {
+	r := &Report{Func: f.Name}
+	g := dataflow.NewCFGFolded(f)
+
+	t := metrics.StartTimer()
+	live := dataflow.LivenessCFG(g)
+	r.Metrics.Liveness = t.Elapsed()
+	t = metrics.StartTimer()
+	reach := dataflow.ReachingCFG(g)
+	r.Metrics.ReachingDefs = t.Elapsed()
+	t = metrics.StartTimer()
+	dataflow.AvailableCFG(g) // no diagnostic client yet; timed for the -stats report
+	r.Metrics.AvailableExprs = t.Elapsed()
+	t = metrics.StartTimer()
+	dom := dataflow.Dominators(g)
+	inLoop := dom.LoopBlocks()
+	r.Metrics.Dominators = t.Elapsed()
+
+	outs := live.OutSets()
+	for i, b := range f.Blocks {
+		if !g.Reach[i] {
+			if i != 0 {
+				r.Diags = append(r.Diags, Diagnostic{
+					Class: ClassUnreachableBlock, Block: b.Name, Node: -1,
+					Msg: "no execution path from the entry reaches this block",
+				})
+			}
+			continue
+		}
+		r.Diags = append(r.Diags, uninitReads(g, reach, i)...)
+		r.Diags = append(r.Diags, deadStores(g, outs[i], i, inLoop[i])...)
+	}
+
+	sort.SliceStable(r.Diags, func(a, b int) bool {
+		da, db := r.Diags[a], r.Diags[b]
+		ia, ib := blockIndex(f, da.Block), blockIndex(f, db.Block)
+		if ia != ib {
+			return ia < ib
+		}
+		if da.Node != db.Node {
+			return da.Node < db.Node
+		}
+		return da.Class < db.Class
+	})
+	r.Metrics.Diagnostics = len(r.Diags)
+	return r
+}
+
+func blockIndex(f *ir.Func, name string) int {
+	for i, b := range f.Blocks {
+		if b.Name == name {
+			return i
+		}
+	}
+	return len(f.Blocks)
+}
+
+// uninitReads flags upward-exposed loads whose variable's uninitialized
+// entry value may reach them — but only for variables the program also
+// stores somewhere, since a variable that is only ever read is a program
+// input living in data memory, not a forgotten initialization.
+func uninitReads(g *dataflow.CFG, reach *dataflow.ReachingResult, i int) []Diagnostic {
+	b := g.F.Blocks[i]
+	observing := reachableFromRoots(b)
+	var out []Diagnostic
+	stored := make(map[string]bool)
+	for _, n := range b.Nodes {
+		switch n.Op {
+		case ir.OpStore:
+			stored[n.Var] = true
+		case ir.OpLoad:
+			if stored[n.Var] || !observing[n] {
+				continue
+			}
+			if !reach.EntryReachesIn(i, n.Var) || !reach.HasStore(n.Var) {
+				continue
+			}
+			msg := fmt.Sprintf("%s may be read before it is initialized (the uninitialized entry value reaches this load)", n.Var)
+			if !reach.StoreReachesIn(i, n.Var) {
+				msg = fmt.Sprintf("%s is read before it is initialized on every path (no store of it can execute first)", n.Var)
+			}
+			out = append(out, Diagnostic{
+				Class: ClassUseBeforeInit, Block: b.Name, Node: n.ID, Var: n.Var, Msg: msg,
+			})
+		}
+	}
+	return out
+}
+
+// deadStores flags stores whose value global liveness proves dead,
+// split into two classes: the value is overwritten before any read
+// (dead-store), or no load of the variable and no function exit is even
+// reachable from the store, so no value of it is ever observed
+// (store-unobserved — the `while(1) { x = a; }` shape).
+func deadStores(g *dataflow.CFG, liveOut map[string]bool, i int, inLoop bool) []Diagnostic {
+	b := g.F.Blocks[i]
+	dead := dataflow.DeadStores(b, liveOut)
+	if len(dead) == 0 {
+		return nil
+	}
+	idxs := make([]int, 0, len(dead))
+	for idx := range dead {
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	var out []Diagnostic
+	for _, idx := range idxs {
+		n := b.Nodes[idx]
+		loopNote := ""
+		if inLoop {
+			loopNote = " (in a loop)"
+		}
+		if valueObservable(g, i, idx, n.Var) {
+			out = append(out, Diagnostic{
+				Class: ClassDeadStore, Block: b.Name, Node: n.ID, Var: n.Var,
+				Msg: fmt.Sprintf("stored value of %s is overwritten before any read%s", n.Var, loopNote),
+			})
+		} else {
+			out = append(out, Diagnostic{
+				Class: ClassStoreUnobserved, Block: b.Name, Node: n.ID, Var: n.Var,
+				Msg: fmt.Sprintf("no load or function exit ever observes %s from here; the store has no effect%s", n.Var, loopNote),
+			})
+		}
+	}
+	return out
+}
+
+// valueObservable reports whether, somewhere after the store at
+// b.Nodes[idx], ANY value of v could be observed: a (root-reachable)
+// load of v executes, or a function exit is reached (final memory is
+// observable). Overwrites do not stop this search — it distinguishes "a
+// later observer exists but sees a different value" (dead store) from
+// "nobody ever looks at v again" (unobserved store).
+func valueObservable(g *dataflow.CFG, i, idx int, v string) bool {
+	b := g.F.Blocks[i]
+	observing := reachableFromRoots(b)
+	for j := idx + 1; j < len(b.Nodes); j++ {
+		n := b.Nodes[j]
+		if n.Op == ir.OpLoad && n.Var == v && observing[n] {
+			return true
+		}
+	}
+	if len(g.Succs[i]) == 0 {
+		return true
+	}
+	visited := make([]bool, len(g.F.Blocks))
+	queue := append([]int(nil), g.Succs[i]...)
+	for len(queue) > 0 {
+		c := queue[0]
+		queue = queue[1:]
+		if visited[c] {
+			continue
+		}
+		visited[c] = true
+		cb := g.F.Blocks[c]
+		obs := reachableFromRoots(cb)
+		for _, n := range cb.Nodes {
+			if n.Op == ir.OpLoad && n.Var == v && obs[n] {
+				return true
+			}
+		}
+		if len(g.Succs[c]) == 0 {
+			return true
+		}
+		queue = append(queue, g.Succs[c]...)
+	}
+	return false
+}
+
+// reachableFromRoots marks the nodes feeding a store or the branch
+// condition; loads outside this set are dead code and observe nothing.
+func reachableFromRoots(b *ir.Block) map[*ir.Node]bool {
+	live := make(map[*ir.Node]bool, len(b.Nodes))
+	var mark func(n *ir.Node)
+	mark = func(n *ir.Node) {
+		if n == nil || live[n] {
+			return
+		}
+		live[n] = true
+		for _, a := range n.Args {
+			mark(a)
+		}
+	}
+	for _, r := range b.Roots() {
+		mark(r)
+	}
+	return live
+}

@@ -1,0 +1,61 @@
+package diag
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"aviv/internal/lang"
+)
+
+// TestGoldenPrograms pins the exact report for each planted-defect
+// program under internal/lang/testdata/analyze — one source file per
+// diagnostic class plus a clean program — against a .golden file. The
+// reports must be deterministic, so any ordering or wording drift shows
+// up as a diff.
+func TestGoldenPrograms(t *testing.T) {
+	dir := filepath.Join("..", "..", "lang", "testdata", "analyze")
+	srcs, err := filepath.Glob(filepath.Join(dir, "*.c"))
+	if err != nil || len(srcs) == 0 {
+		t.Fatalf("no golden corpus in %s (err=%v)", dir, err)
+	}
+	// Every diagnostic class must be exercised by some file.
+	classSeen := map[string]bool{}
+	for _, src := range srcs {
+		name := strings.TrimSuffix(filepath.Base(src), ".c")
+		t.Run(name, func(t *testing.T) {
+			text, err := os.ReadFile(src)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := lang.Parse(string(text))
+			if err != nil {
+				t.Fatal(err)
+			}
+			f, err := lang.Lower(prog, "main")
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep := Analyze(f)
+			for _, d := range rep.Diags {
+				classSeen[d.Class] = true
+			}
+			want, err := os.ReadFile(strings.TrimSuffix(src, ".c") + ".golden")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := rep.String(); got != string(want) {
+				t.Errorf("report mismatch for %s:\n--- got ---\n%s--- want ---\n%s", name, got, want)
+			}
+			if name == "clean" && len(rep.Diags) != 0 {
+				t.Errorf("clean program produced diagnostics:\n%s", rep.String())
+			}
+		})
+	}
+	for _, c := range []string{ClassUseBeforeInit, ClassDeadStore, ClassStoreUnobserved, ClassUnreachableBlock} {
+		if !classSeen[c] {
+			t.Errorf("diagnostic class %s not exercised by any golden program", c)
+		}
+	}
+}

@@ -1,0 +1,149 @@
+package dataflow
+
+import (
+	"aviv/internal/ir"
+)
+
+// LivenessResult holds the per-block live-variable sets. A memory
+// variable is live at a program point when some execution path from
+// that point reads it before overwriting it — or reaches the end of the
+// function, because final data memory is the observable output of a
+// compiled program (the difftest harness compares every cell against
+// the reference interpreter), so *every* variable is live at exit.
+type LivenessResult struct {
+	G    *CFG
+	Vars []string // sorted fact universe
+	// In and Out are live-in/live-out per block, bits indexed by Vars.
+	In, Out []BitSet
+
+	varIndex map[string]int
+}
+
+// Liveness computes global liveness of memory variables for f over the
+// full (unfolded) CFG.
+func Liveness(f *ir.Func) *LivenessResult { return LivenessCFG(NewCFG(f)) }
+
+// LivenessCFG computes liveness over a prebuilt CFG.
+func LivenessCFG(g *CFG) *LivenessResult {
+	vars := g.Vars()
+	idx := make(map[string]int, len(vars))
+	for i, v := range vars {
+		idx[v] = i
+	}
+	n := len(g.F.Blocks)
+	p := Problem{
+		Dir:  Backward,
+		Meet: Union,
+		Bits: len(vars),
+		Gen:  make([]BitSet, n),
+		Kill: make([]BitSet, n),
+	}
+	for i, b := range g.F.Blocks {
+		use, def := blockUseDef(b, idx)
+		p.Gen[i] = use
+		p.Kill[i] = def
+	}
+	// Function exit observes all of memory.
+	boundary := NewBitSet(len(vars))
+	boundary.FillUpTo(len(vars))
+	p.Boundary = boundary
+	facts := Solve(g, p)
+	return &LivenessResult{G: g, Vars: vars, In: facts.In, Out: facts.Out, varIndex: idx}
+}
+
+// blockUseDef scans the block in execution order and returns its
+// upward-exposed uses (variables read before any store in the block)
+// and its definitions (variables stored). Loads not reachable from a
+// root are dead code and do not count as uses.
+func blockUseDef(b *ir.Block, idx map[string]int) (use, def BitSet) {
+	use = NewBitSet(len(idx))
+	def = NewBitSet(len(idx))
+	live := liveNodes(b)
+	for _, n := range b.Nodes {
+		switch n.Op {
+		case ir.OpLoad:
+			if live[n] && !def.Get(idx[n.Var]) {
+				use.Set(idx[n.Var])
+			}
+		case ir.OpStore:
+			def.Set(idx[n.Var])
+		}
+	}
+	return use, def
+}
+
+// LiveOutOf reports whether v is live at the exit of block i.
+func (r *LivenessResult) LiveOutOf(i int, v string) bool {
+	j, ok := r.varIndex[v]
+	if !ok {
+		return false
+	}
+	return r.Out[i].Get(j)
+}
+
+// LiveInOf reports whether v is live at the entry of block i.
+func (r *LivenessResult) LiveInOf(i int, v string) bool {
+	j, ok := r.varIndex[v]
+	if !ok {
+		return false
+	}
+	return r.In[i].Get(j)
+}
+
+// OutSets materializes the live-out sets as one map per block, indexed
+// like F.Blocks — the form cover.Options.LiveOut consumes.
+func (r *LivenessResult) OutSets() []map[string]bool {
+	out := make([]map[string]bool, len(r.Out))
+	for i, s := range r.Out {
+		m := make(map[string]bool, len(r.Vars))
+		for j, v := range r.Vars {
+			if s.Get(j) {
+				m[v] = true
+			}
+		}
+		out[i] = m
+	}
+	return out
+}
+
+// DeadStores returns the indices into b.Nodes of stores that are dead
+// given the block's live-out set: on every path from the store, the
+// variable is overwritten before being read and before function exit.
+// The scan walks execution order backward, so a store shadowed by a
+// later store in the same block is found without any CFG work, and
+// cascades (several dead stores to one variable) fall out naturally.
+//
+// liveOut == nil means every variable is live at exit (the pessimistic
+// assumption), under which only locally-shadowed stores are dead.
+func DeadStores(b *ir.Block, liveOut map[string]bool) map[int]bool {
+	dead := make(map[int]bool)
+	live := make(map[string]bool, len(liveOut))
+	if liveOut == nil {
+		for _, v := range b.Vars() {
+			live[v] = true
+		}
+	} else {
+		for v, ok := range liveOut {
+			if ok {
+				live[v] = true
+			}
+		}
+	}
+	reach := liveNodes(b)
+	for i := len(b.Nodes) - 1; i >= 0; i-- {
+		n := b.Nodes[i]
+		switch n.Op {
+		case ir.OpStore:
+			if !live[n.Var] {
+				dead[i] = true
+			} else {
+				live[n.Var] = false
+			}
+		case ir.OpLoad:
+			if reach[n] {
+				live[n.Var] = true
+			}
+		}
+	}
+	return dead
+}

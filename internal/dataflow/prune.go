@@ -1,0 +1,70 @@
+package dataflow
+
+import (
+	"aviv/internal/ir"
+)
+
+// PruneBlock returns a copy of b with every store that is dead under
+// liveOut removed (plus any nodes that die with them), and the number
+// of stores pruned. When nothing is dead it returns b unchanged. The
+// clone is a pure structural copy — no folding or re-association — so
+// an independent checker can recompute it exactly (verify.CheckPrune).
+//
+// Removing a dead store can orphan a load that only fed it, which in
+// turn can expose the previous store of that variable as dead, so the
+// scan iterates to a fixpoint; each round removes at least one store.
+func PruneBlock(b *ir.Block, liveOut map[string]bool) (*ir.Block, int) {
+	pruned := 0
+	for {
+		dead := DeadStores(b, liveOut)
+		if len(dead) == 0 {
+			return b, pruned
+		}
+		b = cloneBlockSkipping(b, dead)
+		pruned += len(dead)
+	}
+}
+
+// cloneBlockSkipping deep-copies b without the nodes at the skip
+// indices, then drops anything unreachable from the new block's roots.
+func cloneBlockSkipping(b *ir.Block, skip map[int]bool) *ir.Block {
+	nb := ir.NewBlock(b.Name)
+	newOf := make(map[*ir.Node]*ir.Node, len(b.Nodes))
+	for i, n := range b.Nodes {
+		if skip[i] {
+			continue
+		}
+		args := make([]*ir.Node, 0, len(n.Args))
+		ok := true
+		for _, a := range n.Args {
+			na, found := newOf[a]
+			if !found {
+				ok = false // operand was skipped; node dies with it
+				break
+			}
+			args = append(args, na)
+		}
+		if !ok {
+			continue
+		}
+		var c *ir.Node
+		switch n.Op {
+		case ir.OpConst:
+			c = nb.NewConst(n.Const)
+		case ir.OpLoad:
+			c = nb.NewLoad(n.Var)
+		case ir.OpStore:
+			c = nb.NewStore(n.Var, args[0])
+		default:
+			c = nb.NewNode(n.Op, args...)
+		}
+		newOf[n] = c
+	}
+	nb.Term = b.Term
+	nb.Succs = append([]string(nil), b.Succs...)
+	if b.Cond != nil {
+		nb.Cond = newOf[b.Cond]
+	}
+	nb.RemoveDead()
+	return nb
+}

@@ -1,0 +1,170 @@
+package dataflow
+
+// Direction selects which way facts propagate along CFG edges.
+type Direction int
+
+// Dataflow directions.
+const (
+	Forward  Direction = iota // facts flow entry -> exit
+	Backward                  // facts flow exit -> entry
+)
+
+// Meet selects the confluence operator where paths join.
+type Meet int
+
+// Meet operators. Union is the "may" (any-path) lattice, Intersect the
+// "must" (all-path) lattice.
+const (
+	Union Meet = iota
+	Intersect
+)
+
+// Problem is a gen/kill bit-vector dataflow problem over a CFG. The
+// transfer function of block b is out = Gen[b] ∪ (in − Kill[b]) (with
+// in/out swapped for backward problems).
+type Problem struct {
+	Dir  Direction
+	Meet Meet
+	// Bits is the universe size; every Gen/Kill/Boundary set must have
+	// this capacity.
+	Bits int
+	// Gen and Kill are the per-block transfer summaries, indexed like
+	// CFG.F.Blocks.
+	Gen, Kill []BitSet
+	// Boundary is the fact set at the graph boundary: the entry block's
+	// in-set for forward problems, every exit block's out-set for
+	// backward ones. nil means the empty set.
+	Boundary BitSet
+}
+
+// Facts is a fixpoint solution: In[b] holds at block entry, Out[b] at
+// block exit, indexed like CFG.F.Blocks.
+type Facts struct {
+	In, Out []BitSet
+}
+
+// Solve runs the iterative worklist algorithm to the (unique) maximal
+// or minimal fixpoint. Blocks are seeded and re-queued in reverse
+// postorder for forward problems and in postorder for backward ones, so
+// the iteration order — and therefore the work done — is deterministic;
+// the fixpoint itself is order-independent.
+func Solve(g *CFG, p Problem) *Facts {
+	n := len(g.F.Blocks)
+	f := &Facts{In: make([]BitSet, n), Out: make([]BitSet, n)}
+	top := NewBitSet(p.Bits)
+	if p.Meet == Intersect {
+		top.FillUpTo(p.Bits)
+	}
+	for i := 0; i < n; i++ {
+		f.In[i] = top.Copy()
+		f.Out[i] = top.Copy()
+	}
+	boundary := p.Boundary
+	if boundary == nil {
+		boundary = NewBitSet(p.Bits)
+	}
+
+	// order is the deterministic processing sequence; pos maps block to
+	// its position for worklist membership checks.
+	order := make([]int, 0, n)
+	if p.Dir == Forward {
+		order = append(order, g.RPO...)
+	} else {
+		for i := len(g.RPO) - 1; i >= 0; i-- {
+			order = append(order, g.RPO[i])
+		}
+	}
+
+	// transfer recomputes the flow for block b and reports whether its
+	// outgoing fact set changed.
+	transfer := func(b int) bool {
+		var inputs []int
+		var at, result BitSet
+		if p.Dir == Forward {
+			inputs = g.Preds[b]
+			at = f.In[b]
+			result = f.Out[b]
+		} else {
+			inputs = g.Succs[b]
+			at = f.Out[b]
+			result = f.In[b]
+		}
+		// Meet over the incoming edges. The boundary contributes to the
+		// entry block (forward) or to exit blocks (backward); a
+		// non-boundary block with no incoming edges keeps the meet
+		// identity (∅ for union, ⊤ for intersect).
+		isBoundary := (p.Dir == Forward && b == 0) ||
+			(p.Dir == Backward && len(g.Succs[b]) == 0)
+		acc := NewBitSet(p.Bits)
+		if p.Meet == Intersect {
+			acc.FillUpTo(p.Bits)
+		}
+		if isBoundary {
+			if p.Meet == Union {
+				acc.UnionWith(boundary)
+			} else {
+				acc.IntersectWith(boundary)
+			}
+		}
+		for _, e := range inputs {
+			// Forward facts are about executions, and every execution
+			// starts at the entry: an edge out of an unreachable block is
+			// never taken, so it must not constrain (union) or poison
+			// (intersect) its reachable successor. Backward problems keep
+			// all successor edges — a block's continuation is meaningful
+			// whether or not the block itself is reachable.
+			if p.Dir == Forward && !g.Reach[e] {
+				continue
+			}
+			var edge BitSet
+			if p.Dir == Forward {
+				edge = f.Out[e]
+			} else {
+				edge = f.In[e]
+			}
+			if p.Meet == Union {
+				acc.UnionWith(edge)
+			} else {
+				acc.IntersectWith(edge)
+			}
+		}
+		copy(at, acc)
+		// out = gen ∪ (in − kill)
+		next := acc.Copy()
+		next.DiffWith(p.Kill[b])
+		next.UnionWith(p.Gen[b])
+		if next.Equal(result) {
+			return false
+		}
+		copy(result, next)
+		return true
+	}
+
+	inQueue := make([]bool, n)
+	queue := make([]int, 0, n)
+	for _, b := range order {
+		queue = append(queue, b)
+		inQueue[b] = true
+	}
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		inQueue[b] = false
+		if !transfer(b) {
+			continue
+		}
+		var deps []int
+		if p.Dir == Forward {
+			deps = g.Succs[b]
+		} else {
+			deps = g.Preds[b]
+		}
+		for _, d := range deps {
+			if !inQueue[d] {
+				queue = append(queue, d)
+				inQueue[d] = true
+			}
+		}
+	}
+	return f
+}

@@ -1,0 +1,6 @@
+x = a + b;
+if (x > 0) {
+  out = x;
+} else {
+  out = 0 - x;
+}

@@ -1,0 +1,7 @@
+t = a + b;
+if (c) {
+  t = a;
+} else {
+  t = b;
+}
+out = t * 2;

@@ -1,0 +1,4 @@
+x = 5;
+while (1) {
+  x = a;
+}

@@ -1,0 +1,5 @@
+x = 1;
+while (1) {
+  x = x + 2;
+}
+out = x;

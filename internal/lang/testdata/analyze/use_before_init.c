@@ -1,0 +1,5 @@
+x = x + 1;
+if (a) {
+  y = 5;
+}
+out = y + x;

@@ -32,6 +32,9 @@ type BlockMetrics struct {
 	AssignmentsExplored int
 	// PeepholeSaved counts instructions removed by the peephole pass.
 	PeepholeSaved int
+	// PrunedStores counts stores removed before covering because global
+	// liveness proved them dead past the block (cover.Options.LiveOut).
+	PrunedStores int
 	// Violations counts translation-validation diagnostics flagged on the
 	// block (always 0 on a successful compile with verification on).
 	Violations int
@@ -47,6 +50,24 @@ type BlockMetrics struct {
 	Total time.Duration
 }
 
+// AnalysisMetrics records wall time and output counts of the global
+// dataflow analyses (package dataflow). For a Compile run only Liveness
+// is populated (the only analysis the back end consumes); the -analyze
+// diagnostics pass fills in all four plus the diagnostic count.
+type AnalysisMetrics struct {
+	Liveness       time.Duration
+	ReachingDefs   time.Duration
+	AvailableExprs time.Duration
+	Dominators     time.Duration
+	// Diagnostics counts program diagnostics produced by the diag pass.
+	Diagnostics int
+}
+
+// Total sums the per-analysis wall times.
+func (a AnalysisMetrics) Total() time.Duration {
+	return a.Liveness + a.ReachingDefs + a.AvailableExprs + a.Dominators
+}
+
 // CompileMetrics aggregates a whole-function compilation.
 type CompileMetrics struct {
 	// Blocks holds per-block metrics in original (source) block order,
@@ -58,6 +79,9 @@ type CompileMetrics struct {
 	Wall time.Duration
 	// WorkerBusy is the per-worker busy time, indexed by worker.
 	WorkerBusy []time.Duration
+	// Analysis records the global dataflow analysis work done up front
+	// (before the per-block pipeline runs).
+	Analysis AnalysisMetrics
 }
 
 // TotalAssignments sums assignments explored across blocks.
@@ -74,6 +98,15 @@ func (m *CompileMetrics) TotalPeepholeSaved() int {
 	n := 0
 	for _, b := range m.Blocks {
 		n += b.PeepholeSaved
+	}
+	return n
+}
+
+// TotalPrunedStores sums stores pruned by liveness across blocks.
+func (m *CompileMetrics) TotalPrunedStores() int {
+	n := 0
+	for _, b := range m.Blocks {
+		n += b.PrunedStores
 	}
 	return n
 }
@@ -139,8 +172,16 @@ func (m *CompileMetrics) String() string {
 	fmt.Fprintf(&sb, "phases:  cover %v, peephole %v, regalloc %v, emit %v, verify %v (cpu across workers)\n",
 		cover.Round(time.Microsecond), peep.Round(time.Microsecond),
 		ra.Round(time.Microsecond), emit.Round(time.Microsecond), verify.Round(time.Microsecond))
-	fmt.Fprintf(&sb, "effort:  %d assignments explored, %d spills, %d instrs saved by peephole, %d verifier violations\n",
-		m.TotalAssignments(), m.TotalSpills(), m.TotalPeepholeSaved(), m.TotalViolations())
+	if m.Analysis.Total() > 0 || m.Analysis.Diagnostics > 0 {
+		fmt.Fprintf(&sb, "analyze: liveness %v, reachdefs %v, avail %v, dom %v, %d diagnostics\n",
+			m.Analysis.Liveness.Round(time.Microsecond),
+			m.Analysis.ReachingDefs.Round(time.Microsecond),
+			m.Analysis.AvailableExprs.Round(time.Microsecond),
+			m.Analysis.Dominators.Round(time.Microsecond),
+			m.Analysis.Diagnostics)
+	}
+	fmt.Fprintf(&sb, "effort:  %d assignments explored, %d spills, %d instrs saved by peephole, %d stores pruned by liveness, %d verifier violations\n",
+		m.TotalAssignments(), m.TotalSpills(), m.TotalPeepholeSaved(), m.TotalPrunedStores(), m.TotalViolations())
 	for _, b := range m.Blocks {
 		fmt.Fprintf(&sb, "block %-10s w%-2d %4d SN-DAG nodes, %3d instrs, %2d spills, %6d assignments, peephole -%d, %v\n",
 			b.Block, b.Worker, b.DAGNodes, b.Instructions, b.Spills,

@@ -1,0 +1,197 @@
+// Global (whole-function) optimizations built on the dataflow
+// framework: dead-store elimination driven by cross-block liveness and
+// common-subexpression elimination driven by available expressions.
+// These subsume the block-local deadStores scan for cross-block cases —
+// a store whose variable is overwritten in every successor path before
+// any load no longer survives just because the overwrite is in another
+// block.
+
+package opt
+
+import (
+	"aviv/internal/dataflow"
+	"aviv/internal/ir"
+)
+
+// globalOptimize runs the dataflow-driven passes to a fixpoint. Each
+// accepted rewrite strictly shrinks the function (fewer stores, or
+// fewer computation nodes at no store increase), so the loop
+// terminates.
+func globalOptimize(f *ir.Func) {
+	for {
+		changed := globalDeadStores(f)
+		if globalCSE(f) {
+			changed = true
+		}
+		if !changed {
+			return
+		}
+	}
+}
+
+// globalDeadStores removes stores that global liveness proves dead: the
+// variable is overwritten on every path from the store before any load
+// and before function exit (final memory is observable, so a value that
+// can reach the exit is never dead). Reports whether anything changed.
+func globalDeadStores(f *ir.Func) bool {
+	changed := false
+	for {
+		live := dataflow.Liveness(f)
+		outs := live.OutSets()
+		round := false
+		for i, b := range f.Blocks {
+			nb, pruned := dataflow.PruneBlock(b, outs[i])
+			if pruned > 0 {
+				f.Blocks[i] = nb
+				round = true
+			}
+		}
+		if !round {
+			return changed
+		}
+		changed = true
+		// Removing stores shrinks use sets, which can kill more stores
+		// upstream; recompute liveness and go again.
+	}
+}
+
+// globalCSE replaces a computation whose value is provably held in a
+// memory location at block entry (available-expressions analysis) with
+// a load of that location. A rewrite is only kept when it makes the
+// block strictly smaller — fewer computation nodes without growing the
+// node count — so bench code size can only improve.
+func globalCSE(f *ir.Func) bool {
+	avail := dataflow.Available(f)
+	if len(avail.Facts) == 0 {
+		return false
+	}
+	g := avail.G
+	changed := false
+	for i, b := range f.Blocks {
+		if i == 0 || !g.Reach[i] {
+			continue // nothing is available at entry; skip dead islands
+		}
+		byExpr := make(map[string]string) // expr key -> smallest source var
+		for _, fact := range avail.InFacts(i) {
+			if v, ok := byExpr[fact.Expr]; !ok || fact.Var < v {
+				byExpr[fact.Expr] = fact.Var
+			}
+		}
+		if len(byExpr) == 0 {
+			continue
+		}
+		if nb, ok := rewriteBlockCSE(b, byExpr); ok {
+			f.Blocks[i] = nb
+			changed = true
+		}
+	}
+	return changed
+}
+
+// rewriteBlockCSE re-emits b replacing eligible computations with loads
+// of the memory locations known (at block entry) to hold their value.
+// It returns ok=false when no eligible rewrite exists or when the
+// rewritten block is not strictly smaller.
+func rewriteBlockCSE(b *ir.Block, byExpr map[string]string) (*ir.Block, bool) {
+	// firstStore[v] = node index of the first store to v in b.
+	firstStore := make(map[string]int)
+	for idx, n := range b.Nodes {
+		if n.Op == ir.OpStore {
+			if _, ok := firstStore[n.Var]; !ok {
+				firstStore[n.Var] = idx
+			}
+		}
+	}
+	entryValue := func(idx int, vars []string) bool {
+		// An expression over loads of vars evaluates to its entry-value
+		// meaning at node position idx only if none of those variables
+		// has been stored earlier in the block.
+		for _, v := range vars {
+			if fs, ok := firstStore[v]; ok && fs < idx {
+				return false
+			}
+		}
+		return true
+	}
+
+	rewrites := make(map[*ir.Node]string) // computation node -> source var to load
+	for idx, n := range b.Nodes {
+		if n.Op == ir.OpConst || n.Op == ir.OpLoad || n.Op == ir.OpStore {
+			continue
+		}
+		key, vars, ok := dataflow.ExprKey(n)
+		if !ok {
+			continue
+		}
+		src, ok := byExpr[key]
+		if !ok {
+			continue
+		}
+		// The node must compute over entry values, and the source
+		// location must still hold its entry value at this point.
+		if !entryValue(idx, vars) {
+			continue
+		}
+		if fs, ok := firstStore[src]; ok && fs < idx {
+			continue
+		}
+		rewrites[n] = src
+	}
+	if len(rewrites) == 0 {
+		return nil, false
+	}
+
+	nb := ir.NewBuilder(b.Name)
+	newOf := make(map[*ir.Node]*ir.Node, len(b.Nodes))
+	for _, n := range b.Nodes {
+		if src, ok := rewrites[n]; ok {
+			newOf[n] = nb.Load(src)
+			continue
+		}
+		switch n.Op {
+		case ir.OpConst:
+			newOf[n] = nb.Const(n.Const)
+		case ir.OpLoad:
+			newOf[n] = nb.Load(n.Var)
+		case ir.OpStore:
+			nb.Store(n.Var, newOf[n.Args[0]])
+		default:
+			args := make([]*ir.Node, len(n.Args))
+			for j, a := range n.Args {
+				args[j] = newOf[a]
+			}
+			newOf[n] = emitSimplified(nb, n.Op, args)
+		}
+	}
+	switch b.Term {
+	case ir.TermBranch:
+		nb.Branch(newOf[b.Cond], b.Succs[0], b.Succs[1])
+	case ir.TermJump:
+		nb.Jump(b.Succs[0])
+	case ir.TermReturn:
+		nb.Return()
+	default:
+		nb.Block.Term = b.Term
+		nb.Block.Succs = append([]string(nil), b.Succs...)
+	}
+	out := nb.Finish()
+	// Accept only a strict improvement: replacing an op with a load must
+	// make the op's operand subtree (partially) dead, or the rewrite
+	// trades computation for memory traffic for nothing.
+	if compCount(out) < compCount(b) && len(out.Nodes) < len(b.Nodes) {
+		return out, true
+	}
+	return nil, false
+}
+
+// compCount counts computation nodes (everything that needs a
+// functional unit: not a leaf, not a store).
+func compCount(b *ir.Block) int {
+	n := 0
+	for _, nd := range b.Nodes {
+		if !nd.Op.IsLeaf() && nd.Op != ir.OpStore {
+			n++
+		}
+	}
+	return n
+}

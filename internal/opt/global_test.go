@@ -1,0 +1,283 @@
+package opt
+
+import (
+	"testing"
+
+	"aviv/internal/ir"
+)
+
+// twoBlockFunc builds entry -> exit with the given bodies.
+func twoBlockFunc(t *testing.T, entry, exit func(b *ir.Block)) *ir.Func {
+	t.Helper()
+	e := ir.NewBlock("entry")
+	entry(e)
+	e.Term = ir.TermJump
+	e.Succs = []string{"exit"}
+	x := ir.NewBlock("exit")
+	exit(x)
+	x.Term = ir.TermReturn
+	f := &ir.Func{Name: "g", Blocks: []*ir.Block{e, x}}
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestGlobalDeadStoreAcrossBlocks: a store overwritten in the next
+// block with no intervening load is dead even though no single block
+// can see it — the cross-block case the block-local deadStores scan
+// misses by construction. This is the global subsumption required by
+// the deadStores regression (same shape, split over two blocks).
+func TestGlobalDeadStoreAcrossBlocks(t *testing.T) {
+	f := twoBlockFunc(t,
+		func(b *ir.Block) {
+			b.NewStore("t", b.NewNode(ir.OpAdd, b.NewLoad("a"), b.NewLoad("b")))
+			b.NewStore("out", b.NewConst(1))
+		},
+		func(b *ir.Block) {
+			b.NewStore("t", b.NewConst(0)) // overwrites without reading
+		},
+	)
+	// Note: blocks get merged by Optimize here; force the general path
+	// by making entry a branch so the blocks stay separate.
+	f.Blocks[0].Term = ir.TermBranch
+	f.Blocks[0].Cond = f.Blocks[0].NewLoad("c")
+	f.Blocks[0].Succs = []string{"exit", "exit"}
+	of := Optimize(f)
+	entry := of.Block("entry")
+	if entry == nil {
+		t.Fatal("entry block missing after optimize")
+	}
+	for _, n := range entry.Nodes {
+		if n.Op == ir.OpStore && n.Var == "t" {
+			t.Errorf("cross-block dead store of t survived:\n%s", entry)
+		}
+	}
+	// The live store of out must survive.
+	found := false
+	for _, n := range entry.Nodes {
+		if n.Op == ir.OpStore && n.Var == "out" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("live store of out was wrongly removed:\n%s", entry)
+	}
+}
+
+// TestGlobalDeadStoreKeepsExitValues: every variable is observable at
+// function exit (difftest compares final memory), so a store whose
+// value can reach the exit must never be removed even if no load reads
+// it.
+func TestGlobalDeadStoreKeepsExitValues(t *testing.T) {
+	f := twoBlockFunc(t,
+		func(b *ir.Block) { b.NewStore("t", b.NewConst(7)) },
+		func(b *ir.Block) { b.NewStore("u", b.NewConst(8)) },
+	)
+	of := Optimize(f)
+	stores := 0
+	for _, b := range of.Blocks {
+		for _, n := range b.Nodes {
+			if n.Op == ir.OpStore {
+				stores++
+			}
+		}
+	}
+	if stores != 2 {
+		t.Errorf("got %d stores, want 2 (both values reach the exit):\n%s", stores, of)
+	}
+}
+
+// TestGlobalCSEAcrossBlocks: a+b is stored in x by the entry block and
+// recomputed in a successor while x and its operands are unchanged; the
+// recomputation must become a load of x, shrinking the block.
+func TestGlobalCSEAcrossBlocks(t *testing.T) {
+	f := twoBlockFunc(t,
+		func(b *ir.Block) {
+			b.NewStore("x", b.NewNode(ir.OpMul, b.NewLoad("a"), b.NewLoad("b")))
+		},
+		func(b *ir.Block) {
+			prod := b.NewNode(ir.OpMul, b.NewLoad("a"), b.NewLoad("b"))
+			b.NewStore("y", b.NewNode(ir.OpAdd, prod, b.NewConst(1)))
+		},
+	)
+	// Keep the blocks separate (a jump-only edge would be merged).
+	f.Blocks[0].Term = ir.TermBranch
+	f.Blocks[0].Cond = f.Blocks[0].NewLoad("c")
+	f.Blocks[0].Succs = []string{"exit", "exit"}
+	of := Optimize(f)
+	exit := of.Block("exit")
+	if exit == nil {
+		t.Fatal("exit block missing")
+	}
+	for _, n := range exit.Nodes {
+		if n.Op == ir.OpMul {
+			t.Errorf("recomputed a*b survived CSE:\n%s", exit)
+		}
+	}
+	// Semantics: y must still be a*b + 1.
+	mem := map[string]int64{"a": 6, "b": 7, "c": 1}
+	if err := ir.EvalFunc(of, mem, 100); err != nil {
+		t.Fatal(err)
+	}
+	if mem["y"] != 43 {
+		t.Errorf("y = %d, want 43", mem["y"])
+	}
+	if mem["x"] != 42 {
+		t.Errorf("x = %d, want 42", mem["x"])
+	}
+}
+
+// TestGlobalCSENotOnModifiedOperand: when an operand of the cached
+// expression changes between the def and the reuse, the rewrite must
+// not happen.
+func TestGlobalCSENotOnModifiedOperand(t *testing.T) {
+	f := twoBlockFunc(t,
+		func(b *ir.Block) {
+			b.NewStore("x", b.NewNode(ir.OpMul, b.NewLoad("a"), b.NewLoad("b")))
+			b.NewStore("a", b.NewConst(99)) // a changes after the def
+		},
+		func(b *ir.Block) {
+			prod := b.NewNode(ir.OpMul, b.NewLoad("a"), b.NewLoad("b"))
+			b.NewStore("y", prod)
+		},
+	)
+	f.Blocks[0].Term = ir.TermBranch
+	f.Blocks[0].Cond = f.Blocks[0].NewLoad("c")
+	f.Blocks[0].Succs = []string{"exit", "exit"}
+	of := Optimize(f)
+	mem := map[string]int64{"a": 6, "b": 7, "c": 1}
+	if err := ir.EvalFunc(of, mem, 100); err != nil {
+		t.Fatal(err)
+	}
+	if mem["y"] != 99*7 {
+		t.Errorf("y = %d, want %d (CSE used a stale cached value)", mem["y"], 99*7)
+	}
+}
+
+// TestGlobalCSEDiamondMustMeet: the fact must hold on *every* path into
+// the reuse block. Here only one arm of a diamond computes a*b into x,
+// so the join must not be rewritten.
+func TestGlobalCSEDiamondMustMeet(t *testing.T) {
+	entry := ir.NewBlock("entry")
+	entry.Term = ir.TermBranch
+	entry.Cond = entry.NewLoad("c")
+	entry.Succs = []string{"l", "r"}
+	l := ir.NewBlock("l")
+	l.NewStore("x", l.NewNode(ir.OpMul, l.NewLoad("a"), l.NewLoad("b")))
+	l.Term = ir.TermJump
+	l.Succs = []string{"join"}
+	r := ir.NewBlock("r")
+	r.NewStore("x", r.NewConst(5)) // x holds something else on this path
+	r.Term = ir.TermJump
+	r.Succs = []string{"join"}
+	join := ir.NewBlock("join")
+	join.NewStore("y", join.NewNode(ir.OpMul, join.NewLoad("a"), join.NewLoad("b")))
+	join.Term = ir.TermReturn
+	f := &ir.Func{Name: "d", Blocks: []*ir.Block{entry, l, r, join}}
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	of := Optimize(f)
+	for _, c := range []int64{0, 1} {
+		mem := map[string]int64{"a": 3, "b": 4, "c": c}
+		if err := ir.EvalFunc(of, mem, 100); err != nil {
+			t.Fatal(err)
+		}
+		if mem["y"] != 12 {
+			t.Errorf("c=%d: y = %d, want 12 (join rewritten despite non-meet path)", c, mem["y"])
+		}
+	}
+}
+
+// TestOptimizePreservesSemanticsRandom drives Optimize over random
+// multi-block functions and checks the optimized function leaves the
+// same final memory as the original. The generator respects the
+// builder invariant every real front-end block satisfies: a load of v
+// never appears after a store of v in the same block (ir.Builder
+// forwards such loads away), which the optimizer is entitled to assume.
+func TestOptimizePreservesSemanticsRandom(t *testing.T) {
+	state := uint64(12345)
+	next := func(n int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(n))
+	}
+	vars := []string{"a", "b", "c", "d"}
+	for trial := 0; trial < 60; trial++ {
+		e := ir.NewBlock("entry")
+		stored := map[string]bool{}
+		loadable := func() (string, bool) {
+			var free []string
+			for _, v := range vars {
+				if !stored[v] {
+					free = append(free, v)
+				}
+			}
+			if len(free) == 0 {
+				return "", false
+			}
+			return free[next(len(free))], true
+		}
+		var vals []*ir.Node
+		for i := 0; i < 3+next(6); i++ {
+			switch next(3) {
+			case 0:
+				if v, ok := loadable(); ok {
+					vals = append(vals, e.NewLoad(v))
+				} else {
+					vals = append(vals, e.NewConst(int64(next(8))))
+				}
+			case 1:
+				vals = append(vals, e.NewConst(int64(next(8))))
+			default:
+				if len(vals) >= 2 {
+					vals = append(vals, e.NewNode(ir.OpAdd, vals[next(len(vals))], vals[next(len(vals))]))
+				} else {
+					vals = append(vals, e.NewConst(1))
+				}
+			}
+			if len(vals) > 0 && next(2) == 0 {
+				v := vars[next(len(vars))]
+				e.NewStore(v, vals[next(len(vals))])
+				stored[v] = true
+			}
+		}
+		e.Term = ir.TermBranch
+		if v, ok := loadable(); ok {
+			e.Cond = e.NewLoad(v)
+		} else if len(vals) > 0 {
+			e.Cond = vals[next(len(vals))]
+		} else {
+			e.Cond = e.NewConst(1)
+		}
+		e.Succs = []string{"x1", "x2"}
+		x1 := ir.NewBlock("x1")
+		v1, v2 := vars[next(len(vars))], vars[next(len(vars))]
+		x1.NewStore(v1, x1.NewLoad(v2))
+		x1.Term = ir.TermReturn
+		x2 := ir.NewBlock("x2")
+		x2.NewStore(vars[next(len(vars))], x2.NewConst(int64(next(9))))
+		x2.Term = ir.TermReturn
+		f := &ir.Func{Name: "r", Blocks: []*ir.Block{e, x1, x2}}
+		if err := f.Verify(); err != nil {
+			t.Fatal(err)
+		}
+		of := Optimize(f)
+		for _, c := range []int64{0, 1, 5} {
+			want := map[string]int64{"a": 2, "b": 3, "c": c, "d": 4}
+			got := map[string]int64{"a": 2, "b": 3, "c": c, "d": 4}
+			if err := ir.EvalFunc(f, want, 1000); err != nil {
+				t.Fatal(err)
+			}
+			if err := ir.EvalFunc(of, got, 1000); err != nil {
+				t.Fatal(err)
+			}
+			for k, v := range want {
+				if got[k] != v {
+					t.Fatalf("trial %d c=%d: mem[%s] = %d, want %d\nbefore:\n%s\nafter:\n%s",
+						trial, c, k, got[k], v, f, of)
+				}
+			}
+		}
+	}
+}

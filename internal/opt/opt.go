@@ -27,6 +27,9 @@ func Optimize(f *ir.Func) *ir.Func {
 	for i, b := range out.Blocks {
 		out.Blocks[i] = reassociateBlock(optimizeBlock(b))
 	}
+	// Whole-function passes over the dataflow framework: cross-block
+	// dead-store elimination and common-subexpression elimination.
+	globalOptimize(out)
 	return out
 }
 
@@ -118,11 +121,29 @@ func replaceWithMerge(f *ir.Func, b, c *ir.Block) {
 	}
 }
 
-// optimizeBlock re-emits the block through a fresh builder, applying
+// optimizeBlock re-emits the block through a fresh builder until no
+// dead stores remain. A single re-emission is not enough: deadStores is
+// computed on the input block, where a load between two stores of the
+// same variable keeps the first store alive even when that load only
+// feeds a store that is itself dead — and once the dead consumer is
+// dropped and the load forwarded away, the first store is exposed as
+// dead too. Each round removes at least one store, so the loop
+// terminates.
+func optimizeBlock(b *ir.Block) *ir.Block {
+	for {
+		nb := optimizeBlockOnce(b)
+		if len(deadStores(nb)) == 0 {
+			return nb
+		}
+		b = nb
+	}
+}
+
+// optimizeBlockOnce re-emits the block through a fresh builder, applying
 // constant folding and algebraic simplification per node; the builder's
 // hash-consing provides CSE and Finish removes dead code. Dead stores
 // (overwritten within the block with no intervening load) are dropped.
-func optimizeBlock(b *ir.Block) *ir.Block {
+func optimizeBlockOnce(b *ir.Block) *ir.Block {
 	dead := deadStores(b)
 	bb := ir.NewBuilder(b.Name)
 	newOf := make(map[*ir.Node]*ir.Node, len(b.Nodes))

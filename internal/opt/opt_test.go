@@ -333,3 +333,35 @@ func TestReassociationMixedOps(t *testing.T) {
 		t.Errorf("y = %d, want -2", mem["y"])
 	}
 }
+
+// TestReassociateLoadNotForwardedPastStore: a load whose only user
+// appears after a store to the same variable must keep reading the
+// value from before the store. reassociateBlock used to materialize
+// loads lazily at their first user's position, where the builder
+// forwarded them to the freshly stored value — a miscompile reachable
+// from real source (e.g. "b=5; t=d; d=5; b=t+5;" after the dead store
+// of t is eliminated).
+func TestReassociateLoadNotForwardedPastStore(t *testing.T) {
+	b := ir.NewBlock("entry")
+	five := b.NewConst(5)
+	b.NewStore("b", five)
+	oldD := b.NewLoad("d")
+	b.NewStore("d", five)
+	b.NewStore("b", b.NewNode(ir.OpAdd, oldD, five))
+	b.Term = ir.TermReturn
+	f := &ir.Func{Name: "m", Blocks: []*ir.Block{b}}
+	if err := f.Verify(); err != nil {
+		t.Fatal(err)
+	}
+	of := Optimize(f)
+	mem := map[string]int64{"d": 4}
+	if err := ir.EvalFunc(of, mem, 100); err != nil {
+		t.Fatal(err)
+	}
+	if mem["b"] != 9 {
+		t.Errorf("b = %d, want 9 (load of d forwarded past the store of d):\n%s", mem["b"], of)
+	}
+	if mem["d"] != 5 {
+		t.Errorf("d = %d, want 5:\n%s", mem["d"], of)
+	}
+}

@@ -64,8 +64,14 @@ func reassociateBlock(b *ir.Block) *ir.Block {
 		switch n.Op {
 		case ir.OpStore:
 			bb.Store(n.Var, get(n.Args[0]))
-		case ir.OpConst, ir.OpLoad:
-			// Materialized on demand.
+		case ir.OpConst:
+			// Materialized on demand (position-independent).
+		case ir.OpLoad:
+			// Pinned at its original position: materializing a load lazily
+			// at its first user's position can move it past a store to the
+			// same variable, where the builder forwards it to the stored
+			// value instead of the value the original load read.
+			get(n)
 		default:
 			get(n)
 		}

@@ -5,6 +5,14 @@
 // dependences and machine constraints allow. Either transformation is
 // kept only when the solution still verifies and the code size does not
 // grow.
+//
+// The division of labor with the global dataflow framework: dead stores
+// of program variables are an IR-level, cross-block property and are
+// removed upstream (internal/opt's global dead-store elimination, and
+// cover's liveness-driven pruning via Options.LiveOut fed by
+// internal/dataflow). This package only ever touches compiler-generated
+// spill slots ($spN) and schedule slack — artifacts of covering and
+// allocation that no IR-level analysis can see.
 package peephole
 
 import (
