@@ -1,5 +1,5 @@
 # Convenience targets; `make check` is the gate ci.sh runs in CI.
-.PHONY: check test build vet lint staticcheck fuzz bench
+.PHONY: check test build vet lint staticcheck fuzz bench benchsmoke benchjson
 
 check:
 	./ci.sh
@@ -28,3 +28,12 @@ fuzz:
 
 bench:
 	go run ./cmd/avivbench -all
+
+# One iteration of every Go benchmark — catches bit-rot without the
+# cost of a real measurement run (also part of ci.sh).
+benchsmoke:
+	go test -run '^$$' -bench . -benchtime=1x ./...
+
+# Regenerate the machine-readable compile-benchmark report.
+benchjson:
+	go run ./cmd/avivbench -benchjson BENCH_cover.json

@@ -63,6 +63,12 @@ type Options struct {
 	// description, and Compile fails with a *verify.VerifyError when any
 	// invariant is violated.
 	Verify bool
+	// Cache, when non-nil, memoizes per-block coverings across Compile
+	// calls, keyed by content fingerprints of the block, machine, and
+	// covering options (cover.NewCache). Emitted programs are
+	// byte-identical with and without it; recompiles of unchanged blocks
+	// skip the covering search entirely.
+	Cache *cover.Cache
 }
 
 // DefaultOptions returns the paper's heuristics-on configuration with the
@@ -122,6 +128,7 @@ func CompileBlock(b *ir.Block, m *isdl.Machine, opts Options) (*BlockResult, err
 	total := metrics.StartTimer()
 	bm := metrics.BlockMetrics{Block: b.Name}
 	phase := metrics.StartTimer()
+	opts.Cover.Cache = opts.Cache
 	res, err := cover.CoverBlock(b, m, opts.Cover)
 	if err != nil {
 		return nil, fmt.Errorf("aviv: block %s: %w", b.Name, err)
@@ -154,6 +161,9 @@ func CompileBlock(b *ir.Block, m *isdl.Machine, opts Options) (*BlockResult, err
 	bm.AssignmentsExplored = res.AssignmentsExplored
 	bm.PeepholeSaved = saved
 	bm.PrunedStores = res.PrunedStores
+	bm.PrunedAssignments = res.PrunedAssignments
+	bm.MemoHits = res.MemoHits
+	bm.CacheHit = res.CacheHit
 	bm.Total = total.Elapsed()
 	return &BlockResult{
 		Block:               b,

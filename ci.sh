@@ -52,6 +52,9 @@ go test -race ./...
 if [ "${1:-}" != "-short" ]; then
     echo "== fuzz smoke (FuzzCompileSource, 10s) =="
     go test -run '^$' -fuzz='^FuzzCompileSource$' -fuzztime=10s .
+
+    echo "== bench smoke (every benchmark, one iteration) =="
+    go test -run '^$' -bench . -benchtime=1x ./...
 fi
 
 echo "ci.sh: all checks passed"

@@ -13,10 +13,13 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
+	"testing"
 	"time"
 
 	"aviv"
@@ -46,12 +49,39 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker-pool size for -stats and the top -parscale row (0 = GOMAXPROCS)")
 	stats := flag.Bool("stats", false, "print the compile-metrics report for the multi-block workload at -parallel N")
 	all := flag.Bool("all", false, "run every table, figure, and study")
+	benchJSON := flag.String("benchjson", "", "benchmark the multi-block compile (uncached and cached) and write a JSON report to this file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected runs to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
 	flag.Parse()
 
 	ran := false
 	fail := func(err error) {
 		fmt.Fprintln(os.Stderr, "avivbench:", err)
 		os.Exit(1)
+	}
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fail(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fail(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fail(err)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fail(err)
+			}
+		}()
 	}
 
 	if *all || *table == 1 {
@@ -130,10 +160,106 @@ func main() {
 			fail(err)
 		}
 	}
+	if *benchJSON != "" {
+		ran = true
+		if err := benchJSONReport(*benchJSON); err != nil {
+			fail(err)
+		}
+	}
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// benchRun is one measured configuration in the -benchjson report.
+type benchRun struct {
+	Name         string  `json:"name"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	CacheHitRate float64 `json:"cache_hit_rate,omitempty"`
+}
+
+// benchJSONReport benchmarks the multi-block workload compile — without
+// a cache and with a compile cache shared across iterations — and writes
+// the machine-readable report consumed by the performance-tracking files
+// (BENCH_cover.json).
+func benchJSONReport(path string) error {
+	f, _ := parallelWorkload()
+	m := isdl.ExampleArchFull(4)
+
+	ref, err := aviv.Compile(f, m, aviv.DefaultOptions())
+	if err != nil {
+		return err
+	}
+
+	measure := func(name string, opts aviv.Options) (benchRun, error) {
+		var compileErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := aviv.Compile(f, m, opts); err != nil {
+					compileErr = err
+					b.FailNow()
+				}
+			}
+		})
+		if compileErr != nil {
+			return benchRun{}, compileErr
+		}
+		run := benchRun{
+			Name:        name,
+			NsPerOp:     r.NsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if opts.Cache != nil {
+			run.CacheHitRate = opts.Cache.Stats().HitRate()
+		}
+		return run, nil
+	}
+
+	uncached, err := measure("nocache", aviv.DefaultOptions())
+	if err != nil {
+		return err
+	}
+	cachedOpts := aviv.DefaultOptions()
+	cachedOpts.Cache = cover.NewCache()
+	cached, err := measure("cache", cachedOpts)
+	if err != nil {
+		return err
+	}
+
+	report := struct {
+		Benchmark    string     `json:"benchmark"`
+		Blocks       int        `json:"blocks"`
+		Instructions int        `json:"instructions"`
+		Runs         []benchRun `json:"runs"`
+	}{
+		Benchmark:    "CompileMultiBlock",
+		Blocks:       len(f.Blocks),
+		Instructions: ref.CodeSize(),
+		Runs:         []benchRun{uncached, cached},
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("==== Compile benchmark (%d blocks) ====\n", len(f.Blocks))
+	for _, r := range report.Runs {
+		fmt.Printf("%-8s %12.2f ms/op %12d B/op %10d allocs/op", r.Name,
+			float64(r.NsPerOp)/1e6, r.BytesPerOp, r.AllocsPerOp)
+		if r.CacheHitRate > 0 {
+			fmt.Printf("   hit rate %.0f%%", 100*r.CacheHitRate)
+		}
+		fmt.Println()
+	}
+	fmt.Printf("report written to %s\n\n", path)
+	return nil
 }
 
 func figure(n int) error {

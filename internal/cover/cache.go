@@ -1,0 +1,178 @@
+package cover
+
+import (
+	"crypto/sha256"
+	"sort"
+	"sync"
+
+	"aviv/internal/ir"
+	"aviv/internal/isdl"
+)
+
+// Cache is a block-level compile cache for the covering engine, safe
+// for concurrent use by the compile worker pool. Keys are pure content
+// fingerprints — (IR block, machine description, covering options) — so
+// a hit is only possible when covering would deterministically recompute
+// the exact same result; cached results are returned as shallow copies
+// and never mutated downstream (the peephole pass clones before
+// editing, and register allocation, emission, and verification only
+// read the solution).
+//
+// The cache stores cover.Result (the pre-peephole covering), not
+// emitted code: block layout mutates emitted branches per program, so
+// caching any later artifact would not be reuse-safe.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[cacheKey]*Result
+	machFPs map[*isdl.Machine][sha256.Size]byte
+	hits    int64
+	misses  int64
+	bytes   int64
+}
+
+type cacheKey struct {
+	block   [sha256.Size]byte
+	machine [sha256.Size]byte
+	options [sha256.Size]byte
+}
+
+// CacheStats is a point-in-time snapshot of cache effectiveness.
+type CacheStats struct {
+	Entries int
+	Hits    int64
+	Misses  int64
+	// Bytes estimates the memory retained by cached solutions.
+	Bytes int64
+}
+
+// HitRate returns hits / lookups, or 0 before any lookup.
+func (s CacheStats) HitRate() float64 {
+	if s.Hits+s.Misses == 0 {
+		return 0
+	}
+	return float64(s.Hits) / float64(s.Hits+s.Misses)
+}
+
+// NewCache returns an empty compile cache. Share one across Compile
+// calls to reuse coverings of unchanged blocks.
+func NewCache() *Cache {
+	return &Cache{
+		entries: make(map[cacheKey]*Result),
+		machFPs: make(map[*isdl.Machine][sha256.Size]byte),
+	}
+}
+
+// Stats returns a snapshot of the cache counters.
+func (c *Cache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{Entries: len(c.entries), Hits: c.hits, Misses: c.misses, Bytes: c.bytes}
+}
+
+// key builds the content key for one covering request. The machine
+// fingerprint (a Describe render plus hash) is memoized per machine
+// pointer.
+func (c *Cache) key(block *ir.Block, m *isdl.Machine, opts Options) cacheKey {
+	c.mu.Lock()
+	mfp, ok := c.machFPs[m]
+	c.mu.Unlock()
+	if !ok {
+		mfp = m.Fingerprint()
+		c.mu.Lock()
+		c.machFPs[m] = mfp
+		c.mu.Unlock()
+	}
+	return cacheKey{block: block.Fingerprint(), machine: mfp, options: optionsFingerprint(opts)}
+}
+
+func (c *Cache) get(key cacheKey) (*Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	res, ok := c.entries[key]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	return res, ok
+}
+
+func (c *Cache) put(key cacheKey, res *Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.entries[key]; ok {
+		return
+	}
+	c.entries[key] = res
+	c.bytes += approxResultBytes(res)
+}
+
+// approxResultBytes estimates the retained size of a cached covering:
+// the dominant costs are the solution-graph nodes reachable from the
+// schedule and the Split-Node DAG. It is an accounting estimate for
+// stats output, not an allocator measurement.
+func approxResultBytes(res *Result) int64 {
+	const (
+		nodeSize  = 200 // SNode + edge slices
+		sliceSize = 24
+	)
+	n := int64(0)
+	if res.Best != nil {
+		for _, instr := range res.Best.Instrs {
+			n += sliceSize + int64(len(instr))*nodeSize
+		}
+	}
+	if res.DAG != nil {
+		n += int64(res.DAG.Counts.Total()) * nodeSize
+	}
+	return n + 256
+}
+
+// optionsFingerprint hashes every Options field that influences the
+// covering result. Trace is excluded (the cache is bypassed when
+// tracing) and Cache itself is excluded (it has no effect on output).
+func optionsFingerprint(o Options) [sha256.Size]byte {
+	w := &fpWriter{h: sha256.New()}
+	w.int(o.BeamWidth)
+	w.bool(o.PruneIncremental)
+	w.int(o.MaxAssignments)
+	w.int(o.LevelWindow)
+	w.bool(o.Lookahead)
+	w.bool(o.TransferParallelismHeuristic)
+	w.bool(o.SpillAwareAssignment)
+	w.int(len(o.VarPlacement))
+	for _, k := range sortedKeys(o.VarPlacement) {
+		w.str(k)
+		w.str(o.VarPlacement[k])
+	}
+	if o.LiveOut == nil {
+		// nil disables store pruning entirely; an empty set prunes
+		// aggressively. The two must not collide.
+		w.int(-1)
+	} else {
+		live := make([]string, 0, len(o.LiveOut))
+		for v, ok := range o.LiveOut {
+			if ok {
+				live = append(live, v)
+			}
+		}
+		sort.Strings(live)
+		w.int(len(live))
+		for _, v := range live {
+			w.str(v)
+		}
+	}
+	w.flush()
+	var sum [sha256.Size]byte
+	w.h.Sum(sum[:0])
+	return sum
+}
+
+func sortedKeys(m map[string]string) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -1,25 +1,28 @@
 package cover
 
 import (
-	"fmt"
+	"encoding/binary"
 	"sort"
+	"strconv"
 	"strings"
 
+	"aviv/internal/bitset"
 	"aviv/internal/isdl"
 )
 
-// ParallelMatrix computes the pairwise-parallelism matrix of Sec. IV-C.1
-// over the given solution-graph nodes: entry [i][j] is true when node i
-// can execute in the same instruction as node j. Two nodes are parallel
-// when no directed path connects them (value or ordering edges) and their
-// resources are compatible: two operations need different units; two
-// transfers must not both need a slot on a width-1 bus. Wider buses and
-// explicit ISDL constraints are enforced later by legality splitting.
+// parallelMatrix computes the pairwise-parallelism matrix of Sec. IV-C.1
+// over the given solution-graph nodes as word-packed bitset rows: bit
+// (i, j) is set when node i can execute in the same instruction as node
+// j. Two nodes are parallel when no directed path connects them (value
+// or ordering edges) and their resources are compatible: two operations
+// need different units; two transfers must not both need a slot on a
+// width-1 bus. Wider buses and explicit ISDL constraints are enforced
+// later by legality splitting.
 //
 // levelWindow >= 0 additionally applies the clique-reduction heuristic of
 // Sec. IV-C.2: nodes merge only when their levels from the top and from
 // the bottom of the solution graph are within the window.
-func ParallelMatrix(nodes []*SNode, m *isdl.Machine, levelWindow int) [][]bool {
+func parallelMatrix(nodes []*SNode, m *isdl.Machine, levelWindow int) *bitset.Matrix {
 	n := len(nodes)
 	idx := make(map[*SNode]int, n)
 	for i, nd := range nodes {
@@ -29,12 +32,14 @@ func ParallelMatrix(nodes []*SNode, m *isdl.Machine, levelWindow int) [][]bool {
 	// pass through nodes outside the subset (already covered ones cannot
 	// — they are scheduled — but spill regeneration passes subsets), so
 	// walk the full graph.
-	reach := make([][]bool, n)
+	reach := bitset.NewMatrix(n)
+	seen := make(map[*SNode]bool, 2*n)
+	var stack []*SNode
 	for i, nd := range nodes {
-		reach[i] = make([]bool, n)
-		seen := make(map[*SNode]bool)
-		stack := append([]*SNode{}, nd.Succs...)
+		clear(seen)
+		stack = append(stack[:0], nd.Succs...)
 		stack = append(stack, nd.OrdSuccs...)
+		row := reach.Row(i)
 		for len(stack) > 0 {
 			x := stack[len(stack)-1]
 			stack = stack[:len(stack)-1]
@@ -43,7 +48,7 @@ func ParallelMatrix(nodes []*SNode, m *isdl.Machine, levelWindow int) [][]bool {
 			}
 			seen[x] = true
 			if j, ok := idx[x]; ok {
-				reach[i][j] = true
+				row.Set(j)
 			}
 			stack = append(stack, x.Succs...)
 			stack = append(stack, x.OrdSuccs...)
@@ -55,21 +60,36 @@ func ParallelMatrix(nodes []*SNode, m *isdl.Machine, levelWindow int) [][]bool {
 		fromTop, fromBottom = snodeLevels(nodes)
 	}
 
-	par := make([][]bool, n)
-	for i := range par {
-		par[i] = make([]bool, n)
-	}
+	par := bitset.NewMatrix(n)
 	for i := 0; i < n; i++ {
+		ri := reach.Row(i)
 		for j := i + 1; j < n; j++ {
-			ok := !reach[i][j] && !reach[j][i] && resourceCompatible(nodes[i], nodes[j], m)
+			ok := !ri.Get(j) && !reach.Get(j, i) && resourceCompatible(nodes[i], nodes[j], m)
 			if ok && levelWindow >= 0 {
 				a, b := nodes[i], nodes[j]
 				if abs(fromTop[a]-fromTop[b]) > levelWindow || abs(fromBottom[a]-fromBottom[b]) > levelWindow {
 					ok = false
 				}
 			}
-			par[i][j] = ok
-			par[j][i] = ok
+			if ok {
+				par.SetSym(i, j)
+			}
+		}
+	}
+	return par
+}
+
+// ParallelMatrix is the [][]bool view of parallelMatrix, kept for the
+// figure-reproduction harness and tests that index entries directly.
+func ParallelMatrix(nodes []*SNode, m *isdl.Machine, levelWindow int) [][]bool {
+	pm := parallelMatrix(nodes, m, levelWindow)
+	n := len(nodes)
+	par := make([][]bool, n)
+	for i := range par {
+		par[i] = make([]bool, n)
+		row := pm.Row(i)
+		for j := 0; j < n; j++ {
+			par[i][j] = row.Get(j)
 		}
 	}
 	return par
@@ -109,7 +129,14 @@ func snodeLevels(nodes []*SNode) (fromTop, fromBottom map[*SNode]int) {
 	fromBottom = make(map[*SNode]int, len(nodes))
 	for _, n := range order {
 		h := 0
-		for _, p := range append(append([]*SNode{}, n.Preds...), n.OrdPreds...) {
+		for _, p := range n.Preds {
+			if inSet[p] {
+				if v := fromBottom[p] + 1; v > h {
+					h = v
+				}
+			}
+		}
+		for _, p := range n.OrdPreds {
 			if inSet[p] {
 				if v := fromBottom[p] + 1; v > h {
 					h = v
@@ -122,7 +149,14 @@ func snodeLevels(nodes []*SNode) (fromTop, fromBottom map[*SNode]int) {
 	for i := len(order) - 1; i >= 0; i-- {
 		n := order[i]
 		d := 0
-		for _, s := range append(append([]*SNode{}, n.Succs...), n.OrdSuccs...) {
+		for _, s := range n.Succs {
+			if inSet[s] {
+				if v := fromTop[s] + 1; v > d {
+					d = v
+				}
+			}
+		}
+		for _, s := range n.OrdSuccs {
 			if inSet[s] {
 				if v := fromTop[s] + 1; v > d {
 					d = v
@@ -162,96 +196,179 @@ func topoOrder(nodes []*SNode, inSet map[*SNode]bool) []*SNode {
 	return order
 }
 
-// GenMaxCliques enumerates all maximal cliques of the parallelism matrix
-// using the paper's Fig. 8 algorithm. The first phase greedily absorbs
-// every candidate that precludes no other candidate; the i < index test
-// prunes branches whose cliques were already produced from an
-// earlier-numbered seed. Cliques are returned as sorted index slices.
-func GenMaxCliques(par [][]bool) [][]int {
-	n := len(par)
-	var out [][]int
-	seen := make(map[string]bool)
+// cliqueGen holds the working state of one GenMaxCliquesBits run: the
+// matrix, the accumulated cliques with their dedupe keys, a scratch word
+// buffer for binary keys, and a free list of recursion-frame sets.
+type cliqueGen struct {
+	pm     *bitset.Matrix
+	out    [][]int
+	seen   map[string]bool
+	keyBuf []byte
+	tmp    bitset.Set
+	free   []bitset.Set
+}
 
-	record := func(clique []int) {
-		c := append([]int(nil), clique...)
-		sort.Ints(c)
-		key := fmt.Sprint(c)
-		if !seen[key] {
-			seen[key] = true
-			out = append(out, c)
-		}
+func (g *cliqueGen) get() bitset.Set {
+	if n := len(g.free); n > 0 {
+		s := g.free[n-1]
+		g.free = g.free[:n-1]
+		s.Reset()
+		return s
 	}
+	return bitset.New(g.pm.N())
+}
 
-	parAll := func(i int, clique []int) bool {
-		for _, j := range clique {
-			if !par[i][j] {
-				return false
-			}
-		}
-		return true
+func (g *cliqueGen) put(s bitset.Set) { g.free = append(g.free, s) }
+
+func (g *cliqueGen) record(clique bitset.Set) {
+	g.keyBuf = g.keyBuf[:0]
+	for _, w := range clique {
+		g.keyBuf = binary.LittleEndian.AppendUint64(g.keyBuf, w)
 	}
+	if g.seen[string(g.keyBuf)] {
+		return
+	}
+	g.seen[string(g.keyBuf)] = true
+	g.out = append(g.out, clique.AppendBits(nil))
+}
 
-	var gen func(clique []int, index int)
-	gen = func(clique []int, index int) {
-		// Candidates: nodes parallel with every clique member.
-		var cand []int
-		for i := 0; i < n; i++ {
-			if parAll(i, clique) && !contains(clique, i) {
-				cand = append(cand, i)
-			}
-		}
-		// First loop: absorb candidates that preclude no other candidate.
-		var rest []int
-		for ci, i := range cand {
-			universal := true
-			for cj, j := range cand {
-				if ci != cj && !par[i][j] {
-					universal = false
-					break
-				}
-			}
-			if universal {
-				if i < index {
-					return // pruning condition of Fig. 8
-				}
-				clique = append(clique, i)
-			} else {
-				rest = append(rest, i)
-			}
-		}
-		if len(rest) == 0 {
-			record(clique)
+// gen is the recursive core of Fig. 8. clique holds the members so far;
+// cand holds exactly the nodes parallel to every member (the AND of the
+// members' matrix rows); index is the preclusion threshold. clique is
+// mutated by absorption, so callers pass a private copy.
+func (g *cliqueGen) gen(clique, cand bitset.Set, index int) {
+	// First loop: absorb candidates that preclude no other candidate. A
+	// candidate i is universal when cand \ row(i) contains nothing but i
+	// itself — a word-wise ANDNOT instead of a pairwise scan.
+	var rest []int
+	precluded := false
+	cand.ForEach(func(i int) {
+		if precluded {
 			return
 		}
-		// Second loop: spawn one recursive call per remaining candidate.
-		for _, i := range rest {
-			next := index
-			if i > next {
-				next = i
+		g.tmp.AndNot(cand, g.pm.Row(i))
+		g.tmp.Clear(i)
+		if g.tmp.Empty() {
+			if i < index {
+				precluded = true // pruning condition of Fig. 8
+				return
 			}
-			gen(append(append([]int(nil), clique...), i), next)
+			clique.Set(i)
+		} else {
+			rest = append(rest, i)
 		}
-	}
-
-	for i := 0; i < n; i++ {
-		gen([]int{i}, i)
-	}
-	sort.Slice(out, func(a, b int) bool {
-		if len(out[a]) != len(out[b]) {
-			return len(out[a]) > len(out[b])
-		}
-		return fmt.Sprint(out[a]) < fmt.Sprint(out[b])
 	})
+	if precluded {
+		return
+	}
+	if len(rest) == 0 {
+		g.record(clique)
+		return
+	}
+	// An absorbed universal candidate is parallel to every other
+	// candidate, so its row contains all of cand but itself: removing
+	// the clique bits leaves exactly the candidate set the recursive
+	// calls must see.
+	candRest := g.get()
+	candRest.AndNot(cand, clique)
+	childClique := g.get()
+	childCand := g.get()
+	// Second loop: spawn one recursive call per remaining candidate.
+	for _, i := range rest {
+		childClique.Copy(clique)
+		childClique.Set(i)
+		childCand.And(candRest, g.pm.Row(i))
+		next := index
+		if i > next {
+			next = i
+		}
+		g.gen(childClique, childCand, next)
+	}
+	g.put(childCand)
+	g.put(childClique)
+	g.put(candRest)
+}
+
+// GenMaxCliquesBits enumerates all maximal cliques of the bitset
+// parallelism matrix using the paper's Fig. 8 algorithm: the first phase
+// greedily absorbs every candidate that precludes no other candidate,
+// and the i < index test prunes branches whose cliques were already
+// produced from an earlier-numbered seed. Candidate intersection,
+// absorption, and the preclusion test are word-wise AND/ANDNOT over the
+// packed rows. Cliques are returned as sorted index slices, largest
+// first.
+func GenMaxCliquesBits(pm *bitset.Matrix) [][]int {
+	n := pm.N()
+	g := &cliqueGen{
+		pm:   pm,
+		seen: make(map[string]bool),
+		tmp:  bitset.New(n),
+	}
+	seedClique := bitset.New(n)
+	seedCand := bitset.New(n)
+	for i := 0; i < n; i++ {
+		seedClique.Reset()
+		seedClique.Set(i)
+		seedCand.Copy(pm.Row(i))
+		g.gen(seedClique, seedCand, i)
+	}
+	out := g.out
+	keys := make([]string, len(out))
+	for i, c := range out {
+		keys[i] = intsKey(c)
+	}
+	sort.Sort(&cliqueSort{cliques: out, keys: keys})
 	return out
 }
 
-func contains(s []int, x int) bool {
-	for _, v := range s {
-		if v == x {
-			return true
+// GenMaxCliques is GenMaxCliquesBits over a [][]bool matrix, kept for
+// the figure-reproduction harness and tests.
+func GenMaxCliques(par [][]bool) [][]int {
+	n := len(par)
+	pm := bitset.NewMatrix(n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if par[i][j] {
+				pm.Row(i).Set(j)
+			}
 		}
 	}
-	return false
+	return GenMaxCliquesBits(pm)
+}
+
+// cliqueSort orders cliques largest first, ties broken by the textual
+// index list (the historical fmt.Sprint order, which downstream
+// tie-breaking depends on for byte-identical output).
+type cliqueSort struct {
+	cliques [][]int
+	keys    []string
+}
+
+func (s *cliqueSort) Len() int { return len(s.cliques) }
+func (s *cliqueSort) Less(a, b int) bool {
+	if len(s.cliques[a]) != len(s.cliques[b]) {
+		return len(s.cliques[a]) > len(s.cliques[b])
+	}
+	return s.keys[a] < s.keys[b]
+}
+func (s *cliqueSort) Swap(a, b int) {
+	s.cliques[a], s.cliques[b] = s.cliques[b], s.cliques[a]
+	s.keys[a], s.keys[b] = s.keys[b], s.keys[a]
+}
+
+// intsKey renders a sorted index slice exactly as fmt.Sprint would
+// ("[1 2 3]") without the reflection cost.
+func intsKey(c []int) string {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	for i, v := range c {
+		if i > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(strconv.Itoa(v))
+	}
+	sb.WriteByte(']')
+	return sb.String()
 }
 
 // buildCliques generates the legal maximal groupings over the given nodes:
@@ -261,8 +378,14 @@ func buildCliques(nodes []*SNode, m *isdl.Machine, opts Options) [][]*SNode {
 	if len(nodes) == 0 {
 		return nil
 	}
-	par := ParallelMatrix(nodes, m, opts.LevelWindow)
-	raw := GenMaxCliques(par)
+	return cliquesFromMatrix(nodes, parallelMatrix(nodes, m, opts.LevelWindow), m)
+}
+
+// cliquesFromMatrix is buildCliques from a precomputed parallelism
+// matrix; cliqueCover computes the matrix itself so it can also serve as
+// the memo key.
+func cliquesFromMatrix(nodes []*SNode, par *bitset.Matrix, m *isdl.Machine) [][]*SNode {
+	raw := GenMaxCliquesBits(par)
 	var out [][]*SNode
 	for _, idxs := range raw {
 		group := make([]*SNode, len(idxs))
@@ -318,22 +441,39 @@ func legalGroup(group []*SNode, m *isdl.Machine) bool {
 	return m.CheckGroup(slots, busUse) == nil
 }
 
+// dedupeCliques removes duplicate groupings by a binary key over the
+// sorted node IDs (a hash-set lookup per clique; formatting-free).
 func dedupeCliques(cs [][]*SNode) [][]*SNode {
 	seen := make(map[string]bool, len(cs))
 	var out [][]*SNode
+	var ids []int
+	var key []byte
 	for _, c := range cs {
-		ids := make([]int, len(c))
-		for i, n := range c {
-			ids[i] = n.ID
-		}
-		sort.Ints(ids)
-		key := fmt.Sprint(ids)
-		if !seen[key] {
-			seen[key] = true
+		k := cliqueKey(c, &ids, &key)
+		if !seen[string(k)] {
+			seen[string(k)] = true
 			out = append(out, c)
 		}
 	}
 	return out
+}
+
+// cliqueKey builds the canonical binary key of a clique (varints of the
+// sorted node IDs) in the caller-provided scratch buffers, growing them
+// as needed.
+func cliqueKey(c []*SNode, ids *[]int, key *[]byte) []byte {
+	v := (*ids)[:0]
+	for _, n := range c {
+		v = append(v, n.ID)
+	}
+	sort.Ints(v)
+	*ids = v
+	k := (*key)[:0]
+	for _, id := range v {
+		k = binary.AppendVarint(k, int64(id))
+	}
+	*key = k
+	return k
 }
 
 // formatClique renders a clique for traces and tests.

@@ -2,24 +2,43 @@ package cover
 
 // Clone deep-copies the solution: every scheduled node, its edges, the
 // instruction groups, and the external-use marks. The peephole pass edits
-// clones so a failed transformation can be discarded.
+// clones so a failed transformation can be discarded — one clone per
+// attempted transformation — so the copy is arena-style: all cloned
+// nodes share one backing array, and all remapped edge lists and
+// instruction groups are carved out of two pointer slabs.
 func (s *Solution) Clone() *Solution {
-	nm := make(map[*SNode]*SNode)
+	total := 0
+	for _, instr := range s.Instrs {
+		total += len(instr)
+	}
+	arena := make([]SNode, 0, total)
+	nm := make(map[*SNode]*SNode, total)
 	for _, instr := range s.Instrs {
 		for _, n := range instr {
-			c := *n
+			arena = append(arena, *n)
+			c := &arena[len(arena)-1]
 			c.Preds, c.Succs, c.OrdPreds, c.OrdSuccs = nil, nil, nil, nil
-			nm[n] = &c
+			nm[n] = c
 		}
 	}
+	edges := 0
+	for n := range nm {
+		edges += len(n.Preds) + len(n.Succs) + len(n.OrdPreds) + len(n.OrdSuccs)
+	}
+	// The slab never grows past its capacity (remap drops edges leaving
+	// the cloned node set), so carved-out sub-slices stay valid.
+	slab := make([]*SNode, 0, edges)
 	remap := func(list []*SNode) []*SNode {
-		var out []*SNode
+		start := len(slab)
 		for _, n := range list {
 			if c, ok := nm[n]; ok {
-				out = append(out, c)
+				slab = append(slab, c)
 			}
 		}
-		return out
+		if len(slab) == start {
+			return nil
+		}
+		return slab[start:len(slab):len(slab)]
 	}
 	for old, c := range nm {
 		c.Preds = remap(old.Preds)
@@ -34,8 +53,11 @@ func (s *Solution) Clone() *Solution {
 		SpillCount:   s.SpillCount,
 		ExternalUses: make(map[*SNode]int, len(s.ExternalUses)),
 	}
+	groups := make([]*SNode, total)
+	out.Instrs = make([][]*SNode, 0, len(s.Instrs))
 	for _, instr := range s.Instrs {
-		group := make([]*SNode, len(instr))
+		group := groups[:len(instr):len(instr)]
+		groups = groups[len(instr):]
 		for i, n := range instr {
 			group[i] = nm[n]
 		}

@@ -2,8 +2,10 @@ package cover
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 
+	"aviv/internal/bitset"
 	"aviv/internal/dataflow"
 	"aviv/internal/ir"
 	"aviv/internal/isdl"
@@ -69,6 +71,17 @@ type Result struct {
 	// AssignmentsExplored counts the complete assignments covered in
 	// detail.
 	AssignmentsExplored int
+	// PrunedAssignments counts assignments skipped by branch-and-bound
+	// because their admissible lower bound already exceeded the
+	// incumbent cost.
+	PrunedAssignments int
+	// MemoHits counts coverings answered by the intra-search memo:
+	// assignments whose solution graph (and parallelism matrix) was
+	// identical to one already covered.
+	MemoHits int
+	// CacheHit reports that this result came from Options.Cache rather
+	// than a fresh covering.
+	CacheHit bool
 	// DAG is the Split-Node DAG the covering worked from.
 	DAG *sndag.DAG
 	// PrunedStores counts stores removed before covering because
@@ -81,6 +94,21 @@ type Result struct {
 // assignments, and cover each selected assignment with a minimal-cost
 // set of maximal groupings; the cheapest covering wins.
 func CoverBlock(block *ir.Block, m *isdl.Machine, opts Options) (*Result, error) {
+	cache := opts.Cache
+	if opts.Trace != nil {
+		cache = nil
+	}
+	var key cacheKey
+	if cache != nil {
+		key = cache.key(block, m, opts)
+		if hit, ok := cache.get(key); ok {
+			// Shallow copy: CacheHit is per-call state, everything else is
+			// shared and immutable downstream.
+			cp := *hit
+			cp.CacheHit = true
+			return &cp, nil
+		}
+	}
 	pruned := 0
 	if opts.LiveOut != nil {
 		block, pruned = dataflow.PruneBlock(block, opts.LiveOut)
@@ -93,32 +121,95 @@ func CoverBlock(block *ir.Block, m *isdl.Machine, opts Options) (*Result, error)
 	if res != nil {
 		res.PrunedStores = pruned
 	}
+	if err == nil && cache != nil {
+		cache.put(key, res)
+	}
 	return res, err
 }
 
 // CoverDAG is CoverBlock for a pre-built Split-Node DAG.
+//
+// Assignments are covered best-first by an admissible lower bound
+// (assignmentLowerBound) with branch-and-bound pruning: once an
+// incumbent solution exists, any assignment whose bound strictly
+// exceeds the incumbent cost is skipped. The winner is identical to the
+// original first-to-last scan — ties on (cost, spill count) still go to
+// the assignment with the lowest exploration index, and pruning only
+// discards assignments that cannot win even a tie.
 func CoverDAG(d *sndag.DAG, opts Options) (*Result, error) {
 	assigns := exploreAssignments(d, opts)
 	if len(assigns) == 0 {
 		return nil, fmt.Errorf("cover: no functional-unit assignment found for block %s", d.Block.Name)
 	}
 	res := &Result{DAG: d}
-	var firstErr error
+
+	// Intra-search memo: nil under tracing so every covering is logged
+	// in full.
+	var memo *coverMemo
+	if opts.Trace == nil {
+		memo = newCoverMemo()
+	}
+
+	// Lower-bound prepass. Graphs are built and discarded: the scheduler
+	// mutates its graph, so each explored assignment rebuilds anyway, and
+	// holding one graph per assignment would bloat exhaustive runs.
+	type candidate struct {
+		idx int // original exploreAssignments index
+		a   *Assignment
+		lb  int
+		err error // buildGraph failure, fatal for this assignment
+	}
+	cands := make([]candidate, len(assigns))
 	for i, a := range assigns {
-		if opts.Trace != nil {
-			opts.Trace.logf("covering assignment %d (heuristic cost %d)", i, a.HeurCost)
+		cands[i] = candidate{idx: i, a: a}
+		if g, err := buildGraph(d, a, opts); err != nil {
+			cands[i].err = err
+		} else {
+			cands[i].lb = assignmentLowerBound(g)
 		}
-		sol, err := coverAssignment(d, a, opts)
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].lb != cands[j].lb {
+			return cands[i].lb < cands[j].lb
+		}
+		return cands[i].idx < cands[j].idx
+	})
+
+	var firstErr error
+	firstErrIdx := len(assigns)
+	bestIdx := len(assigns)
+	for _, c := range cands {
+		if c.err != nil {
+			// Transfer routing failed; ListSchedule shares buildGraph, so
+			// covering this assignment cannot succeed either.
+			if c.idx < firstErrIdx {
+				firstErr, firstErrIdx = c.err, c.idx
+			}
+			continue
+		}
+		if res.Best != nil && c.lb > res.Best.Cost() {
+			res.PrunedAssignments++
+			if opts.Trace != nil {
+				opts.Trace.logf("pruned assignment %d (lower bound %d > best %d)", c.idx, c.lb, res.Best.Cost())
+			}
+			continue
+		}
+		if opts.Trace != nil {
+			opts.Trace.logf("covering assignment %d (heuristic cost %d, lower bound %d)", c.idx, c.a.HeurCost, c.lb)
+		}
+		sol, err := coverAssignment(d, c.a, opts, memo)
 		if err != nil {
-			if firstErr == nil {
-				firstErr = err
+			if c.idx < firstErrIdx {
+				firstErr, firstErrIdx = err, c.idx
 			}
 			continue
 		}
 		res.AssignmentsExplored++
 		if res.Best == nil || sol.Cost() < res.Best.Cost() ||
-			(sol.Cost() == res.Best.Cost() && sol.SpillCount < res.Best.SpillCount) {
+			(sol.Cost() == res.Best.Cost() && (sol.SpillCount < res.Best.SpillCount ||
+				(sol.SpillCount == res.Best.SpillCount && c.idx < bestIdx))) {
 			res.Best = sol
+			bestIdx = c.idx
 		}
 	}
 	if res.Best == nil {
@@ -144,6 +235,9 @@ func CoverDAG(d *sndag.DAG, opts Options) (*Result, error) {
 		res.Best = sol
 		res.AssignmentsExplored++
 	}
+	if memo != nil {
+		res.MemoHits = memo.hits
+	}
 	return res, nil
 }
 
@@ -155,16 +249,16 @@ func CoverDAG(d *sndag.DAG, opts Options) (*Result, error) {
 // list schedule always competes; with the level-window heuristic
 // disabled (heuristics-off mode) the windowed covering competes too, so
 // the exhaustive candidate set is a strict superset of the heuristic one.
-func coverAssignment(d *sndag.DAG, a *Assignment, opts Options) (*Solution, error) {
-	best, firstErr := cliqueCover(d, a, opts)
+func coverAssignment(d *sndag.DAG, a *Assignment, opts Options, memo *coverMemo) (*Solution, error) {
+	best, firstErr := cliqueCover(d, a, opts, memo)
 	if opts.LevelWindow < 0 {
 		windowed := opts
 		windowed.LevelWindow = DefaultOptions().LevelWindow
-		if sol, err := cliqueCover(d, a, windowed); err == nil {
+		if sol, err := cliqueCover(d, a, windowed, memo); err == nil {
 			best = betterSolution(best, sol)
 		}
 	}
-	if ls, err := ListSchedule(d, a, opts); err == nil {
+	if ls, err := memoListSchedule(d, a, opts, memo); err == nil {
 		best = betterSolution(best, ls)
 	}
 	if best == nil {
@@ -186,23 +280,65 @@ func betterSolution(a, b *Solution) *Solution {
 	return a
 }
 
-func cliqueCover(d *sndag.DAG, a *Assignment, opts Options) (*Solution, error) {
+func cliqueCover(d *sndag.DAG, a *Assignment, opts Options, memo *coverMemo) (*Solution, error) {
 	g, err := buildGraph(d, a, opts)
 	if err != nil {
 		return nil, err
 	}
+	var key memoKey
+	var pm *bitset.Matrix
+	if len(g.nodes) > 0 {
+		pm = parallelMatrix(g.nodes, g.machine, opts.LevelWindow)
+		if memo != nil {
+			key = memoKey{algo: 'C', graph: graphFingerprint(g), matrix: matrixFingerprint(pm)}
+			if sol, ok := memo.lookup(key, opts.LevelWindow); ok {
+				return rebindAssignment(sol, a), nil
+			}
+		}
+	}
 	sched := newScheduler(g, opts)
+	if pm != nil {
+		sched.initialCliques = cliquesFromMatrix(g.nodes, pm, g.machine)
+	}
 	if err := sched.run(); err != nil {
 		return nil, err
 	}
-	return &Solution{
+	sol := &Solution{
 		Block:        d.Block,
 		Machine:      d.Machine,
 		Assignment:   a,
 		Instrs:       sched.instrs,
 		SpillCount:   sched.spillCount,
 		ExternalUses: g.externalUses,
-	}, nil
+	}
+	if memo != nil && pm != nil {
+		memo.store(key, opts.LevelWindow, sol)
+	}
+	return sol, nil
+}
+
+// memoListSchedule is ListSchedule behind the intra-search memo. The
+// list schedule is a deterministic function of the solution graph alone
+// (it never consults the parallelism matrix or level window), so hits
+// are reusable unconditionally.
+func memoListSchedule(d *sndag.DAG, a *Assignment, opts Options, memo *coverMemo) (*Solution, error) {
+	if memo == nil {
+		return ListSchedule(d, a, opts)
+	}
+	g, err := buildGraph(d, a, opts)
+	if err != nil {
+		return nil, err
+	}
+	key := memoKey{algo: 'L', graph: graphFingerprint(g)}
+	if sol, ok := memo.lookup(key, 0); ok {
+		return rebindAssignment(sol, a), nil
+	}
+	sol, err := listScheduleGraph(d, a, g, opts)
+	if err != nil {
+		return nil, err
+	}
+	memo.store(key, 0, sol)
+	return sol, nil
 }
 
 // Verify checks solution invariants: every instruction is a legal

@@ -88,16 +88,20 @@ func addOrderEdge(from, to *SNode) {
 // transfers to data memory, plus memory-ordering edges between accesses
 // to the same variable.
 func buildGraph(d *sndag.DAG, a *Assignment, opts Options) (*graph, error) {
+	// Transfers typically outnumber the operations; start the node list
+	// and value-location map sized for a couple of transfers per node.
+	hint := 2 * len(d.Block.Nodes)
 	g := &graph{
 		machine:      d.Machine,
 		block:        d.Block,
 		assign:       a,
 		dm:           isdl.MemLoc(d.Machine.DataMemory().Name),
-		prod:         make(map[valKey]*SNode),
+		prod:         make(map[valKey]*SNode, hint),
 		busLoad:      make(map[string]int),
 		opts:         opts,
 		externalUses: make(map[*SNode]int),
 	}
+	g.nodes = make([]*SNode, 0, hint)
 
 	loadsByVar := make(map[string][]*SNode)
 	storesByVar := make(map[string][]*SNode)

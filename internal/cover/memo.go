@@ -1,0 +1,189 @@
+package cover
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"hash"
+
+	"aviv/internal/bitset"
+	"aviv/internal/isdl"
+)
+
+// coverMemo caches covering solutions within a single CoverDAG call
+// (one block, one option set). Distinct functional-unit assignments
+// frequently lower to structurally identical solution graphs — the
+// alternatives differ on split nodes whose transfer paths converge —
+// and the schedulers are deterministic functions of that structure, so
+// the second covering of an identical graph is a lookup.
+//
+// Keys are content fingerprints, never pointers: the graph fingerprint
+// covers every field the schedulers and the assembler read (node kinds,
+// units, banks, ops, chosen alternatives, transfer steps, and both edge
+// relations), and clique-covering entries add the parallelism-matrix
+// fingerprint because the initial maximal groupings derive from it.
+//
+// The memo is disabled (nil) when tracing, so trace output still shows
+// every covering in full.
+type coverMemo struct {
+	entries map[memoKey]memoEntry
+	hits    int
+}
+
+type memoKey struct {
+	algo   byte // 'C' clique covering, 'L' list schedule
+	graph  [sha256.Size]byte
+	matrix [sha256.Size]byte // zero for algo 'L'
+}
+
+type memoEntry struct {
+	// window is the LevelWindow the solution was computed under. A hit
+	// from a different window is only reusable when the memoized run
+	// never spilled: the initial groupings come from the (equal) matrix,
+	// and the window is re-read only when spilling forces a rebuild.
+	window int
+	sol    *Solution
+}
+
+func newCoverMemo() *coverMemo {
+	return &coverMemo{entries: make(map[memoKey]memoEntry)}
+}
+
+func (m *coverMemo) lookup(key memoKey, window int) (*Solution, bool) {
+	if m == nil {
+		return nil, false
+	}
+	e, ok := m.entries[key]
+	if !ok || (e.window != window && e.sol.SpillCount > 0) {
+		return nil, false
+	}
+	m.hits++
+	return e.sol, true
+}
+
+func (m *coverMemo) store(key memoKey, window int, sol *Solution) {
+	if m == nil {
+		return
+	}
+	if _, ok := m.entries[key]; !ok {
+		m.entries[key] = memoEntry{window: window, sol: sol}
+	}
+}
+
+// rebindAssignment returns a memoized solution presented as covering the
+// requested assignment. The schedule is shared — solutions are immutable
+// downstream — but the Assignment field must reflect the candidate that
+// won, exactly as a fresh covering would report it.
+func rebindAssignment(sol *Solution, a *Assignment) *Solution {
+	if sol.Assignment == a {
+		return sol
+	}
+	cp := *sol
+	cp.Assignment = a
+	return &cp
+}
+
+// fpWriter accumulates fingerprint material, length-prefixing every
+// field so adjacent records cannot alias.
+type fpWriter struct {
+	h   hash.Hash
+	buf []byte
+}
+
+func (w *fpWriter) flush() {
+	if len(w.buf) > 0 {
+		w.h.Write(w.buf)
+		w.buf = w.buf[:0]
+	}
+}
+
+func (w *fpWriter) int(v int) {
+	w.buf = binary.AppendVarint(w.buf, int64(v))
+	if len(w.buf) > 4096 {
+		w.flush()
+	}
+}
+
+func (w *fpWriter) str(s string) {
+	w.int(len(s))
+	w.buf = append(w.buf, s...)
+}
+
+func (w *fpWriter) bool(b bool) {
+	if b {
+		w.int(1)
+	} else {
+		w.int(0)
+	}
+}
+
+func (w *fpWriter) loc(l isdl.Loc) {
+	w.int(int(l.Kind))
+	w.str(l.Name)
+}
+
+// graphFingerprint hashes the complete structure of a solution graph:
+// per node (in creation = ID order) the kind, resources, operation,
+// chosen alternative, transfer step, carried IR value, and both
+// predecessor relations. Two graphs with equal fingerprints drive the
+// deterministic schedulers — and the assembler reading n.Alt — to
+// identical output.
+func graphFingerprint(g *graph) [sha256.Size]byte {
+	w := &fpWriter{h: sha256.New()}
+	w.int(len(g.nodes))
+	for _, n := range g.nodes {
+		w.int(int(n.Kind))
+		w.str(n.Unit)
+		w.str(n.Bank)
+		w.int(int(n.Op))
+		w.str(n.Var)
+		w.loc(n.Step.From)
+		w.loc(n.Step.To)
+		w.str(n.Step.Bus)
+		if n.Value != nil {
+			w.int(n.Value.ID)
+		} else {
+			w.int(-1)
+		}
+		if n.Alt != nil {
+			w.str(n.Alt.Unit.Name)
+			w.int(int(n.Alt.Op))
+			w.int(len(n.Alt.Covers))
+			for _, c := range n.Alt.Covers {
+				w.int(c.ID)
+			}
+			w.int(len(n.Alt.Operands))
+			for _, o := range n.Alt.Operands {
+				w.int(o.ID)
+			}
+		} else {
+			w.int(-1)
+		}
+		w.int(len(n.Preds))
+		for _, p := range n.Preds {
+			w.int(p.ID)
+		}
+		w.int(len(n.OrdPreds))
+		for _, p := range n.OrdPreds {
+			w.int(p.ID)
+		}
+	}
+	w.flush()
+	var sum [sha256.Size]byte
+	w.h.Sum(sum[:0])
+	return sum
+}
+
+// matrixFingerprint hashes a parallelism matrix's dimension and words.
+func matrixFingerprint(pm *bitset.Matrix) [sha256.Size]byte {
+	h := sha256.New()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], uint64(pm.N()))
+	h.Write(buf[:])
+	for _, word := range pm.Words() {
+		binary.LittleEndian.PutUint64(buf[:], word)
+		h.Write(buf[:])
+	}
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return sum
+}

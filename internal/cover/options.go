@@ -69,6 +69,13 @@ type Options struct {
 	// Trace, when non-nil, collects a step-by-step record of the
 	// covering run (used by the figure-reproduction harness).
 	Trace *Trace
+
+	// Cache, when non-nil, is a block-level compile cache: CoverBlock
+	// returns the memoized covering when the (block, machine, options)
+	// content fingerprints match a previous call. Ignored while Trace is
+	// set so traced runs always cover in full. Cache identity does not
+	// affect output — results are byte-identical with and without it.
+	Cache *Cache
 }
 
 // DefaultOptions returns the heuristics-on configuration used for the

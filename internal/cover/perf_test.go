@@ -1,0 +1,38 @@
+package cover
+
+import (
+	"fmt"
+	"testing"
+
+	"aviv/internal/ir"
+	"aviv/internal/isdl"
+)
+
+// benchBlock is a 6-tap multiply-accumulate chain: enough ILP to
+// exercise clique generation and enough depth to exercise the greedy
+// covering loop and lookahead.
+func benchBlock() *ir.Block {
+	bb := ir.NewBuilder("bench")
+	acc := bb.Mul(bb.Load("x0"), bb.Load("c0"))
+	for i := 1; i < 6; i++ {
+		acc = bb.Add(acc, bb.Mul(bb.Load(fmt.Sprintf("x%d", i)), bb.Load(fmt.Sprintf("c%d", i))))
+	}
+	bb.Store("y", acc)
+	bb.Return()
+	return bb.Finish()
+}
+
+// BenchmarkCoverBlock measures one full block covering — assignment
+// search, clique covering with branch-and-bound and memoization, and
+// peephole — on the example architecture.
+func BenchmarkCoverBlock(b *testing.B) {
+	blk := benchBlock()
+	m := isdl.ExampleArch(4)
+	opts := DefaultOptions()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := CoverBlock(blk, m, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -15,15 +15,22 @@ import (
 func (s *scheduler) spill() error {
 	// Collect the ready nodes blocked by register pressure.
 	var blocked []*SNode
+	if !DisablePooling {
+		blocked = s.blockedBuf[:0]
+	}
 	anyReady := false
 	for _, n := range s.g.nodes {
 		if !s.issueable(n) {
 			continue
 		}
 		anyReady = true
-		if len(s.overfullBanks([]*SNode{n})) > 0 {
+		s.single[0] = n
+		if len(s.overfullBanks(s.single[:])) > 0 {
 			blocked = append(blocked, n)
 		}
+	}
+	if !DisablePooling {
+		s.blockedBuf = blocked
 	}
 	if !anyReady {
 		return fmt.Errorf("cover: no ready node and %d uncovered (dependency cycle?)", len(s.uncoveredNodes()))
@@ -42,13 +49,10 @@ func (s *scheduler) spill() error {
 	})
 
 	for _, nb := range blocked {
-		over := s.overfullBanks([]*SNode{nb})
-		var banks []string
-		for b := range over {
-			banks = append(banks, b)
-		}
-		sort.Strings(banks)
-		for _, bank := range banks {
+		s.single[0] = nb
+		// overfullBanks returns the banks sorted by name.
+		for _, bo := range s.overfullBanks(s.single[:]) {
+			bank := bo.bank
 			victim := s.pickVictim(bank, nb)
 			if victim == nil {
 				continue
@@ -59,7 +63,7 @@ func (s *scheduler) spill() error {
 			s.goal, s.goalBank = nb, bank
 			s.spillCount++
 			if s.opts.Trace != nil {
-				s.opts.Trace.logf("  spill: %s from bank %s (%d pending uses)", victim, bank, s.pending[victim])
+				s.opts.Trace.logf("  spill: %s from bank %s (%d pending uses)", victim, bank, s.pending[victim.ID])
 			}
 			return nil
 		}
@@ -84,7 +88,7 @@ func (s *scheduler) pickVictim(bank string, nb *SNode) *SNode {
 		sc := score{nextUse: 1 << 30}
 		keep := s.keptConsumer(p, nb)
 		for _, u := range p.Succs {
-			if s.covered[u] || u == keep {
+			if s.covered[u.ID] || u == keep {
 				continue
 			}
 			sc.distant++
@@ -103,7 +107,7 @@ func (s *scheduler) pickVictim(bank string, nb *SNode) *SNode {
 	var victim *SNode
 	var victimScore score
 	for _, p := range s.g.nodes {
-		if !s.covered[p] || s.removed[p] || s.pending[p] <= 0 {
+		if !s.covered[p.ID] || s.removed[p.ID] || s.pending[p.ID] <= 0 {
 			continue
 		}
 		loc, ok := p.DefLoc()
@@ -127,22 +131,41 @@ func (s *scheduler) pickVictim(bank string, nb *SNode) *SNode {
 // uncoveredAncestors counts the uncovered dependences that must execute
 // before node u can run, ignoring the value arriving from `via` (the
 // candidate spill victim) — an estimate of how far away u's issue slot
-// is.
+// is. Visited nodes are tracked with epoch stamps and the DFS stack is a
+// reused scratch buffer.
 func (s *scheduler) uncoveredAncestors(u, via *SNode) int {
-	seen := map[*SNode]bool{u: true, via: true}
+	s.epoch++
+	e := s.epoch
+	s.mark[u.ID] = e
+	s.mark[via.ID] = e
 	cnt := 0
-	stack := []*SNode{u}
+	var stack []*SNode
+	if !DisablePooling {
+		stack = s.stackBuf[:0]
+	}
+	stack = append(stack, u)
 	for len(stack) > 0 {
 		x := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		for _, p := range append(append([]*SNode{}, x.Preds...), x.OrdPreds...) {
-			if seen[p] || s.covered[p] || s.removed[p] {
+		for _, p := range x.Preds {
+			if s.mark[p.ID] == e || s.covered[p.ID] || s.removed[p.ID] {
 				continue
 			}
-			seen[p] = true
+			s.mark[p.ID] = e
 			cnt++
 			stack = append(stack, p)
 		}
+		for _, p := range x.OrdPreds {
+			if s.mark[p.ID] == e || s.covered[p.ID] || s.removed[p.ID] {
+				continue
+			}
+			s.mark[p.ID] = e
+			cnt++
+			stack = append(stack, p)
+		}
+	}
+	if !DisablePooling {
+		s.stackBuf = stack
 	}
 	return cnt
 }
@@ -155,7 +178,7 @@ func (s *scheduler) uncoveredAncestors(u, via *SNode) int {
 func (s *scheduler) keptConsumer(p, nb *SNode) *SNode {
 	var keep *SNode
 	for _, u := range p.Succs {
-		if s.covered[u] || !s.ready(u) {
+		if s.covered[u.ID] || !s.ready(u) {
 			continue
 		}
 		if u == nb {
@@ -196,6 +219,9 @@ func (s *scheduler) spillValue(victim *SNode, bank string, nb *SNode) error {
 		cur = t
 		spillFinal = t
 	}
+	// The chain added nodes; extend the per-node state before indexing by
+	// their IDs below.
+	s.grow()
 
 	// Collect uncovered consumers, removing redundant move chains.
 	// needs maps a bank to the consumers that must be rewired to a
@@ -211,7 +237,7 @@ func (s *scheduler) spillValue(victim *SNode, bank string, nb *SNode) error {
 		// consumers read the value at mv.Step.To.
 		for _, w := range append([]*SNode(nil), mv.Succs...) {
 			removeValueEdge(mv, w)
-			if w.Kind == MoveNode && !s.covered[w] {
+			if w.Kind == MoveNode && !s.covered[w.ID] {
 				walkChain(w)
 				continue
 			}
@@ -219,8 +245,8 @@ func (s *scheduler) spillValue(victim *SNode, bank string, nb *SNode) error {
 				needs[mv.Step.To.Name] = append(needs[mv.Step.To.Name], w)
 			}
 		}
-		s.removed[mv] = true
-		delete(s.pending, mv)
+		s.removed[mv.ID] = true
+		s.pending[mv.ID] = pendingAbsent
 		for _, q := range append([]*SNode(nil), mv.Preds...) {
 			removeValueEdge(q, mv)
 		}
@@ -228,7 +254,7 @@ func (s *scheduler) spillValue(victim *SNode, bank string, nb *SNode) error {
 
 	keep := s.keptConsumer(victim, nb)
 	for _, u := range append([]*SNode(nil), victim.Succs...) {
-		if s.covered[u] || u == spillFinal || onChainTo(u, spillFinal) {
+		if s.covered[u.ID] || u == spillFinal || onChainTo(u, spillFinal) {
 			continue
 		}
 		if u == keep {
@@ -282,11 +308,13 @@ func (s *scheduler) spillValue(victim *SNode, bank string, nb *SNode) error {
 			addEdge(cur, w)
 		}
 	}
+	// Reload chains added more nodes.
+	s.grow()
 
 	// Recompute pending for the victim and initialize it for new nodes.
 	s.recomputePending(victim)
 	for _, n := range g.nodes {
-		if _, ok := s.pending[n]; !ok && !s.removed[n] && !s.covered[n] {
+		if s.pending[n.ID] == pendingAbsent && !s.removed[n.ID] && !s.covered[n.ID] {
 			s.initPending(n)
 		}
 	}
@@ -301,11 +329,11 @@ func (s *scheduler) recomputePending(n *SNode) {
 	}
 	cnt := s.g.externalUses[n]
 	for _, u := range n.Succs {
-		if !s.covered[u] {
+		if !s.covered[u.ID] {
 			cnt++
 		}
 	}
-	s.pending[n] = cnt
+	s.pending[n.ID] = int32(cnt)
 }
 
 // onChainTo reports whether from is an intermediate hop of the spill

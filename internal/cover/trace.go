@@ -21,7 +21,14 @@ type Trace struct {
 	Lines []string
 }
 
+// logf appends one formatted trace line. It is safe (and free — one
+// branch, no formatting or allocation) on a nil receiver, so call sites
+// may log unconditionally; hot paths should still guard with a nil
+// check when an argument is itself expensive to build (formatClique).
 func (t *Trace) logf(format string, args ...any) {
+	if t == nil {
+		return
+	}
 	line := fmt.Sprintf(format, args...)
 	t.mu.Lock()
 	t.Lines = append(t.Lines, line)
@@ -29,6 +36,9 @@ func (t *Trace) logf(format string, args ...any) {
 }
 
 func (t *Trace) assignStep(n *ir.Node, alt *sndag.Alt, cost int, pruned bool) {
+	if t == nil {
+		return
+	}
 	mark := ""
 	if pruned {
 		mark = "  X pruned"

@@ -1,0 +1,53 @@
+package ir
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+)
+
+// Fingerprint returns a content hash of the block: its name, every node
+// (ID, op, constant, variable, argument IDs), and the terminator with
+// its condition and successors. Two blocks with equal fingerprints are
+// structurally identical inputs to code generation, which makes the
+// fingerprint usable as a compile-cache key component.
+func (b *Block) Fingerprint() [sha256.Size]byte {
+	h := sha256.New()
+	var buf []byte
+	emit := func(v int64) {
+		buf = binary.AppendVarint(buf, v)
+	}
+	str := func(s string) {
+		emit(int64(len(s)))
+		buf = append(buf, s...)
+	}
+	str(b.Name)
+	emit(int64(len(b.Nodes)))
+	for _, n := range b.Nodes {
+		emit(int64(n.ID))
+		emit(int64(n.Op))
+		emit(n.Const)
+		str(n.Var)
+		emit(int64(len(n.Args)))
+		for _, a := range n.Args {
+			emit(int64(a.ID))
+		}
+		if len(buf) > 4096 {
+			h.Write(buf)
+			buf = buf[:0]
+		}
+	}
+	emit(int64(b.Term))
+	if b.Cond != nil {
+		emit(int64(b.Cond.ID))
+	} else {
+		emit(-1)
+	}
+	emit(int64(len(b.Succs)))
+	for _, s := range b.Succs {
+		str(s)
+	}
+	h.Write(buf)
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return sum
+}

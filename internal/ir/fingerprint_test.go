@@ -1,0 +1,49 @@
+package ir
+
+import "testing"
+
+// TestBlockFingerprint checks the compile-cache block key: identical
+// construction hashes identically, and every content change — an
+// opcode, a constant, a variable name, the terminator — moves the hash.
+func TestBlockFingerprint(t *testing.T) {
+	build := func(c int64, v string, sub bool) *Block {
+		bb := NewBuilder("b")
+		x := bb.Load(v)
+		y := bb.Const(c)
+		var r *Node
+		if sub {
+			r = bb.Sub(x, y)
+		} else {
+			r = bb.Add(x, y)
+		}
+		bb.Store("out", r)
+		bb.Return()
+		return bb.Finish()
+	}
+	base := build(1, "a", false)
+	if base.Fingerprint() != build(1, "a", false).Fingerprint() {
+		t.Fatal("identical blocks hash differently")
+	}
+	seen := map[[32]byte]string{base.Fingerprint(): "base"}
+	for name, blk := range map[string]*Block{
+		"const": build(2, "a", false),
+		"var":   build(1, "z", false),
+		"op":    build(1, "a", true),
+	} {
+		fp := blk.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Fatalf("blocks %q and %q collide", name, prev)
+		}
+		seen[fp] = name
+	}
+	// Terminator changes must move the hash too.
+	bb := NewBuilder("b")
+	x := bb.Load("a")
+	y := bb.Const(1)
+	bb.Store("out", bb.Add(x, y))
+	bb.Branch(bb.Load("a"), "then", "else")
+	branched := bb.Finish()
+	if _, dup := seen[branched.Fingerprint()]; dup {
+		t.Fatal("branch terminator did not change the fingerprint")
+	}
+}

@@ -1,0 +1,15 @@
+package isdl
+
+import "crypto/sha256"
+
+// Fingerprint returns a content hash of the machine description and its
+// derived databases. It is computed from Describe(), which renders the
+// units (register files, shared banks, op latencies), memories, buses,
+// constraints, complex-instruction patterns, the op-to-unit correlation
+// database, and the expanded transfer-path database in a deterministic
+// order — everything code generation reads. Machines with equal
+// fingerprints compile any block identically, which makes the
+// fingerprint usable as a compile-cache key component.
+func (m *Machine) Fingerprint() [sha256.Size]byte {
+	return sha256.Sum256([]byte(m.Describe()))
+}

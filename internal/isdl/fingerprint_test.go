@@ -1,0 +1,23 @@
+package isdl
+
+import "testing"
+
+// TestMachineFingerprint checks the compile-cache machine key: a machine
+// hashes stably across calls, and every stock architecture (and register
+// count) hashes apart.
+func TestMachineFingerprint(t *testing.T) {
+	if ExampleArch(4).Fingerprint() != ExampleArch(4).Fingerprint() {
+		t.Fatal("same machine hashes differently")
+	}
+	seen := map[[32]byte]string{}
+	for _, m := range []*Machine{
+		ExampleArch(4), ExampleArch(2), ArchitectureII(4), SingleIssueDSP(4),
+		WideDSP(4), ClusteredVLIW(4), DualMemDSP(4), ExampleArchFull(4),
+	} {
+		fp := m.Fingerprint()
+		if prev, dup := seen[fp]; dup {
+			t.Fatalf("machines %q and %q collide", m.Name, prev)
+		}
+		seen[fp] = m.Name
+	}
+}

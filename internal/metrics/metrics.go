@@ -35,6 +35,14 @@ type BlockMetrics struct {
 	// PrunedStores counts stores removed before covering because global
 	// liveness proved them dead past the block (cover.Options.LiveOut).
 	PrunedStores int
+	// PrunedAssignments counts assignments the covering skipped by
+	// branch-and-bound (admissible lower bound above the incumbent).
+	PrunedAssignments int
+	// MemoHits counts coverings answered by the intra-search memo
+	// (structurally identical solution graphs within one block).
+	MemoHits int
+	// CacheHit reports the whole covering came from the compile cache.
+	CacheHit bool
 	// Violations counts translation-validation diagnostics flagged on the
 	// block (always 0 on a successful compile with verification on).
 	Violations int
@@ -111,6 +119,35 @@ func (m *CompileMetrics) TotalPrunedStores() int {
 	return n
 }
 
+// TotalPrunedAssignments sums branch-and-bound-pruned assignments.
+func (m *CompileMetrics) TotalPrunedAssignments() int {
+	n := 0
+	for _, b := range m.Blocks {
+		n += b.PrunedAssignments
+	}
+	return n
+}
+
+// TotalMemoHits sums intra-search memo hits across blocks.
+func (m *CompileMetrics) TotalMemoHits() int {
+	n := 0
+	for _, b := range m.Blocks {
+		n += b.MemoHits
+	}
+	return n
+}
+
+// CacheHits counts blocks served entirely from the compile cache.
+func (m *CompileMetrics) CacheHits() int {
+	n := 0
+	for _, b := range m.Blocks {
+		if b.CacheHit {
+			n++
+		}
+	}
+	return n
+}
+
 // TotalSpills sums spills across blocks.
 func (m *CompileMetrics) TotalSpills() int {
 	n := 0
@@ -182,6 +219,8 @@ func (m *CompileMetrics) String() string {
 	}
 	fmt.Fprintf(&sb, "effort:  %d assignments explored, %d spills, %d instrs saved by peephole, %d stores pruned by liveness, %d verifier violations\n",
 		m.TotalAssignments(), m.TotalSpills(), m.TotalPeepholeSaved(), m.TotalPrunedStores(), m.TotalViolations())
+	fmt.Fprintf(&sb, "search:  %d assignments pruned by lower bound, %d memo hits, %d/%d blocks from compile cache\n",
+		m.TotalPrunedAssignments(), m.TotalMemoHits(), m.CacheHits(), len(m.Blocks))
 	for _, b := range m.Blocks {
 		fmt.Fprintf(&sb, "block %-10s w%-2d %4d SN-DAG nodes, %3d instrs, %2d spills, %6d assignments, peephole -%d, %v\n",
 			b.Block, b.Worker, b.DAGNodes, b.Instructions, b.Spills,

@@ -1,0 +1,36 @@
+package aviv
+
+import (
+	"testing"
+
+	"aviv/internal/cover"
+)
+
+// TestPoolingByteIdentical is the scratch-reuse property test: the
+// covering engine's pooled buffers (cover.DisablePooling=false, the
+// default) must produce byte-for-byte the program text of fully fresh
+// allocations, across the whole difftest corpus under both presets.
+func TestPoolingByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus sweep")
+	}
+	defer func() { cover.DisablePooling = false }()
+	for _, preset := range []struct {
+		name string
+		opts Options
+	}{
+		{"default", DefaultOptions()},
+		{"exhaustive", ExhaustiveOptions()},
+	} {
+		t.Run(preset.name, func(t *testing.T) {
+			cover.DisablePooling = false
+			pooled := corpusProgramText(t, preset.opts)
+			cover.DisablePooling = true
+			fresh := corpusProgramText(t, preset.opts)
+			cover.DisablePooling = false
+			if pooled != fresh {
+				t.Fatal("pooled scheduler output differs from allocation-per-call output")
+			}
+		})
+	}
+}
