@@ -1,5 +1,5 @@
 # Convenience targets; `make check` is the gate ci.sh runs in CI.
-.PHONY: check test build vet lint staticcheck fuzz bench benchsmoke benchjson
+.PHONY: check test build vet lint staticcheck fuzz bench benchsmoke benchjson servesmoke servejson
 
 check:
 	./ci.sh
@@ -37,3 +37,12 @@ benchsmoke:
 # Regenerate the machine-readable compile-benchmark report.
 benchjson:
 	go run ./cmd/avivbench -benchjson BENCH_cover.json
+
+# Quick compile-server study on a small workload — catches bit-rot in
+# the avivd path (also part of ci.sh).
+servesmoke:
+	go run ./cmd/avivbench -serve -serveprograms 2 -serveops 4
+
+# Regenerate the machine-readable compile-server report.
+servejson:
+	go run ./cmd/avivbench -servejson BENCH_serve.json

@@ -69,6 +69,13 @@ type Options struct {
 	// byte-identical with and without it; recompiles of unchanged blocks
 	// skip the covering search entirely.
 	Cache *cover.Cache
+	// DiskCache, when non-nil, is the persistent tier below Cache
+	// (internal/diskcache): coverings missing from memory are looked up
+	// on disk before searching, and fresh coverings are written back, so
+	// the cache survives process restarts. Like Cache, it cannot change
+	// output — corrupted or stale entries degrade to misses and decoded
+	// coverings are re-verified.
+	DiskCache cover.EntryStore
 }
 
 // DefaultOptions returns the paper's heuristics-on configuration with the
@@ -129,6 +136,7 @@ func CompileBlock(b *ir.Block, m *isdl.Machine, opts Options) (*BlockResult, err
 	bm := metrics.BlockMetrics{Block: b.Name}
 	phase := metrics.StartTimer()
 	opts.Cover.Cache = opts.Cache
+	opts.Cover.Store = opts.DiskCache
 	res, err := cover.CoverBlock(b, m, opts.Cover)
 	if err != nil {
 		return nil, fmt.Errorf("aviv: block %s: %w", b.Name, err)
@@ -164,6 +172,7 @@ func CompileBlock(b *ir.Block, m *isdl.Machine, opts Options) (*BlockResult, err
 	bm.PrunedAssignments = res.PrunedAssignments
 	bm.MemoHits = res.MemoHits
 	bm.CacheHit = res.CacheHit
+	bm.DiskHit = res.DiskHit
 	bm.Total = total.Elapsed()
 	return &BlockResult{
 		Block:               b,
@@ -177,13 +186,21 @@ func CompileBlock(b *ir.Block, m *isdl.Machine, opts Options) (*BlockResult, err
 	}, nil
 }
 
+// ResolveParallelism maps a Parallelism setting to a concrete worker
+// count: <= 0 selects GOMAXPROCS, anything else is taken as-is. This is
+// the single defaulting rule — the block worker pool (poolSize) and the
+// avivd server pool both resolve through it, so they cannot drift.
+func ResolveParallelism(par int) int {
+	if par <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return par
+}
+
 // poolSize resolves Options.Parallelism to a concrete worker count for a
 // function with nBlocks basic blocks.
 func (o Options) poolSize(nBlocks int) int {
-	par := o.Parallelism
-	if par <= 0 {
-		par = runtime.GOMAXPROCS(0)
-	}
+	par := ResolveParallelism(o.Parallelism)
 	if par > nBlocks {
 		par = nBlocks
 	}

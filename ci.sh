@@ -49,12 +49,18 @@ go test -run 'TestMutation|TestLint' ./internal/verify
 echo "== go test -race =="
 go test -race ./...
 
+echo "== server differential (race) =="
+go test -race -run '^TestServerDifferentialCorpus$' -count=1 .
+
 if [ "${1:-}" != "-short" ]; then
     echo "== fuzz smoke (FuzzCompileSource, 10s) =="
     go test -run '^$' -fuzz='^FuzzCompileSource$' -fuzztime=10s .
 
     echo "== bench smoke (every benchmark, one iteration) =="
     go test -run '^$' -bench . -benchtime=1x ./...
+
+    echo "== serve smoke (compile-server study, small workload) =="
+    go run ./cmd/avivbench -serve -serveprograms 2 -serveops 4
 fi
 
 echo "ci.sh: all checks passed"

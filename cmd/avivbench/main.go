@@ -50,6 +50,10 @@ func main() {
 	stats := flag.Bool("stats", false, "print the compile-metrics report for the multi-block workload at -parallel N")
 	all := flag.Bool("all", false, "run every table, figure, and study")
 	benchJSON := flag.String("benchjson", "", "benchmark the multi-block compile (uncached and cached) and write a JSON report to this file")
+	serve := flag.Bool("serve", false, "run the compile-server study (cold/warm/disk-warm latency, throughput, dedup) against an in-process avivd")
+	serveJSON := flag.String("servejson", "", "run the compile-server study and write a JSON report to this file (implies -serve)")
+	servePrograms := flag.Int("serveprograms", 6, "distinct programs in the compile-server study")
+	serveOps := flag.Int("serveops", 12, "straight-line ops per block in the compile-server study workload")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected runs to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
 	flag.Parse()
@@ -163,6 +167,12 @@ func main() {
 	if *benchJSON != "" {
 		ran = true
 		if err := benchJSONReport(*benchJSON); err != nil {
+			fail(err)
+		}
+	}
+	if *serve || *serveJSON != "" {
+		ran = true
+		if err := serveStudy(*serveJSON, *servePrograms, *serveOps); err != nil {
 			fail(err)
 		}
 	}

@@ -1,0 +1,266 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"aviv"
+	"aviv/internal/bench"
+	"aviv/internal/cover"
+	"aviv/internal/diskcache"
+	"aviv/internal/isdl"
+	"aviv/internal/server"
+)
+
+// servePhase is the latency/throughput summary of one request wave in
+// the -serve study.
+type servePhase struct {
+	Name          string  `json:"name"`
+	Requests      int     `json:"requests"`
+	P50Ms         float64 `json:"p50_ms"`
+	P95Ms         float64 `json:"p95_ms"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+}
+
+// serveReport is the machine-readable -servejson output
+// (BENCH_serve.json).
+type serveReport struct {
+	Benchmark       string       `json:"benchmark"`
+	Programs        int          `json:"programs"`
+	BlocksPerProg   int          `json:"blocks_per_program"`
+	ClientsPerProg  int          `json:"clients_per_program"`
+	LocalColdMsPer  float64      `json:"local_cold_ms_per_compile"`
+	LocalColdRPS    float64      `json:"local_cold_throughput_rps"`
+	Phases          []servePhase `json:"phases"`
+	WarmSpeedup     float64      `json:"warm_throughput_vs_local_cold"`
+	DiskWarmSpeedup float64      `json:"disk_warm_throughput_vs_local_cold"`
+	Deduped         int64        `json:"deduped"`
+	DedupRate       float64      `json:"dedup_rate"`
+	// DiskCold is the disk tier as the first server instance left it
+	// (the cold pass populates it); Disk is the tier as seen by the
+	// restarted instance, whose lookups all hit.
+	DiskCold diskcache.Stats `json:"disk_cold"`
+	Disk     diskcache.Stats `json:"disk"`
+}
+
+func percentileMs(lat []time.Duration, p float64) float64 {
+	if len(lat) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), lat...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(p * float64(len(s)-1))
+	return float64(s[idx]) / 1e6
+}
+
+// serveStudy measures the compile-as-a-service path end to end: cold
+// single-process compiles as the baseline, then an in-process avivd
+// (two-tier cache, single-flight) under concurrent identical clients —
+// cold, memory-warm, and disk-warm after a simulated restart. Every
+// served assembly is checked byte-identical to the local compile before
+// any number is reported. With jsonPath non-empty the report is also
+// written as JSON (BENCH_serve.json).
+func serveStudy(jsonPath string, nPrograms, opsPerBlock int) error {
+	const clientsPerProg = 3
+	if nPrograms < 1 {
+		nPrograms = 1
+	}
+	if opsPerBlock < 1 {
+		opsPerBlock = 1
+	}
+	machine, err := isdl.Parse(isdl.ExampleArchFullISDL)
+	if err != nil {
+		return err
+	}
+	sources := make([]string, nPrograms)
+	for i := range sources {
+		sources[i] = bench.MultiBlockSource(int64(i+1), 24, opsPerBlock)
+	}
+
+	// Baseline: cold single-process compiles, no cache anywhere.
+	local := make([]string, nPrograms)
+	blocksPer := 0
+	localStart := time.Now()
+	for i, src := range sources {
+		res, err := aviv.CompileSource(src, machine, 1, aviv.DefaultOptions())
+		if err != nil {
+			return fmt.Errorf("local compile %d: %w", i, err)
+		}
+		local[i] = res.Program.String()
+		blocksPer = len(res.Blocks)
+	}
+	localWall := time.Since(localStart)
+	localRPS := float64(nPrograms) / localWall.Seconds()
+
+	diskDir, err := os.MkdirTemp("", "avivserve")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(diskDir)
+	disk, err := diskcache.Open(diskDir, 0)
+	if err != nil {
+		return err
+	}
+	newServer := func(d *diskcache.Cache) (*server.Server, *httptest.Server) {
+		s := server.New(server.Config{
+			Options: aviv.Options{
+				Cache:     cover.NewBoundedCache(1024),
+				DiskCache: d,
+			},
+			QueueLimit: 256,
+		})
+		return s, httptest.NewServer(s.Handler())
+	}
+	s, ts := newServer(disk)
+
+	// wave fires clientsPerProg concurrent identical requests per
+	// program and returns per-request latencies plus the wave wall time.
+	wave := func(url string, clients int) ([]time.Duration, time.Duration, error) {
+		lat := make([]time.Duration, 0, nPrograms*clients)
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		errs := make(chan error, nPrograms*clients)
+		start := time.Now()
+		for i := 0; i < nPrograms; i++ {
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					body, err := json.Marshal(server.CompileRequest{
+						Source:  sources[i],
+						Machine: isdl.ExampleArchFullISDL,
+						Unroll:  1,
+						Preset:  "default",
+					})
+					if err != nil {
+						errs <- err
+						return
+					}
+					t0 := time.Now()
+					httpResp, err := http.Post(url+"/compile", "application/json", bytes.NewReader(body))
+					if err != nil {
+						errs <- err
+						return
+					}
+					var resp server.CompileResponse
+					err = json.NewDecoder(httpResp.Body).Decode(&resp)
+					httpResp.Body.Close()
+					d := time.Since(t0)
+					if err != nil {
+						errs <- err
+						return
+					}
+					if httpResp.StatusCode != http.StatusOK || resp.Error != "" {
+						errs <- fmt.Errorf("program %d: HTTP %d, error %q", i, httpResp.StatusCode, resp.Error)
+						return
+					}
+					if resp.Assembly != local[i] {
+						errs <- fmt.Errorf("program %d: served assembly differs from local compile", i)
+						return
+					}
+					mu.Lock()
+					lat = append(lat, d)
+					mu.Unlock()
+				}(i)
+			}
+		}
+		wg.Wait()
+		wall := time.Since(start)
+		close(errs)
+		for err := range errs {
+			return nil, 0, err
+		}
+		return lat, wall, nil
+	}
+
+	phase := func(name string, lat []time.Duration, wall time.Duration) servePhase {
+		return servePhase{
+			Name:          name,
+			Requests:      len(lat),
+			P50Ms:         percentileMs(lat, 0.50),
+			P95Ms:         percentileMs(lat, 0.95),
+			ThroughputRPS: float64(len(lat)) / wall.Seconds(),
+		}
+	}
+
+	coldLat, coldWall, err := wave(ts.URL, clientsPerProg)
+	if err != nil {
+		return err
+	}
+	warmLat, warmWall, err := wave(ts.URL, clientsPerProg)
+	if err != nil {
+		return err
+	}
+	counters := s.Counters().Snapshot()
+	diskCold := disk.Stats()
+	ts.Close()
+
+	// Simulated restart: fresh process state (empty memory cache), same
+	// disk directory.
+	restarted, err := diskcache.Open(diskDir, 0)
+	if err != nil {
+		return err
+	}
+	_, ts2 := newServer(restarted)
+	diskLat, diskWall, err := wave(ts2.URL, 1)
+	if err != nil {
+		return err
+	}
+	ts2.Close()
+
+	report := serveReport{
+		Benchmark:      "ServeMultiBlock",
+		Programs:       nPrograms,
+		BlocksPerProg:  blocksPer,
+		ClientsPerProg: clientsPerProg,
+		LocalColdMsPer: float64(localWall.Milliseconds()) / float64(nPrograms),
+		LocalColdRPS:   localRPS,
+		Phases: []servePhase{
+			phase("cold", coldLat, coldWall),
+			phase("warm", warmLat, warmWall),
+			phase("disk_warm", diskLat, diskWall),
+		},
+		Deduped:  counters.Deduped,
+		DiskCold: diskCold,
+		Disk:     restarted.Stats(),
+	}
+	if counters.Requests > 0 {
+		report.DedupRate = float64(counters.Deduped) / float64(counters.Requests)
+	}
+	report.WarmSpeedup = report.Phases[1].ThroughputRPS / localRPS
+	report.DiskWarmSpeedup = report.Phases[2].ThroughputRPS / localRPS
+
+	fmt.Printf("==== Compile server study (%d programs x %d blocks, %d clients each) ====\n",
+		nPrograms, blocksPer, clientsPerProg)
+	fmt.Printf("local cold: %.2f ms/compile (%.1f compiles/s)\n",
+		report.LocalColdMsPer, localRPS)
+	for _, p := range report.Phases {
+		fmt.Printf("%-10s %4d reqs   p50 %8.2f ms   p95 %8.2f ms   %8.1f req/s\n",
+			p.Name, p.Requests, p.P50Ms, p.P95Ms, p.ThroughputRPS)
+	}
+	fmt.Printf("warm throughput %.1fx local cold, disk-warm %.1fx; %d deduped (rate %.2f)\n",
+		report.WarmSpeedup, report.DiskWarmSpeedup, report.Deduped, report.DedupRate)
+	fmt.Printf("disk tier after cold pass: %+v\n", report.DiskCold)
+	fmt.Printf("disk tier after restart:   %+v\n", report.Disk)
+	fmt.Println("(every served assembly verified byte-identical to the local compile)")
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s\n", jsonPath)
+	}
+	fmt.Println()
+	return nil
+}

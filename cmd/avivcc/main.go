@@ -12,21 +12,31 @@
 //	avivcc -exhaustive ...                                # heuristics off
 //	avivcc -stats ...                                     # per-block statistics
 //	avivcc -analyze prog.c                                # dataflow diagnostics (no machine needed)
+//	avivcc -march machine.isdl -cache .avivcache prog.c   # persistent compile cache
+//	avivcc -march machine.isdl -server http://host:8377 prog.c # compile via avivd
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"sort"
 	"strconv"
 	"strings"
+	"time"
 
 	"aviv"
 	"aviv/internal/asm"
+	"aviv/internal/cover"
 	"aviv/internal/dataflow/diag"
+	"aviv/internal/diskcache"
 	"aviv/internal/isdl"
 	"aviv/internal/lang"
+	"aviv/internal/server"
 	"aviv/internal/sim"
 )
 
@@ -46,6 +56,8 @@ func main() {
 	parallel := flag.Int("parallel", 0, "block-compilation worker pool size (0 = GOMAXPROCS, 1 = serial; output is identical at any setting)")
 	verifyFlag := flag.Bool("verify", false, "run the static translation validator on the compiled output (fails the compile on any violation)")
 	analyze := flag.Bool("analyze", false, "run the global dataflow diagnostics on the lowered IR and print findings (no machine description needed)")
+	cacheDir := flag.String("cache", "", "persistent compile-cache directory (created if missing; served coverings are re-verified, so stale entries cannot change output)")
+	serverURL := flag.String("server", "", "compile via a running avivd at this base URL (requires -march; falls back to a local compile if the server is unreachable or overloaded)")
 	flag.Parse()
 
 	die := func(err error) {
@@ -89,6 +101,7 @@ func main() {
 	}
 
 	var machine *isdl.Machine
+	var machineText string
 	switch {
 	case *example:
 		machine = isdl.ExampleArchFull(*regs)
@@ -97,7 +110,8 @@ func main() {
 		if err != nil {
 			die(err)
 		}
-		machine, err = aviv.LoadMachine(string(src))
+		machineText = string(src)
+		machine, err = aviv.LoadMachine(machineText)
 		if err != nil {
 			die(err)
 		}
@@ -113,12 +127,60 @@ func main() {
 		die(err)
 	}
 
+	if *serverURL != "" {
+		// Thin-client mode: ship source + machine text to avivd and print
+		// what comes back (byte-identical to a local compile). Falls
+		// through to the local path only if the server cannot answer.
+		if machineText == "" {
+			die(fmt.Errorf("-server needs -march: the built-in -example machine has no ISDL text to send"))
+		}
+		if *out != "" || *run || *place != "" {
+			die(fmt.Errorf("-o, -run, and -place are local-only; drop -server to use them"))
+		}
+		preset := "default"
+		if *exhaustive {
+			preset = "exhaustive"
+		}
+		resp, err := remoteCompile(*serverURL, server.CompileRequest{
+			Source:  string(src),
+			Machine: machineText,
+			Unroll:  *unroll,
+			Preset:  preset,
+			Verify:  *verifyFlag,
+		})
+		switch {
+		case err != nil:
+			fmt.Fprintf(os.Stderr, "avivcc: server unavailable (%v), compiling locally\n", err)
+		case resp.Error != "":
+			// A deterministic compile failure: a local retry would fail
+			// identically, so report it and stop.
+			die(fmt.Errorf("server: %s", resp.Error))
+		default:
+			if *stats {
+				fmt.Printf("; served compile: %d blocks, code size %d, %d cache hits (%d via disk), deduped=%v\n",
+					resp.Blocks, resp.CodeSize, resp.CacheHits, resp.DiskHits, resp.Deduped)
+			}
+			if *emitAsm {
+				fmt.Print(resp.Assembly)
+			}
+			return
+		}
+	}
+
 	opts := aviv.DefaultOptions()
 	if *exhaustive {
 		opts = aviv.ExhaustiveOptions()
 	}
 	opts.Parallelism = *parallel
 	opts.Verify = *verifyFlag
+	if *cacheDir != "" {
+		disk, err := diskcache.Open(*cacheDir, 0)
+		if err != nil {
+			die(err)
+		}
+		opts.Cache = cover.NewCache()
+		opts.DiskCache = disk
+	}
 	if *place != "" {
 		placement := map[string]string{}
 		for _, kv := range strings.Split(*place, ",") {
@@ -145,6 +207,16 @@ func main() {
 		}
 		for _, line := range strings.Split(strings.TrimRight(res.Metrics.String(), "\n"), "\n") {
 			fmt.Printf("; %s\n", line)
+		}
+		if opts.Cache != nil {
+			cs := opts.Cache.Stats()
+			fmt.Printf("; memcache: %d entries, %d hits, %d misses, %d evictions\n",
+				cs.Entries, cs.Hits, cs.Misses, cs.Evictions)
+		}
+		if dc, ok := opts.DiskCache.(*diskcache.Cache); ok {
+			ds := dc.Stats()
+			fmt.Printf("; diskcache %s: %d hits, %d misses, %d writes, %d evictions, %d corrupt, %d bytes\n",
+				dc.Dir(), ds.Hits, ds.Misses, ds.Writes, ds.Evictions, ds.Corrupt, ds.Bytes)
 		}
 	}
 	if *emitAsm {
@@ -181,6 +253,32 @@ func main() {
 			fmt.Printf("; mem[%s] = %d\n", k, final[k])
 		}
 	}
+}
+
+// remoteCompile posts one compile request to an avivd at base. A non-nil
+// error means the server could not answer (unreachable, shedding load,
+// or timed out) and the caller should compile locally; deterministic
+// compile failures instead arrive in-band in CompileResponse.Error.
+func remoteCompile(base string, req server.CompileRequest) (*server.CompileResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	client := &http.Client{Timeout: 2 * time.Minute}
+	httpResp, err := client.Post(strings.TrimRight(base, "/")+"/compile", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	defer httpResp.Body.Close()
+	if httpResp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(httpResp.Body, 256))
+		return nil, fmt.Errorf("%s: %s", httpResp.Status, strings.TrimSpace(string(msg)))
+	}
+	var resp server.CompileResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
 }
 
 func parseMem(s string) (map[string]int64, error) {

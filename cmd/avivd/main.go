@@ -1,0 +1,84 @@
+// Command avivd is the AVIV compile server: a long-running daemon that
+// serves mini-C -> VLIW compiles over HTTP/JSON, amortizing the
+// covering search across requests with a two-tier (memory + disk)
+// compile cache, single-flight deduplication of identical in-flight
+// requests, and a bounded worker pool with load shedding.
+//
+// Usage:
+//
+//	avivd [-listen :8377] [-cache-dir .avivcache] [-cache-max-mb 512]
+//	      [-mem-entries 4096] [-parallel N] [-queue N] [-timeout 30s]
+//
+// Endpoints:
+//
+//	POST /compile  {"source": "...", "machine": "<ISDL text>", ...}
+//	GET  /stats    server, memory-cache, and disk-cache counters
+//	GET  /healthz  liveness probe
+//
+// Served output is byte-identical to a local `avivcc` compile of the
+// same source and machine.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"time"
+
+	"aviv"
+	"aviv/internal/cover"
+	"aviv/internal/diskcache"
+	"aviv/internal/server"
+)
+
+func main() {
+	listen := flag.String("listen", ":8377", "address to listen on")
+	cacheDir := flag.String("cache-dir", ".avivcache", "persistent compile-cache directory (empty disables the disk tier)")
+	cacheMaxMB := flag.Int64("cache-max-mb", 512, "disk-cache size bound in MiB (<= 0 unbounded)")
+	memEntries := flag.Int("mem-entries", 4096, "in-memory compile-cache entry cap (<= 0 unbounded)")
+	parallel := flag.Int("parallel", 0, "worker-pool size (<= 0 selects GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "queue bound before load shedding (<= 0 selects 4x workers)")
+	timeout := flag.Duration("timeout", 30*time.Second, "per-request compile deadline")
+	flag.Parse()
+	if flag.NArg() > 0 {
+		fmt.Fprintf(os.Stderr, "avivd: unexpected arguments %v\n", flag.Args())
+		flag.Usage()
+		os.Exit(1)
+	}
+
+	opts := aviv.Options{
+		Cache:       cover.NewBoundedCache(*memEntries),
+		Parallelism: *parallel,
+	}
+	if *cacheDir != "" {
+		disk, err := diskcache.Open(*cacheDir, *cacheMaxMB<<20)
+		if err != nil {
+			log.Fatalf("avivd: opening disk cache: %v", err)
+		}
+		opts.DiskCache = disk
+		log.Printf("avivd: disk cache at %s (max %d MiB)", disk.Dir(), *cacheMaxMB)
+	}
+
+	srv := server.New(server.Config{
+		Options:    opts,
+		QueueLimit: *queue,
+		Timeout:    *timeout,
+	})
+	log.Printf("avivd: listening on %s (%d workers, queue %s, timeout %v)",
+		*listen, srv.Workers(), queueDesc(*queue, srv.Workers()), *timeout)
+	httpSrv := &http.Server{
+		Addr:              *listen,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	log.Fatal(httpSrv.ListenAndServe())
+}
+
+func queueDesc(queue, workers int) string {
+	if queue <= 0 {
+		return fmt.Sprintf("%d (4x workers)", 4*workers)
+	}
+	return fmt.Sprint(queue)
+}

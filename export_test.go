@@ -1,0 +1,10 @@
+package aviv
+
+// Exports for the external (package aviv_test) differential tests: the
+// server diff harness replays the same seeded corpus the in-package
+// property tests use, so "byte-identical to a local compile" means
+// identical to these exact programs.
+var (
+	GenProgram        = genProgram
+	CorpusProgramText = corpusProgramText
+)

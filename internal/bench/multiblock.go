@@ -2,6 +2,7 @@ package bench
 
 import (
 	"fmt"
+	"strings"
 
 	"aviv/internal/ir"
 )
@@ -55,4 +56,57 @@ func MultiBlock(seed int64, nBlocks, opsPerBlock int) (*ir.Func, map[string]int6
 		f.Blocks = append(f.Blocks, bb.Finish())
 	}
 	return f, mem
+}
+
+// MultiBlockSource renders a deterministic pseudo-random mini-C program
+// whose lowering has roughly nBlocks basic blocks: straight-line
+// ADD/SUB/MUL arithmetic interleaved with if/else segments, each of
+// which lowers to a condition block, two arm blocks, and a join. It is
+// the source-level twin of MultiBlock for tools that must go through
+// the front end — the avivd serve benchmark ships it as the /compile
+// request payload. Ops are drawn from the example-architecture
+// repertoire, so the program compiles on ExampleArchFull.
+func MultiBlockSource(seed int64, nBlocks, opsPerBlock int) string {
+	if nBlocks < 1 {
+		nBlocks = 1
+	}
+	if opsPerBlock < 1 {
+		opsPerBlock = 1
+	}
+	state := uint64(seed)*2654435761 + 12345
+	next := func(n int) int {
+		state = state*6364136223846793005 + 1442695040888963407
+		return int((state >> 33) % uint64(n))
+	}
+	vars := []string{"a", "b", "c", "d"}
+	ops := []string{"+", "-", "*"}
+	cmps := []string{">", "<", ">=", "<=", "==", "!="}
+	var sb strings.Builder
+	tmp := 0
+	emit := func(indent string, n int) {
+		for k := 0; k < n; k++ {
+			v := fmt.Sprintf("t%d", tmp)
+			tmp++
+			fmt.Fprintf(&sb, "%s%s = %s %s %s;\n", indent,
+				v, vars[next(len(vars))], ops[next(len(ops))], vars[next(len(vars))])
+			vars = append(vars, v)
+		}
+	}
+	// Each if/else segment lowers to ~3 extra blocks beyond the
+	// straight-line code around it.
+	segments := nBlocks / 3
+	if segments < 1 {
+		segments = 1
+	}
+	for i := 0; i < segments; i++ {
+		emit("", opsPerBlock)
+		fmt.Fprintf(&sb, "if (%s %s %d) {\n",
+			vars[next(len(vars))], cmps[next(len(cmps))], next(50))
+		emit("  ", opsPerBlock/2+1)
+		sb.WriteString("} else {\n")
+		emit("  ", opsPerBlock/2+1)
+		sb.WriteString("}\n")
+	}
+	fmt.Fprintf(&sb, "out = %s + %s;\n", vars[len(vars)-1], vars[next(len(vars))])
+	return sb.String()
 }

@@ -1,0 +1,34 @@
+package bench
+
+import (
+	"testing"
+
+	"aviv/internal/lang"
+)
+
+// TestMultiBlockSourceShape checks the source-level workload generator:
+// the program must parse, lower to roughly the requested block count,
+// and be deterministic per seed (the serve benchmark relies on repeat
+// requests being byte-identical so they hit the compile cache).
+func TestMultiBlockSourceShape(t *testing.T) {
+	for _, seed := range []int64{1, 2, 7} {
+		src := MultiBlockSource(seed, 24, 12)
+		if src != MultiBlockSource(seed, 24, 12) {
+			t.Fatalf("seed %d: generator is not deterministic", seed)
+		}
+		prog, err := lang.Parse(src)
+		if err != nil {
+			t.Fatalf("seed %d: parse: %v\n%s", seed, err, src)
+		}
+		f, err := lang.Lower(prog, "main")
+		if err != nil {
+			t.Fatalf("seed %d: lower: %v", seed, err)
+		}
+		if n := len(f.Blocks); n < 16 || n > 40 {
+			t.Fatalf("seed %d: lowered to %d blocks, want roughly 24", seed, n)
+		}
+	}
+	if MultiBlockSource(3, 24, 12) == MultiBlockSource(4, 24, 12) {
+		t.Fatal("different seeds produced identical programs")
+	}
+}

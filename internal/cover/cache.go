@@ -1,6 +1,7 @@
 package cover
 
 import (
+	"container/list"
 	"crypto/sha256"
 	"sort"
 	"sync"
@@ -8,6 +9,20 @@ import (
 	"aviv/internal/ir"
 	"aviv/internal/isdl"
 )
+
+// EntryStore is a persistent second cache tier below Cache: a
+// byte-oriented content-addressed store (implemented by
+// internal/diskcache) keyed by the same fingerprints. CoverBlock
+// serializes coverings into it and treats every failure — absent key,
+// truncated or corrupted entry, version skew — as a miss, so a store
+// can never change compiled output, only skip recomputation.
+type EntryStore interface {
+	// Get returns the stored entry for key, or ok=false on any miss.
+	Get(key [sha256.Size]byte) ([]byte, bool)
+	// Put persists an entry. Best-effort: errors are swallowed by the
+	// implementation (a failed write is just a future miss).
+	Put(key [sha256.Size]byte, data []byte)
+}
 
 // Cache is a block-level compile cache for the covering engine, safe
 // for concurrent use by the compile worker pool. Keys are pure content
@@ -21,13 +36,25 @@ import (
 // The cache stores cover.Result (the pre-peephole covering), not
 // emitted code: block layout mutates emitted branches per program, so
 // caching any later artifact would not be reuse-safe.
+//
+// Capacity is bounded (NewBoundedCache): entries are evicted least
+// recently used first, so a long-running server's memory stays
+// proportional to its working set, not its history.
 type Cache struct {
-	mu      sync.Mutex
-	entries map[cacheKey]*Result
-	machFPs map[*isdl.Machine][sha256.Size]byte
-	hits    int64
-	misses  int64
-	bytes   int64
+	mu         sync.Mutex
+	entries    map[cacheKey]*list.Element
+	order      *list.List // front = most recently used
+	maxEntries int        // <=0: unbounded
+	machFPs    map[*isdl.Machine][sha256.Size]byte
+	hits       int64
+	misses     int64
+	bytes      int64
+	evictions  int64
+}
+
+type cacheEntry struct {
+	key cacheKey
+	res *Result
 }
 
 type cacheKey struct {
@@ -36,11 +63,25 @@ type cacheKey struct {
 	options [sha256.Size]byte
 }
 
+// storeKey collapses the three content fingerprints into the single
+// address used by the persistent tier.
+func (k cacheKey) storeKey() [sha256.Size]byte {
+	h := sha256.New()
+	h.Write(k.block[:])
+	h.Write(k.machine[:])
+	h.Write(k.options[:])
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return sum
+}
+
 // CacheStats is a point-in-time snapshot of cache effectiveness.
 type CacheStats struct {
 	Entries int
 	Hits    int64
 	Misses  int64
+	// Evictions counts entries dropped to respect the entry cap.
+	Evictions int64
 	// Bytes estimates the memory retained by cached solutions.
 	Bytes int64
 }
@@ -53,12 +94,21 @@ func (s CacheStats) HitRate() float64 {
 	return float64(s.Hits) / float64(s.Hits+s.Misses)
 }
 
-// NewCache returns an empty compile cache. Share one across Compile
-// calls to reuse coverings of unchanged blocks.
+// NewCache returns an empty, unbounded compile cache. Share one across
+// Compile calls to reuse coverings of unchanged blocks.
 func NewCache() *Cache {
+	return NewBoundedCache(0)
+}
+
+// NewBoundedCache returns a compile cache holding at most maxEntries
+// coverings, evicting least recently used first. maxEntries <= 0 means
+// unbounded.
+func NewBoundedCache(maxEntries int) *Cache {
 	return &Cache{
-		entries: make(map[cacheKey]*Result),
-		machFPs: make(map[*isdl.Machine][sha256.Size]byte),
+		entries:    make(map[cacheKey]*list.Element),
+		order:      list.New(),
+		maxEntries: maxEntries,
+		machFPs:    make(map[*isdl.Machine][sha256.Size]byte),
 	}
 }
 
@@ -66,7 +116,13 @@ func NewCache() *Cache {
 func (c *Cache) Stats() CacheStats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return CacheStats{Entries: len(c.entries), Hits: c.hits, Misses: c.misses, Bytes: c.bytes}
+	return CacheStats{
+		Entries:   len(c.entries),
+		Hits:      c.hits,
+		Misses:    c.misses,
+		Evictions: c.evictions,
+		Bytes:     c.bytes,
+	}
 }
 
 // key builds the content key for one covering request. The machine
@@ -85,26 +141,45 @@ func (c *Cache) key(block *ir.Block, m *isdl.Machine, opts Options) cacheKey {
 	return cacheKey{block: block.Fingerprint(), machine: mfp, options: optionsFingerprint(opts)}
 }
 
+// computeKey is Cache.key without the memoization, for callers that run
+// with a persistent store but no in-memory tier.
+func computeKey(block *ir.Block, m *isdl.Machine, opts Options) cacheKey {
+	return cacheKey{block: block.Fingerprint(), machine: m.Fingerprint(), options: optionsFingerprint(opts)}
+}
+
 func (c *Cache) get(key cacheKey) (*Result, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	res, ok := c.entries[key]
-	if ok {
-		c.hits++
-	} else {
+	el, ok := c.entries[key]
+	if !ok {
 		c.misses++
+		return nil, false
 	}
-	return res, ok
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
 }
 
 func (c *Cache) put(key cacheKey, res *Result) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if _, ok := c.entries[key]; ok {
+	if el, ok := c.entries[key]; ok {
+		c.order.MoveToFront(el)
 		return
 	}
-	c.entries[key] = res
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
 	c.bytes += approxResultBytes(res)
+	for c.maxEntries > 0 && len(c.entries) > c.maxEntries {
+		oldest := c.order.Back()
+		if oldest == nil {
+			break
+		}
+		ent := oldest.Value.(*cacheEntry)
+		c.order.Remove(oldest)
+		delete(c.entries, ent.key)
+		c.bytes -= approxResultBytes(ent.res)
+		c.evictions++
+	}
 }
 
 // approxResultBytes estimates the retained size of a cached covering:
@@ -130,7 +205,8 @@ func approxResultBytes(res *Result) int64 {
 
 // optionsFingerprint hashes every Options field that influences the
 // covering result. Trace is excluded (the cache is bypassed when
-// tracing) and Cache itself is excluded (it has no effect on output).
+// tracing) and Cache/Store are excluded (they have no effect on
+// output).
 func optionsFingerprint(o Options) [sha256.Size]byte {
 	w := &fpWriter{h: sha256.New()}
 	w.int(o.BeamWidth)

@@ -1,0 +1,301 @@
+package cover
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	"aviv/internal/ir"
+	"aviv/internal/isdl"
+)
+
+// memStore is a map-backed EntryStore for tests.
+type memStore struct {
+	mu sync.Mutex
+	m  map[[sha256.Size]byte][]byte
+}
+
+func newMemStore() *memStore { return &memStore{m: make(map[[sha256.Size]byte][]byte)} }
+
+func (s *memStore) Get(key [sha256.Size]byte) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	data, ok := s.m[key]
+	return data, ok
+}
+
+func (s *memStore) Put(key [sha256.Size]byte, data []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.m[key] = data
+}
+
+// solutionSignature renders every field of a solution the downstream
+// passes (peephole, regalloc, asm, verify) can observe, in schedule
+// order, so two signatures match iff the solutions compile to identical
+// output.
+func solutionSignature(sol *Solution) string {
+	idx := make(map[*SNode]int)
+	for _, instr := range sol.Instrs {
+		for _, n := range instr {
+			idx[n] = len(idx)
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "block=%s machine=%s spills=%d\n", sol.Block.Name, sol.Machine.Name, sol.SpillCount)
+	edge := func(name string, list []*SNode) {
+		fmt.Fprintf(&sb, " %s=[", name)
+		for _, m := range list {
+			if j, ok := idx[m]; ok {
+				fmt.Fprintf(&sb, "%d ", j)
+			}
+		}
+		sb.WriteString("]")
+	}
+	for i, instr := range sol.Instrs {
+		fmt.Fprintf(&sb, "I%d:\n", i)
+		for _, n := range instr {
+			fmt.Fprintf(&sb, " id=%d kind=%s unit=%s bank=%s op=%s var=%s step=%s->%s/%s",
+				n.ID, n.Kind, n.Unit, n.Bank, n.Op, n.Var, n.Step.From, n.Step.To, n.Step.Bus)
+			if n.Value != nil {
+				fmt.Fprintf(&sb, " val=n%d", n.Value.ID)
+			}
+			if n.Alt != nil {
+				fmt.Fprintf(&sb, " alt=%s/cov%d/opnd%d", n.Alt, len(n.Alt.Covers), len(n.Alt.Operands))
+			}
+			edge("p", n.Preds)
+			edge("s", n.Succs)
+			edge("op", n.OrdPreds)
+			edge("os", n.OrdSuccs)
+			sb.WriteString("\n")
+		}
+	}
+	ext := make([]string, 0, len(sol.ExternalUses))
+	for n, cnt := range sol.ExternalUses {
+		ext = append(ext, fmt.Sprintf("%d=%d", idx[n], cnt))
+	}
+	sort.Strings(ext)
+	fmt.Fprintf(&sb, "ext=%v\n", ext)
+	return sb.String()
+}
+
+// codecCases pairs block builders (fresh IR per call, so pointer
+// identity never leaks between encode and decode sides) with machines.
+func codecCases() []struct {
+	name  string
+	block func() *ir.Block
+	mach  *isdl.Machine
+} {
+	spillBlock := func() *ir.Block {
+		bb := ir.NewBuilder("press")
+		a := bb.Load("a")
+		b := bb.Load("b")
+		c := bb.Load("c")
+		d := bb.Load("d")
+		s3 := bb.Mul(bb.Add(a, b), bb.Sub(c, d))
+		bb.Store("o", bb.Add(s3, a))
+		bb.Return()
+		return bb.Finish()
+	}
+	branchBlock := func() *ir.Block {
+		bb := ir.NewBuilder("cond")
+		x := bb.Load("x")
+		cmp := bb.Sub(x, bb.Load("y"))
+		bb.Store("d", cmp)
+		bb.Branch(cmp, "t", "f")
+		return bb.Finish()
+	}
+	macBlock := func() *ir.Block {
+		bb := ir.NewBuilder("mac")
+		acc := bb.Load("acc")
+		acc1 := bb.Add(acc, bb.Mul(bb.Load("x0"), bb.Load("c0")))
+		bb.Store("acc", acc1)
+		bb.Store("acc", bb.Add(acc1, bb.Mul(bb.Load("x1"), bb.Load("c1"))))
+		bb.Return()
+		return bb.Finish()
+	}
+	return []struct {
+		name  string
+		block func() *ir.Block
+		mach  *isdl.Machine
+	}{
+		{"fig2", fig2Block, isdl.ExampleArch(4)},
+		{"spills", spillBlock, isdl.ExampleArch(2)},
+		{"branch", branchBlock, isdl.ExampleArch(4)},
+		{"mac-complex-alt", macBlock, isdl.WideDSP(4)},
+		{"clustered", branchBlock, isdl.ClusteredVLIW(4)},
+	}
+}
+
+// TestCodecRoundTrip proves a covering survives encode -> decode against
+// a freshly built DAG for a structurally identical (but pointer-distinct)
+// block, field for field.
+func TestCodecRoundTrip(t *testing.T) {
+	for _, tc := range codecCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			res := mustCover(t, tc.block(), tc.mach, DefaultOptions())
+			if data, ok := encodeResult(res); !ok || len(data) == 0 {
+				t.Fatal("encodeResult declined a fresh covering")
+			}
+			store := newMemStore()
+			opts := DefaultOptions()
+			opts.Store = store
+			// First compile populates the store.
+			first := mustCover(t, tc.block(), tc.mach, opts)
+			if first.DiskHit {
+				t.Fatal("first compile reported a disk hit on an empty store")
+			}
+			if len(store.m) != 1 {
+				t.Fatalf("store holds %d entries after first compile, want 1", len(store.m))
+			}
+			// Second compile of a fresh identical block must be served
+			// from the store with an identical solution.
+			second := mustCover(t, tc.block(), tc.mach, opts)
+			if !second.DiskHit || !second.CacheHit {
+				t.Fatalf("second compile: DiskHit=%v CacheHit=%v, want true/true", second.DiskHit, second.CacheHit)
+			}
+			if got, want := solutionSignature(second.Best), solutionSignature(res.Best); got != want {
+				t.Errorf("decoded solution differs from fresh covering\n--- decoded ---\n%s--- fresh ---\n%s", got, want)
+			}
+			if second.AssignmentsExplored != res.AssignmentsExplored ||
+				second.PrunedAssignments != res.PrunedAssignments ||
+				second.MemoHits != res.MemoHits {
+				t.Errorf("counters not preserved: got (%d,%d,%d), want (%d,%d,%d)",
+					second.AssignmentsExplored, second.PrunedAssignments, second.MemoHits,
+					res.AssignmentsExplored, res.PrunedAssignments, res.MemoHits)
+			}
+		})
+	}
+}
+
+// TestCodecCorruptionDegradesToMiss feeds the decoder truncations and
+// bit flips of a valid entry. Every outcome must be either a clean
+// decode error or a solution that still passes Verify — never a panic,
+// never an invalid schedule.
+func TestCodecCorruptionDegradesToMiss(t *testing.T) {
+	res := mustCover(t, fig2Block(), isdl.ExampleArch(4), DefaultOptions())
+	data, ok := encodeResult(res)
+	if !ok {
+		t.Fatal("encodeResult declined")
+	}
+	freshDAG := func() *Result {
+		r := mustCover(t, fig2Block(), isdl.ExampleArch(4), DefaultOptions())
+		return r
+	}
+	dag := freshDAG().DAG
+
+	for cut := 0; cut < len(data); cut++ {
+		if _, err := decodeResult(data[:cut], dag); err == nil {
+			t.Fatalf("decode of %d-byte truncation succeeded", cut)
+		}
+	}
+	for i := range data {
+		for _, flip := range []byte{0x01, 0x80, 0xff} {
+			mut := append([]byte(nil), data...)
+			mut[i] ^= flip
+			got, err := decodeResult(mut, dag)
+			if err != nil {
+				continue
+			}
+			if got.Best == nil {
+				t.Fatalf("flip at byte %d: nil solution without error", i)
+			}
+			if verr := got.Best.Verify(); verr != nil {
+				t.Fatalf("flip at byte %d decoded an invalid solution: %v", i, verr)
+			}
+		}
+	}
+
+	// Version skew must be rejected outright.
+	mut := append([]byte(nil), data...)
+	mut[0] = codecVersion + 1
+	if _, err := decodeResult(mut, dag); err == nil {
+		t.Fatal("decode accepted a future codec version")
+	}
+
+	// A store full of garbage must fall back to a fresh, correct compile.
+	store := newMemStore()
+	opts := DefaultOptions()
+	opts.Store = store
+	key := computeKey(fig2Block(), isdl.ExampleArch(4), opts).storeKey()
+	store.Put(key, []byte("not a covering"))
+	got := mustCover(t, fig2Block(), isdl.ExampleArch(4), opts)
+	if got.DiskHit {
+		t.Fatal("garbage entry reported as disk hit")
+	}
+	if sig, want := solutionSignature(got.Best), solutionSignature(res.Best); sig != want {
+		t.Error("fallback compile after garbage entry differs from fresh covering")
+	}
+}
+
+// TestEncodeDecline checks the encoder refuses unrepresentable results
+// instead of guessing.
+func TestEncodeDecline(t *testing.T) {
+	if _, ok := encodeResult(nil); ok {
+		t.Error("encoded nil result")
+	}
+	if _, ok := encodeResult(&Result{}); ok {
+		t.Error("encoded result without solution")
+	}
+	res := mustCover(t, fig2Block(), isdl.ExampleArch(4), DefaultOptions())
+	noDAG := *res
+	noDAG.DAG = nil
+	if _, ok := encodeResult(&noDAG); ok {
+		t.Error("encoded result without DAG")
+	}
+}
+
+// TestBoundedCacheEviction exercises the LRU entry cap.
+func TestBoundedCacheEviction(t *testing.T) {
+	mkBlock := func(v string) *ir.Block {
+		bb := ir.NewBuilder("b" + v)
+		bb.Store("o"+v, bb.Add(bb.Load("a"+v), bb.Load("b"+v)))
+		bb.Return()
+		return bb.Finish()
+	}
+	m := isdl.ExampleArch(4)
+	cache := NewBoundedCache(2)
+	opts := DefaultOptions()
+	opts.Cache = cache
+
+	mustCover(t, mkBlock("1"), m, opts)
+	mustCover(t, mkBlock("2"), m, opts)
+	// Refresh block 1 so block 2 is the LRU victim.
+	if r := mustCover(t, mkBlock("1"), m, opts); !r.CacheHit {
+		t.Fatal("expected cache hit for block 1")
+	}
+	mustCover(t, mkBlock("3"), m, opts)
+
+	st := cache.Stats()
+	if st.Entries != 2 {
+		t.Errorf("entries = %d, want 2", st.Entries)
+	}
+	if st.Evictions != 1 {
+		t.Errorf("evictions = %d, want 1", st.Evictions)
+	}
+	if r := mustCover(t, mkBlock("1"), m, opts); !r.CacheHit {
+		t.Error("block 1 should have survived eviction (recently used)")
+	}
+	if r := mustCover(t, mkBlock("2"), m, opts); r.CacheHit {
+		t.Error("block 2 should have been evicted")
+	}
+	if st := cache.Stats(); st.Entries != 2 {
+		t.Errorf("entries after re-insert = %d, want 2", st.Entries)
+	}
+	if st := cache.Stats(); st.Bytes <= 0 {
+		t.Errorf("bytes accounting went nonpositive: %d", st.Bytes)
+	}
+
+	// Unbounded cache never evicts.
+	unb := NewCache()
+	opts.Cache = unb
+	for i := 0; i < 8; i++ {
+		mustCover(t, mkBlock(fmt.Sprint(i)), m, opts)
+	}
+	if st := unb.Stats(); st.Evictions != 0 || st.Entries != 8 {
+		t.Errorf("unbounded cache: entries=%d evictions=%d, want 8/0", st.Entries, st.Evictions)
+	}
+}

@@ -79,9 +79,13 @@ type Result struct {
 	// assignments whose solution graph (and parallelism matrix) was
 	// identical to one already covered.
 	MemoHits int
-	// CacheHit reports that this result came from Options.Cache rather
-	// than a fresh covering.
+	// CacheHit reports that this result came from Options.Cache or
+	// Options.Store rather than a fresh covering.
 	CacheHit bool
+	// DiskHit reports that this result was deserialized from
+	// Options.Store (the persistent tier). Implies CacheHit on the
+	// returned copy.
+	DiskHit bool
 	// DAG is the Split-Node DAG the covering worked from.
 	DAG *sndag.DAG
 	// PrunedStores counts stores removed before covering because
@@ -94,13 +98,17 @@ type Result struct {
 // assignments, and cover each selected assignment with a minimal-cost
 // set of maximal groupings; the cheapest covering wins.
 func CoverBlock(block *ir.Block, m *isdl.Machine, opts Options) (*Result, error) {
-	cache := opts.Cache
+	cache, store := opts.Cache, opts.Store
 	if opts.Trace != nil {
-		cache = nil
+		cache, store = nil, nil
 	}
 	var key cacheKey
 	if cache != nil {
 		key = cache.key(block, m, opts)
+	} else if store != nil {
+		key = computeKey(block, m, opts)
+	}
+	if cache != nil {
 		if hit, ok := cache.get(key); ok {
 			// Shallow copy: CacheHit is per-call state, everything else is
 			// shared and immutable downstream.
@@ -117,12 +125,37 @@ func CoverBlock(block *ir.Block, m *isdl.Machine, opts Options) (*Result, error)
 	if err != nil {
 		return nil, err
 	}
+	if store != nil {
+		// Persistent tier. The covered block and DAG above are
+		// deterministic functions of the key's components, so decoding
+		// against them resolves the serialized schedule's pointers; any
+		// decode failure (corruption, version skew, verify) is a miss.
+		if data, ok := store.Get(key.storeKey()); ok {
+			if res, derr := decodeResult(data, d); derr == nil {
+				res.PrunedStores = pruned
+				if cache != nil {
+					cache.put(key, res)
+				}
+				cp := *res
+				cp.CacheHit = true
+				cp.DiskHit = true
+				return &cp, nil
+			}
+		}
+	}
 	res, err := CoverDAG(d, opts)
 	if res != nil {
 		res.PrunedStores = pruned
 	}
-	if err == nil && cache != nil {
-		cache.put(key, res)
+	if err == nil {
+		if cache != nil {
+			cache.put(key, res)
+		}
+		if store != nil {
+			if data, ok := encodeResult(res); ok {
+				store.Put(key.storeKey(), data)
+			}
+		}
 	}
 	return res, err
 }

@@ -1,0 +1,343 @@
+// Package diskcache is the persistent tier of the two-tier compile
+// cache: a crash-safe, content-addressed store of serialized coverings
+// keyed by the covering engine's (block, machine, options) content
+// fingerprints.
+//
+// Layout: entries live under dir/<v1>/<aa>/<hex key>, where <aa> is the
+// first byte of the key in hex — 256 shards keep directory listings
+// short under millions of entries. Each entry is one file framed as
+//
+//	magic "AVDC" | format u32 | payload length u64 | sha256(payload) | payload
+//
+// (fixed-width big-endian header). Writes go to a same-directory
+// temporary file first and are renamed into place, so a reader never
+// observes a partially written entry under POSIX rename atomicity; a
+// crash mid-write leaves only a stale *.tmp file that Open sweeps.
+// Reads re-verify the checksum, so torn writes, truncation, version
+// skew, and bit rot all degrade to cache misses — the store can only
+// ever skip work, never change output.
+//
+// The cache is size-bounded: when the payload bytes on disk exceed
+// MaxBytes after a write, the oldest entries by modification time are
+// evicted until the total is under the limit again (LRU-ish: Get
+// re-touches entries it serves, so hot entries survive). Eviction is
+// best-effort and tolerates concurrent processes removing the same
+// files.
+package diskcache
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+const (
+	magic = "AVDC"
+	// formatVersion frames the container; the payload carries its own
+	// codec version on top.
+	formatVersion = 1
+	headerSize    = 4 + 4 + 8 + sha256.Size
+	// versionDir isolates incompatible on-disk layouts from each other.
+	versionDir = "v1"
+)
+
+// Stats is a snapshot of cache-effectiveness and integrity counters.
+type Stats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Writes    int64 `json:"writes"`
+	Evictions int64 `json:"evictions"`
+	// Corrupt counts entries rejected by framing or checksum checks
+	// (each also counted as a miss).
+	Corrupt int64 `json:"corrupt"`
+	// WriteErrors counts best-effort writes that failed (disk full,
+	// permissions); each is swallowed and the entry simply not cached.
+	WriteErrors int64 `json:"write_errors"`
+	// Bytes is the payload volume currently accounted on disk.
+	Bytes int64 `json:"bytes"`
+}
+
+// Cache is a content-addressed on-disk entry store implementing
+// cover.EntryStore. Safe for concurrent use by multiple goroutines and
+// — because every write is atomic and every read checksummed — by
+// multiple processes sharing the directory.
+type Cache struct {
+	dir      string
+	maxBytes int64
+
+	mu        sync.Mutex
+	bytes     int64
+	hits      int64
+	misses    int64
+	writes    int64
+	evictions int64
+	corrupt   int64
+	writeErrs int64
+}
+
+// Open creates (if needed) and opens the cache rooted at dir. maxBytes
+// bounds the total payload volume; <= 0 means unbounded. Stale
+// temporary files from crashed writers are swept, and the current disk
+// usage is measured so the size bound holds across process restarts.
+func Open(dir string, maxBytes int64) (*Cache, error) {
+	root := filepath.Join(dir, versionDir)
+	if err := os.MkdirAll(root, 0o755); err != nil {
+		return nil, fmt.Errorf("diskcache: %w", err)
+	}
+	c := &Cache{dir: root, maxBytes: maxBytes}
+	var bytes int64
+	err := filepath.WalkDir(root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return nil // a vanished file is another process evicting
+		}
+		if strings.HasSuffix(path, ".tmp") {
+			// Leftover from a crashed writer; old enough to be certainly
+			// abandoned (a live writer renames within milliseconds).
+			if info, err := d.Info(); err == nil && time.Since(info.ModTime()) > time.Minute {
+				os.Remove(path)
+			}
+			return nil
+		}
+		if info, err := d.Info(); err == nil {
+			if sz := info.Size() - headerSize; sz > 0 {
+				bytes += sz
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("diskcache: scanning %s: %w", root, err)
+	}
+	c.bytes = bytes
+	return c, nil
+}
+
+// Dir returns the versioned root directory of the cache.
+func (c *Cache) Dir() string { return c.dir }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Stats{
+		Hits:        c.hits,
+		Misses:      c.misses,
+		Writes:      c.writes,
+		Evictions:   c.evictions,
+		Corrupt:     c.corrupt,
+		WriteErrors: c.writeErrs,
+		Bytes:       c.bytes,
+	}
+}
+
+func (c *Cache) path(key [sha256.Size]byte) string {
+	name := hex.EncodeToString(key[:])
+	return filepath.Join(c.dir, name[:2], name)
+}
+
+// Get returns the payload stored under key. Every failure — absent
+// entry, bad framing, checksum mismatch — is reported as a plain miss;
+// corrupted entries are additionally removed so they are re-written
+// cleanly on the next Put.
+func (c *Cache) Get(key [sha256.Size]byte) ([]byte, bool) {
+	path := c.path(key)
+	payload, err := readEntry(path)
+	if err != nil {
+		c.mu.Lock()
+		c.misses++
+		if !errors.Is(err, fs.ErrNotExist) {
+			c.corrupt++
+		}
+		c.mu.Unlock()
+		if !errors.Is(err, fs.ErrNotExist) {
+			c.dropEntry(path)
+		}
+		return nil, false
+	}
+	c.mu.Lock()
+	c.hits++
+	c.mu.Unlock()
+	// Touch for LRU-ish eviction ordering; best-effort.
+	now := time.Now()
+	os.Chtimes(path, now, now)
+	return payload, true
+}
+
+func readEntry(path string) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return nil, fmt.Errorf("short header: %w", err)
+	}
+	if string(hdr[:4]) != magic {
+		return nil, errors.New("bad magic")
+	}
+	if v := binary.BigEndian.Uint32(hdr[4:8]); v != formatVersion {
+		return nil, fmt.Errorf("format version %d, want %d", v, formatVersion)
+	}
+	n := binary.BigEndian.Uint64(hdr[8:16])
+	const maxEntry = 1 << 30 // defensive: no covering is a gigabyte
+	if n > maxEntry {
+		return nil, fmt.Errorf("implausible payload length %d", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(f, payload); err != nil {
+		return nil, fmt.Errorf("short payload: %w", err)
+	}
+	// Trailing garbage means the file is not what we wrote.
+	if extra, _ := f.Read(make([]byte, 1)); extra != 0 {
+		return nil, errors.New("trailing bytes after payload")
+	}
+	sum := sha256.Sum256(payload)
+	if string(sum[:]) != string(hdr[16:16+sha256.Size]) {
+		return nil, errors.New("checksum mismatch")
+	}
+	return payload, nil
+}
+
+// Put stores payload under key. Best-effort by contract: any failure is
+// counted and swallowed (a failed write is just a future miss). The
+// write is atomic — temp file in the target directory, fsync, rename —
+// so concurrent readers and writers, including other processes, never
+// observe partial entries; last writer wins, and all writers store
+// identical content for a given key anyway.
+func (c *Cache) Put(key [sha256.Size]byte, payload []byte) {
+	path := c.path(key)
+	if err := c.writeEntry(path, payload); err != nil {
+		c.mu.Lock()
+		c.writeErrs++
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Lock()
+	c.writes++
+	c.bytes += int64(len(payload))
+	needEvict := c.maxBytes > 0 && c.bytes > c.maxBytes
+	c.mu.Unlock()
+	if needEvict {
+		c.evict()
+	}
+}
+
+func (c *Cache) writeEntry(path string, payload []byte) error {
+	dir := filepath.Dir(path)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".*.tmp")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if tmp != nil {
+			tmp.Close()
+			os.Remove(tmp.Name())
+		}
+	}()
+	var hdr [headerSize]byte
+	copy(hdr[:4], magic)
+	binary.BigEndian.PutUint32(hdr[4:8], formatVersion)
+	binary.BigEndian.PutUint64(hdr[8:16], uint64(len(payload)))
+	sum := sha256.Sum256(payload)
+	copy(hdr[16:], sum[:])
+	if _, err := tmp.Write(hdr[:]); err != nil {
+		return err
+	}
+	if _, err := tmp.Write(payload); err != nil {
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if err := tmp.Close(); err != nil {
+		tmp = nil
+		os.Remove(name)
+		return err
+	}
+	tmp = nil
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
+}
+
+// dropEntry removes a corrupted entry and un-accounts its payload bytes.
+func (c *Cache) dropEntry(path string) {
+	info, err := os.Stat(path)
+	var sz int64
+	if err == nil {
+		sz = info.Size() - headerSize
+	}
+	if os.Remove(path) == nil && sz > 0 {
+		c.mu.Lock()
+		c.bytes -= sz
+		c.mu.Unlock()
+	}
+}
+
+// evict removes oldest-modified entries until total payload bytes fit
+// the bound again. Races with other evicting processes are benign: a
+// file already removed simply does not decrement our accounting twice,
+// and under-counting only makes eviction run once more.
+func (c *Cache) evict() {
+	type entry struct {
+		path string
+		mod  time.Time
+		size int64
+	}
+	var entries []entry
+	filepath.WalkDir(c.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || strings.HasSuffix(path, ".tmp") {
+			return nil
+		}
+		if info, err := d.Info(); err == nil {
+			entries = append(entries, entry{path, info.ModTime(), info.Size() - headerSize})
+		}
+		return nil
+	})
+	sort.Slice(entries, func(i, j int) bool {
+		if !entries[i].mod.Equal(entries[j].mod) {
+			return entries[i].mod.Before(entries[j].mod)
+		}
+		return entries[i].path < entries[j].path
+	})
+	// Re-measure while evicting: accounting drift (multi-process use)
+	// must not cause runaway deletion.
+	total := int64(0)
+	for _, e := range entries {
+		if e.size > 0 {
+			total += e.size
+		}
+	}
+	c.mu.Lock()
+	c.bytes = total
+	c.mu.Unlock()
+	for _, e := range entries {
+		if total <= c.maxBytes {
+			break
+		}
+		if os.Remove(e.path) == nil {
+			total -= e.size
+			c.mu.Lock()
+			c.bytes -= e.size
+			c.evictions++
+			c.mu.Unlock()
+		}
+	}
+}

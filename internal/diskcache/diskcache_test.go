@@ -1,0 +1,288 @@
+package diskcache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"aviv/internal/cover"
+)
+
+// The store must satisfy the covering engine's persistent-tier contract.
+var _ cover.EntryStore = (*Cache)(nil)
+
+func keyOf(s string) [sha256.Size]byte { return sha256.Sum256([]byte(s)) }
+
+func openTemp(t *testing.T, maxBytes int64) *Cache {
+	t.Helper()
+	c, err := Open(t.TempDir(), maxBytes)
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	return c
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	c := openTemp(t, 0)
+	key := keyOf("k1")
+	payload := []byte("the covering payload")
+	if _, ok := c.Get(key); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Put(key, payload)
+	got, ok := c.Get(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Get = %q, %v; want payload, true", got, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Writes != 1 || st.Corrupt != 0 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss / 1 write", st)
+	}
+	if st.Bytes != int64(len(payload)) {
+		t.Errorf("bytes = %d, want %d", st.Bytes, len(payload))
+	}
+}
+
+func TestEmptyPayload(t *testing.T) {
+	c := openTemp(t, 0)
+	key := keyOf("empty")
+	c.Put(key, nil)
+	got, ok := c.Get(key)
+	if !ok || len(got) != 0 {
+		t.Fatalf("empty payload round trip: %q, %v", got, ok)
+	}
+}
+
+// corruptVariants mutates a valid on-disk entry in every way the
+// acceptance criteria call out. All must degrade to misses.
+func TestCorruptedEntriesAreMisses(t *testing.T) {
+	key := keyOf("victim")
+	payload := []byte("payload bytes to protect")
+
+	variants := []struct {
+		name   string
+		mutate func(data []byte) []byte
+	}{
+		{"truncated-header", func(d []byte) []byte { return d[:headerSize/2] }},
+		{"truncated-payload", func(d []byte) []byte { return d[:headerSize+3] }},
+		{"empty-file", func(d []byte) []byte { return nil }},
+		{"bad-magic", func(d []byte) []byte { d[0] = 'X'; return d }},
+		{"wrong-version", func(d []byte) []byte { d[7] = formatVersion + 1; return d }},
+		{"flipped-payload-bit", func(d []byte) []byte { d[headerSize] ^= 0x40; return d }},
+		{"flipped-checksum-bit", func(d []byte) []byte { d[20] ^= 0x01; return d }},
+		{"trailing-garbage", func(d []byte) []byte { return append(d, 0xEE) }},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			c := openTemp(t, 0)
+			c.Put(key, payload)
+			path := c.path(key)
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("reading entry back: %v", err)
+			}
+			if err := os.WriteFile(path, v.mutate(data), 0o644); err != nil {
+				t.Fatalf("corrupting entry: %v", err)
+			}
+			if got, ok := c.Get(key); ok {
+				t.Fatalf("corrupted entry served as hit: %q", got)
+			}
+			if st := c.Stats(); st.Corrupt != 1 {
+				t.Errorf("corrupt counter = %d, want 1", st.Corrupt)
+			}
+			// The bad entry is dropped, so a re-Put restores service.
+			c.Put(key, payload)
+			if got, ok := c.Get(key); !ok || !bytes.Equal(got, payload) {
+				t.Fatal("re-Put after corruption did not restore the entry")
+			}
+		})
+	}
+}
+
+func TestConcurrentGoroutineWriters(t *testing.T) {
+	c := openTemp(t, 0)
+	const workers = 8
+	const keys = 16
+	payloadFor := func(k int) []byte {
+		return bytes.Repeat([]byte{byte(k)}, 64+k)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for iter := 0; iter < 20; iter++ {
+				for k := 0; k < keys; k++ {
+					key := keyOf(fmt.Sprintf("key-%d", k))
+					if got, ok := c.Get(key); ok && !bytes.Equal(got, payloadFor(k)) {
+						t.Errorf("key %d served wrong payload under concurrency", k)
+						return
+					}
+					c.Put(key, payloadFor(k))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for k := 0; k < keys; k++ {
+		got, ok := c.Get(keyOf(fmt.Sprintf("key-%d", k)))
+		if !ok || !bytes.Equal(got, payloadFor(k)) {
+			t.Fatalf("key %d missing or wrong after concurrent writes", k)
+		}
+	}
+	if st := c.Stats(); st.Corrupt != 0 {
+		t.Errorf("concurrent same-content writers produced %d corrupt reads", st.Corrupt)
+	}
+}
+
+// TestTwoProcessWriters re-executes the test binary so two OS processes
+// hammer one cache directory. Atomic rename plus checksummed reads must
+// keep every observed entry intact.
+func TestTwoProcessWriters(t *testing.T) {
+	if os.Getenv("DISKCACHE_HELPER_DIR") != "" {
+		t.Skip("helper mode runs via TestDiskCacheHelperProcess")
+	}
+	dir := t.TempDir()
+	const procs = 2
+	var procErr [procs]error
+	var out [procs][]byte
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			cmd := exec.Command(os.Args[0], "-test.run", "^TestDiskCacheHelperProcess$", "-test.v")
+			cmd.Env = append(os.Environ(),
+				"DISKCACHE_HELPER_DIR="+dir,
+				fmt.Sprintf("DISKCACHE_HELPER_SEED=%d", p))
+			out[p], procErr[p] = cmd.CombinedOutput()
+		}(p)
+	}
+	wg.Wait()
+	for p := 0; p < procs; p++ {
+		if procErr[p] != nil {
+			t.Fatalf("helper process %d failed: %v\n%s", p, procErr[p], out[p])
+		}
+	}
+	// Every entry both processes wrote must read back intact here too.
+	c, err := Open(dir, 0)
+	if err != nil {
+		t.Fatalf("reopening shared dir: %v", err)
+	}
+	for k := 0; k < 8; k++ {
+		got, ok := c.Get(keyOf(fmt.Sprintf("shared-%d", k)))
+		if !ok {
+			t.Fatalf("shared key %d missing after two-process run", k)
+		}
+		if want := bytes.Repeat([]byte{byte(k)}, 128); !bytes.Equal(got, want) {
+			t.Fatalf("shared key %d has wrong payload", k)
+		}
+	}
+	if st := c.Stats(); st.Corrupt != 0 {
+		t.Errorf("two-process run left %d corrupt entries", st.Corrupt)
+	}
+}
+
+// TestDiskCacheHelperProcess is the body run inside the subprocesses of
+// TestTwoProcessWriters; it skips unless launched by it.
+func TestDiskCacheHelperProcess(t *testing.T) {
+	dir := os.Getenv("DISKCACHE_HELPER_DIR")
+	if dir == "" {
+		t.Skip("not in helper mode")
+	}
+	c, err := Open(dir, 0)
+	if err != nil {
+		t.Fatalf("helper Open: %v", err)
+	}
+	for iter := 0; iter < 50; iter++ {
+		for k := 0; k < 8; k++ {
+			key := keyOf(fmt.Sprintf("shared-%d", k))
+			want := bytes.Repeat([]byte{byte(k)}, 128)
+			if got, ok := c.Get(key); ok && !bytes.Equal(got, want) {
+				t.Fatalf("helper observed wrong payload for key %d", k)
+			}
+			c.Put(key, want)
+		}
+	}
+	if st := c.Stats(); st.Corrupt != 0 {
+		t.Fatalf("helper observed %d corrupt entries", st.Corrupt)
+	}
+}
+
+func TestEvictionRespectsBound(t *testing.T) {
+	dir := t.TempDir()
+	payload := bytes.Repeat([]byte{0xAB}, 1000)
+	c, err := Open(dir, 3500) // room for three 1000-byte payloads, not five
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Now().Add(-time.Hour)
+	for i := 0; i < 5; i++ {
+		key := keyOf(fmt.Sprintf("evict-%d", i))
+		c.Put(key, payload)
+		// Backdate older entries explicitly: filesystem mtime granularity
+		// is too coarse to order sub-millisecond writes.
+		mod := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(c.path(key), mod, mod); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// One more write triggers eviction of the oldest entries.
+	c.Put(keyOf("evict-last"), payload)
+	st := c.Stats()
+	if st.Evictions == 0 {
+		t.Fatal("no evictions despite exceeding the byte bound")
+	}
+	if st.Bytes > 3500 {
+		t.Errorf("bytes = %d, want <= 3500 after eviction", st.Bytes)
+	}
+	if _, ok := c.Get(keyOf("evict-0")); ok {
+		t.Error("oldest entry survived eviction")
+	}
+	if _, ok := c.Get(keyOf("evict-last")); !ok {
+		t.Error("newest entry was evicted")
+	}
+}
+
+func TestOpenMeasuresExistingAndSweepsTmp(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{1}, 500)
+	c.Put(keyOf("persist"), payload)
+
+	// A fresh, old tmp file simulating a crashed writer.
+	stale := filepath.Join(c.Dir(), "00", "deadbeef.123.tmp")
+	if err := os.MkdirAll(filepath.Dir(stale), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(stale, []byte("partial"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	old := time.Now().Add(-2 * time.Minute)
+	if err := os.Chtimes(stale, old, old); err != nil {
+		t.Fatal(err)
+	}
+
+	c2, err := Open(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := c2.Stats(); st.Bytes != int64(len(payload)) {
+		t.Errorf("reopened cache accounts %d bytes, want %d", st.Bytes, len(payload))
+	}
+	if _, err := os.Stat(stale); !os.IsNotExist(err) {
+		t.Error("stale tmp file survived Open")
+	}
+	if got, ok := c2.Get(keyOf("persist")); !ok || !bytes.Equal(got, payload) {
+		t.Error("entry did not survive reopen")
+	}
+}

@@ -99,6 +99,30 @@ bus DB width 1
 connect all via DB
 `
 
+// ExampleArchFullISDL is ExampleArchFull(4) written in the textual
+// format: the paper's Fig. 3 machine extended with the comparisons and
+// NEG that whole-program compilation needs. The server differential
+// tests and the avivd serve benchmark ship this text over the wire and
+// require its compiles to match the constructor-built machine exactly.
+const ExampleArchFullISDL = `
+machine ExampleVLIWFull
+unit U1 { regs 4 ops ADD SUB COMPL CMPEQ CMPNE CMPLT CMPLE CMPGT CMPGE }
+unit U2 { regs 4 ops ADD SUB MUL NEG }
+unit U3 { regs 4 ops ADD MUL }
+memory DM
+bus DB width 1
+connect all via DB
+`
+
+// SingleIssueDSPISDL is SingleIssueDSP(4) in the textual format.
+const SingleIssueDSPISDL = `
+machine SingleIssueDSP
+unit U1 { regs 4 ops ADD SUB MUL DIV MOD NEG COMPL AND OR XOR SHL SHR CMPEQ CMPNE CMPLT CMPLE CMPGT CMPGE }
+memory DM
+bus DB width 1
+connect all via DB
+`
+
 // ExampleArchFull is ExampleArch extended with the comparison and
 // negation operations real control flow needs (the paper's Fig. 3
 // machine only lists ADD/SUB/MUL because its experiments are basic-block

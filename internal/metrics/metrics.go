@@ -41,8 +41,12 @@ type BlockMetrics struct {
 	// MemoHits counts coverings answered by the intra-search memo
 	// (structurally identical solution graphs within one block).
 	MemoHits int
-	// CacheHit reports the whole covering came from the compile cache.
+	// CacheHit reports the whole covering came from the compile cache
+	// (either tier).
 	CacheHit bool
+	// DiskHit reports the covering was deserialized from the persistent
+	// cache tier (implies CacheHit).
+	DiskHit bool
 	// Violations counts translation-validation diagnostics flagged on the
 	// block (always 0 on a successful compile with verification on).
 	Violations int
@@ -148,6 +152,17 @@ func (m *CompileMetrics) CacheHits() int {
 	return n
 }
 
+// DiskHits counts blocks served from the persistent cache tier.
+func (m *CompileMetrics) DiskHits() int {
+	n := 0
+	for _, b := range m.Blocks {
+		if b.DiskHit {
+			n++
+		}
+	}
+	return n
+}
+
 // TotalSpills sums spills across blocks.
 func (m *CompileMetrics) TotalSpills() int {
 	n := 0
@@ -219,8 +234,8 @@ func (m *CompileMetrics) String() string {
 	}
 	fmt.Fprintf(&sb, "effort:  %d assignments explored, %d spills, %d instrs saved by peephole, %d stores pruned by liveness, %d verifier violations\n",
 		m.TotalAssignments(), m.TotalSpills(), m.TotalPeepholeSaved(), m.TotalPrunedStores(), m.TotalViolations())
-	fmt.Fprintf(&sb, "search:  %d assignments pruned by lower bound, %d memo hits, %d/%d blocks from compile cache\n",
-		m.TotalPrunedAssignments(), m.TotalMemoHits(), m.CacheHits(), len(m.Blocks))
+	fmt.Fprintf(&sb, "search:  %d assignments pruned by lower bound, %d memo hits, %d/%d blocks from compile cache (%d via disk tier)\n",
+		m.TotalPrunedAssignments(), m.TotalMemoHits(), m.CacheHits(), len(m.Blocks), m.DiskHits())
 	for _, b := range m.Blocks {
 		fmt.Fprintf(&sb, "block %-10s w%-2d %4d SN-DAG nodes, %3d instrs, %2d spills, %6d assignments, peephole -%d, %v\n",
 			b.Block, b.Worker, b.DAGNodes, b.Instructions, b.Spills,

@@ -1,0 +1,68 @@
+package metrics
+
+import "sync/atomic"
+
+// ServerCounters tracks a running avivd compile server. All fields are
+// updated atomically by concurrent request handlers; Snapshot returns a
+// consistent-enough point-in-time view for the /stats endpoint (each
+// counter is read atomically; cross-counter skew of in-flight requests
+// is acceptable for monitoring).
+type ServerCounters struct {
+	// Requests counts compile requests accepted for processing
+	// (excludes shed requests).
+	Requests atomic.Int64
+	// Completed counts requests that finished with a compile result.
+	Completed atomic.Int64
+	// Errors counts requests whose compilation failed.
+	Errors atomic.Int64
+	// Deduped counts requests answered by piggybacking on an identical
+	// in-flight compile (single-flight hits).
+	Deduped atomic.Int64
+	// Shed counts requests rejected with 429 because the queue was full.
+	Shed atomic.Int64
+	// Timeouts counts requests that exceeded the per-request deadline.
+	Timeouts atomic.Int64
+	// Inflight is the number of requests currently being processed.
+	Inflight atomic.Int64
+	// Queued is the number of requests waiting for a worker slot.
+	Queued atomic.Int64
+	// MachinesInterned counts distinct machine descriptions parsed and
+	// cached by the interner.
+	MachinesInterned atomic.Int64
+}
+
+// ServerSnapshot is the JSON shape of ServerCounters for /stats.
+type ServerSnapshot struct {
+	Requests         int64 `json:"requests"`
+	Completed        int64 `json:"completed"`
+	Errors           int64 `json:"errors"`
+	Deduped          int64 `json:"deduped"`
+	Shed             int64 `json:"shed"`
+	Timeouts         int64 `json:"timeouts"`
+	Inflight         int64 `json:"inflight"`
+	Queued           int64 `json:"queued"`
+	MachinesInterned int64 `json:"machines_interned"`
+}
+
+// Snapshot reads every counter atomically.
+func (c *ServerCounters) Snapshot() ServerSnapshot {
+	return ServerSnapshot{
+		Requests:         c.Requests.Load(),
+		Completed:        c.Completed.Load(),
+		Errors:           c.Errors.Load(),
+		Deduped:          c.Deduped.Load(),
+		Shed:             c.Shed.Load(),
+		Timeouts:         c.Timeouts.Load(),
+		Inflight:         c.Inflight.Load(),
+		Queued:           c.Queued.Load(),
+		MachinesInterned: c.MachinesInterned.Load(),
+	}
+}
+
+// DedupRate returns deduped / (requests), or 0 before any request.
+func (s ServerSnapshot) DedupRate() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.Deduped) / float64(s.Requests)
+}

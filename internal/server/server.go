@@ -1,0 +1,345 @@
+// Package server implements avivd, the compile-as-a-service layer: an
+// HTTP/JSON front end over aviv.CompileSource with a bounded worker
+// pool, single-flight deduplication of identical in-flight requests,
+// per-request machine-description interning, request timeouts, and
+// load shedding when the queue is full.
+//
+// The served output is byte-identical to a local compile with the same
+// options — the server adds caching and admission control, never
+// different code. That invariant is locked in by the root-package
+// differential test (server_diff_test.go).
+package server
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"aviv"
+	"aviv/internal/cover"
+	"aviv/internal/diskcache"
+	"aviv/internal/isdl"
+	"aviv/internal/metrics"
+)
+
+// CompileRequest is the JSON body of POST /compile.
+type CompileRequest struct {
+	// Source is the mini-C program text.
+	Source string `json:"source"`
+	// Machine is the textual ISDL machine description. It is parsed and
+	// fingerprinted once per distinct text and shared across requests.
+	Machine string `json:"machine"`
+	// Unroll is the loop-unroll factor (0 or 1 disables).
+	Unroll int `json:"unroll,omitempty"`
+	// Preset selects the covering options: "" or "default" for the
+	// heuristics-on configuration, "exhaustive" for heuristics-off.
+	Preset string `json:"preset,omitempty"`
+	// Verify enables the static translation validator on the result.
+	Verify bool `json:"verify,omitempty"`
+}
+
+// CompileResponse is the JSON body answering /compile. Compile-time
+// failures (parse errors, covering failures, verification rejections)
+// are deterministic properties of the request and travel in Error with
+// HTTP 200; non-200 statuses are reserved for server conditions
+// (overload, timeout, malformed request) where retrying or falling back
+// to a local compile makes sense.
+type CompileResponse struct {
+	// Assembly is the full program text, byte-identical to a local
+	// compile of the same request.
+	Assembly string `json:"assembly,omitempty"`
+	// CodeSize is the total program size in instructions.
+	CodeSize int `json:"code_size,omitempty"`
+	// Blocks is the number of compiled basic blocks.
+	Blocks int `json:"blocks,omitempty"`
+	// CacheHits counts blocks served from the in-memory compile cache.
+	CacheHits int `json:"cache_hits,omitempty"`
+	// DiskHits counts blocks served from the persistent cache tier.
+	DiskHits int `json:"disk_hits,omitempty"`
+	// Error is the compile failure, if any.
+	Error string `json:"error,omitempty"`
+	// Deduped reports the response was shared with an identical
+	// in-flight request (set per-response, not part of the shared
+	// compile outcome).
+	Deduped bool `json:"deduped,omitempty"`
+}
+
+// StatsResponse is the JSON body of GET /stats.
+type StatsResponse struct {
+	Server metrics.ServerSnapshot `json:"server"`
+	// MemCache reports the in-memory compile-cache tier, when present.
+	MemCache *cover.CacheStats `json:"mem_cache,omitempty"`
+	// Disk reports the persistent tier, when it is an
+	// internal/diskcache store.
+	Disk *diskcache.Stats `json:"disk,omitempty"`
+}
+
+// Config configures a Server.
+type Config struct {
+	// Options is the base compile configuration. Cache and DiskCache
+	// are shared across all requests (that is the point of the server);
+	// Parallelism is resolved through aviv.ResolveParallelism into the
+	// server's worker-pool size. Each individual compile runs serially
+	// — concurrency comes from serving requests in parallel, and the
+	// emitted program is byte-identical at any parallelism anyway.
+	Options aviv.Options
+	// QueueLimit bounds requests waiting for a worker before new ones
+	// are shed with 429; <= 0 selects 4x the worker count.
+	QueueLimit int
+	// Timeout bounds each request's wait for its compile result;
+	// exceeding it answers 504. <= 0 selects 30s.
+	Timeout time.Duration
+}
+
+// errShed rejects work when the queue is full.
+var errShed = errors.New("server: queue full")
+
+// Server is the avivd compile service. Create with New, expose with
+// Handler.
+type Server struct {
+	cfg      Config
+	workers  int
+	queueCap int
+	timeout  time.Duration
+	sem      chan struct{}
+	flight   flightGroup
+	machines machineInterner
+	counters metrics.ServerCounters
+}
+
+// New builds a Server from cfg, applying defaults.
+func New(cfg Config) *Server {
+	workers := aviv.ResolveParallelism(cfg.Options.Parallelism)
+	queueCap := cfg.QueueLimit
+	if queueCap <= 0 {
+		queueCap = 4 * workers
+	}
+	timeout := cfg.Timeout
+	if timeout <= 0 {
+		timeout = 30 * time.Second
+	}
+	return &Server{
+		cfg:      cfg,
+		workers:  workers,
+		queueCap: queueCap,
+		timeout:  timeout,
+		sem:      make(chan struct{}, workers),
+	}
+}
+
+// Workers returns the resolved worker-pool size.
+func (s *Server) Workers() int { return s.workers }
+
+// Counters exposes the live server counters (for tests and benches).
+func (s *Server) Counters() *metrics.ServerCounters { return &s.counters }
+
+// Stats assembles the /stats payload.
+func (s *Server) Stats() StatsResponse {
+	out := StatsResponse{Server: s.counters.Snapshot()}
+	if c := s.cfg.Options.Cache; c != nil {
+		st := c.Stats()
+		out.MemCache = &st
+	}
+	if d, ok := s.cfg.Options.DiskCache.(interface{ Stats() diskcache.Stats }); ok {
+		st := d.Stats()
+		out.Disk = &st
+	}
+	return out
+}
+
+// Handler returns the HTTP surface: POST /compile, GET /stats,
+// GET /healthz.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/compile", s.handleCompile)
+	mux.HandleFunc("/stats", s.handleStats)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(s.Stats())
+}
+
+func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	s.counters.Requests.Add(1)
+	var req CompileRequest
+	body := http.MaxBytesReader(w, r.Body, 16<<20)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	if req.Source == "" || req.Machine == "" {
+		http.Error(w, "bad request: source and machine are required", http.StatusBadRequest)
+		return
+	}
+
+	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
+	defer cancel()
+	resp, shared, err := s.flight.do(ctx, requestKey(req), func() (*CompileResponse, error) {
+		return s.compile(req)
+	})
+	if shared {
+		s.counters.Deduped.Add(1)
+	}
+	switch {
+	case errors.Is(err, errShed):
+		s.counters.Shed.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "queue full, retry later", http.StatusTooManyRequests)
+		return
+	case errors.Is(err, context.DeadlineExceeded):
+		s.counters.Timeouts.Add(1)
+		http.Error(w, "compile timed out", http.StatusGatewayTimeout)
+		return
+	case err != nil:
+		// Client went away (request context canceled): nothing to write.
+		return
+	}
+	out := *resp
+	out.Deduped = shared
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(out)
+}
+
+// compile runs one deduplicated compile under admission control: shed
+// when too many requests are already waiting, otherwise queue for a
+// worker slot. Compile failures are in-band (see CompileResponse); the
+// error return is reserved for admission decisions.
+func (s *Server) compile(req CompileRequest) (*CompileResponse, error) {
+	if s.counters.Queued.Add(1) > int64(s.queueCap) {
+		s.counters.Queued.Add(-1)
+		return nil, errShed
+	}
+	s.sem <- struct{}{}
+	s.counters.Queued.Add(-1)
+	s.counters.Inflight.Add(1)
+	defer func() {
+		s.counters.Inflight.Add(-1)
+		<-s.sem
+	}()
+
+	m, err := s.machines.intern(req.Machine, &s.counters)
+	if err != nil {
+		s.counters.Errors.Add(1)
+		return &CompileResponse{Error: "machine: " + err.Error()}, nil
+	}
+	opts, err := s.requestOptions(req)
+	if err != nil {
+		s.counters.Errors.Add(1)
+		return &CompileResponse{Error: err.Error()}, nil
+	}
+	unroll := req.Unroll
+	if unroll < 1 {
+		unroll = 1
+	}
+	res, err := aviv.CompileSource(req.Source, m, unroll, opts)
+	if err != nil {
+		s.counters.Errors.Add(1)
+		return &CompileResponse{Error: err.Error()}, nil
+	}
+	s.counters.Completed.Add(1)
+	resp := &CompileResponse{
+		Assembly: res.Program.String(),
+		CodeSize: res.CodeSize(),
+		Blocks:   len(res.Blocks),
+	}
+	for _, bm := range res.Metrics.Blocks {
+		if bm.CacheHit {
+			resp.CacheHits++
+		}
+		if bm.DiskHit {
+			resp.DiskHits++
+		}
+	}
+	return resp, nil
+}
+
+// requestOptions maps a request onto compile options: the preset picks
+// the covering configuration, the server supplies the shared cache
+// tiers, and each compile runs its block pipeline serially (request-
+// level parallelism is the server pool's job).
+func (s *Server) requestOptions(req CompileRequest) (aviv.Options, error) {
+	var opts aviv.Options
+	switch req.Preset {
+	case "", "default":
+		opts = aviv.DefaultOptions()
+	case "exhaustive":
+		opts = aviv.ExhaustiveOptions()
+	default:
+		return opts, fmt.Errorf("unknown preset %q (want \"default\" or \"exhaustive\")", req.Preset)
+	}
+	opts.Verify = req.Verify
+	opts.Cache = s.cfg.Options.Cache
+	opts.DiskCache = s.cfg.Options.DiskCache
+	opts.Parallelism = 1
+	return opts, nil
+}
+
+// requestKey fingerprints everything that determines a compile's
+// output, so the single-flight group only merges requests whose results
+// are interchangeable.
+func requestKey(req CompileRequest) string {
+	h := sha256.New()
+	put := func(s string) {
+		var n [8]byte
+		binary.BigEndian.PutUint64(n[:], uint64(len(s)))
+		h.Write(n[:])
+		h.Write([]byte(s))
+	}
+	put(req.Source)
+	put(req.Machine)
+	put(req.Preset)
+	put(fmt.Sprint(req.Unroll))
+	put(fmt.Sprint(req.Verify))
+	return string(h.Sum(nil))
+}
+
+// machineInterner parses and fingerprints each distinct machine text
+// once, sharing the resulting *isdl.Machine pointer across requests —
+// which also lets the compile cache's per-pointer machine-fingerprint
+// memoization work across requests.
+type machineInterner struct {
+	mu     sync.Mutex
+	byText map[string]*isdl.Machine
+}
+
+func (mi *machineInterner) intern(text string, counters *metrics.ServerCounters) (*isdl.Machine, error) {
+	mi.mu.Lock()
+	m, ok := mi.byText[text]
+	mi.mu.Unlock()
+	if ok {
+		return m, nil
+	}
+	parsed, err := isdl.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	mi.mu.Lock()
+	defer mi.mu.Unlock()
+	if mi.byText == nil {
+		mi.byText = make(map[string]*isdl.Machine)
+	}
+	// Two racers may parse the same text; keep the first so the pointer
+	// stays stable for fingerprint memoization.
+	if m, ok := mi.byText[text]; ok {
+		return m, nil
+	}
+	mi.byText[text] = parsed
+	counters.MachinesInterned.Add(1)
+	return parsed, nil
+}

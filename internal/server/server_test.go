@@ -1,0 +1,391 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"aviv"
+	"aviv/internal/cover"
+	"aviv/internal/isdl"
+)
+
+const testSource = `
+x = 3;
+y = x * 5;
+z = x + y;
+w = (x - y) * (z + 2);
+`
+
+func testServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postCompile(t *testing.T, url string, req CompileRequest) (*http.Response, CompileResponse) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	httpResp, err := http.Post(url+"/compile", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /compile: %v", err)
+	}
+	defer httpResp.Body.Close()
+	var resp CompileResponse
+	if httpResp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(httpResp.Body).Decode(&resp); err != nil {
+			t.Fatalf("decoding response: %v", err)
+		}
+	}
+	return httpResp, resp
+}
+
+// TestSingleFlightDeterministic drives the flight group directly with a
+// blocked function, so leader/follower interleaving is fully controlled.
+func TestSingleFlightDeterministic(t *testing.T) {
+	var g flightGroup
+	release := make(chan struct{})
+	started := make(chan struct{})
+	want := &CompileResponse{Assembly: "shared result"}
+	fn := func() (*CompileResponse, error) {
+		close(started)
+		<-release
+		return want, nil
+	}
+
+	type outcome struct {
+		resp   *CompileResponse
+		shared bool
+		err    error
+	}
+	leaderDone := make(chan outcome, 1)
+	go func() {
+		resp, shared, err := g.do(context.Background(), "k", fn)
+		leaderDone <- outcome{resp, shared, err}
+	}()
+	<-started // fn is in flight; any do() from here on must piggyback
+
+	followerDone := make(chan outcome, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			resp, shared, err := g.do(context.Background(), "k", func() (*CompileResponse, error) {
+				t.Error("follower executed fn despite in-flight leader")
+				return nil, nil
+			})
+			followerDone <- outcome{resp, shared, err}
+		}()
+	}
+	// Wait until both followers (plus the leader) are parked on the
+	// in-flight call before letting it finish.
+	deadline := time.Now().Add(5 * time.Second)
+	for g.waiters.Load() < 3 {
+		if time.Now().After(deadline) {
+			t.Fatal("followers never blocked on the in-flight call")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// A follower with an already-expired context times out without
+	// waiting and without cancelling the leader.
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, shared, err := g.do(expired, "k", fn); !shared || err == nil {
+		t.Errorf("expired-context follower: shared=%v err=%v, want true, non-nil", shared, err)
+	}
+
+	close(release)
+	lo := <-leaderDone
+	if lo.err != nil || lo.shared || lo.resp != want {
+		t.Errorf("leader: resp=%p shared=%v err=%v, want %p/false/nil", lo.resp, lo.shared, lo.err, want)
+	}
+	for i := 0; i < 2; i++ {
+		fo := <-followerDone
+		if fo.err != nil || !fo.shared || fo.resp != want {
+			t.Errorf("follower: resp=%p shared=%v err=%v, want %p/true/nil", fo.resp, fo.shared, fo.err, want)
+		}
+	}
+
+	// The call is gone; the next do() runs fresh.
+	ran := false
+	if _, shared, _ := g.do(context.Background(), "k", func() (*CompileResponse, error) {
+		ran = true
+		return nil, nil
+	}); shared || !ran {
+		t.Errorf("post-completion do: shared=%v ran=%v, want false/true", shared, ran)
+	}
+}
+
+func TestCompileMatchesLocal(t *testing.T) {
+	cache := cover.NewBoundedCache(1024)
+	_, ts := testServer(t, Config{Options: aviv.Options{Cache: cache, Parallelism: 2}})
+
+	httpResp, resp := postCompile(t, ts.URL, CompileRequest{Source: testSource, Machine: isdl.ExampleArchISDL})
+	if httpResp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d, want 200", httpResp.StatusCode)
+	}
+	if resp.Error != "" {
+		t.Fatalf("compile error: %s", resp.Error)
+	}
+
+	m, err := isdl.Parse(isdl.ExampleArchISDL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	local, err := aviv.CompileSource(testSource, m, 1, aviv.DefaultOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Assembly != local.Program.String() {
+		t.Errorf("served assembly differs from local compile\n--- served ---\n%s--- local ---\n%s", resp.Assembly, local.Program)
+	}
+	if resp.CodeSize != local.CodeSize() || resp.Blocks != len(local.Blocks) {
+		t.Errorf("metadata: size=%d blocks=%d, want %d/%d", resp.CodeSize, resp.Blocks, local.CodeSize(), len(local.Blocks))
+	}
+
+	// Recompiling the same request is served from the shared cache.
+	_, again := postCompile(t, ts.URL, CompileRequest{Source: testSource, Machine: isdl.ExampleArchISDL})
+	if again.Assembly != resp.Assembly {
+		t.Error("second compile not byte-identical to first")
+	}
+	if again.CacheHits == 0 {
+		t.Error("second compile reported no cache hits")
+	}
+}
+
+func TestCompileErrorsAreInBand(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	cases := []struct {
+		name string
+		req  CompileRequest
+		want string
+	}{
+		{"bad machine", CompileRequest{Source: "x = 1;", Machine: "machine ???"}, "machine:"},
+		{"bad source", CompileRequest{Source: "x = ;", Machine: isdl.ExampleArchISDL}, ""},
+		{"bad preset", CompileRequest{Source: "x = 1;", Machine: isdl.ExampleArchISDL, Preset: "turbo"}, "unknown preset"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			httpResp, resp := postCompile(t, ts.URL, tc.req)
+			if httpResp.StatusCode != http.StatusOK {
+				t.Fatalf("status = %d, want 200 with in-band error", httpResp.StatusCode)
+			}
+			if resp.Error == "" || !strings.Contains(resp.Error, tc.want) {
+				t.Errorf("error = %q, want containing %q", resp.Error, tc.want)
+			}
+			if resp.Assembly != "" {
+				t.Error("failed compile returned assembly")
+			}
+		})
+	}
+}
+
+func TestMalformedRequestsAre400(t *testing.T) {
+	_, ts := testServer(t, Config{})
+	for _, body := range []string{"{not json", `{}`, `{"source":"x = 1;"}`} {
+		resp, err := http.Post(ts.URL+"/compile", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("body %q: status = %d, want 400", body, resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/compile")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /compile: status = %d, want 405", resp.StatusCode)
+	}
+}
+
+// TestLoadSheddingAnd429 fills the worker pool and the queue by hand,
+// then checks the next request is rejected with 429 + Retry-After.
+func TestLoadSheddingAnd429(t *testing.T) {
+	s, ts := testServer(t, Config{
+		Options:    aviv.Options{Parallelism: 1},
+		QueueLimit: 1,
+		Timeout:    5 * time.Second,
+	})
+	// Occupy the only worker slot so compiles queue behind it.
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+
+	// One request fills the queue (it blocks waiting for the slot).
+	queuedResp := make(chan int, 1)
+	go func() {
+		httpResp, _ := postCompile(t, ts.URL, CompileRequest{Source: "a = 1;", Machine: isdl.ExampleArchISDL})
+		queuedResp <- httpResp.StatusCode
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Counters().Queued.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// A second, different request must be shed immediately.
+	httpResp, _ := postCompile(t, ts.URL, CompileRequest{Source: "b = 2;", Machine: isdl.ExampleArchISDL})
+	if httpResp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status = %d, want 429", httpResp.StatusCode)
+	}
+	if httpResp.Header.Get("Retry-After") == "" {
+		t.Error("429 without Retry-After header")
+	}
+	if s.Counters().Shed.Load() != 1 {
+		t.Errorf("shed counter = %d, want 1", s.Counters().Shed.Load())
+	}
+
+	// Release the slot; the queued request completes normally.
+	<-s.sem
+	if code := <-queuedResp; code != http.StatusOK {
+		t.Errorf("queued request finished with %d, want 200", code)
+	}
+	s.sem <- struct{}{} // restore for the deferred release
+}
+
+// TestRequestTimeout parks the worker pool so a request exceeds its
+// deadline and is answered 504.
+func TestRequestTimeout(t *testing.T) {
+	s, ts := testServer(t, Config{
+		Options: aviv.Options{Parallelism: 1},
+		Timeout: 30 * time.Millisecond,
+	})
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+
+	httpResp, _ := postCompile(t, ts.URL, CompileRequest{Source: "a = 1;", Machine: isdl.ExampleArchISDL})
+	if httpResp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d, want 504", httpResp.StatusCode)
+	}
+	if s.Counters().Timeouts.Load() == 0 {
+		t.Error("timeout not counted")
+	}
+}
+
+// TestConcurrentIdenticalRequestsDedup holds the single worker slot,
+// fires identical requests so they pile onto one in-flight compile, and
+// verifies the single-flight group answers all of them from one
+// execution.
+func TestConcurrentIdenticalRequestsDedup(t *testing.T) {
+	const clients = 6
+	s, ts := testServer(t, Config{
+		Options:    aviv.Options{Parallelism: 1, Cache: cover.NewCache()},
+		QueueLimit: clients,
+		Timeout:    10 * time.Second,
+	})
+	s.sem <- struct{}{} // park the worker so requests accumulate
+
+	req := CompileRequest{Source: testSource, Machine: isdl.ExampleArchISDL}
+	var wg sync.WaitGroup
+	assemblies := make([]string, clients)
+	statuses := make([]int, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			httpResp, resp := postCompile(t, ts.URL, req)
+			statuses[i] = httpResp.StatusCode
+			assemblies[i] = resp.Assembly
+		}(i)
+	}
+	// All identical requests converge on one flight entry; wait until
+	// every handler is parked on it, then release the worker.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.flight.waiters.Load() < clients {
+		if time.Now().After(deadline) {
+			t.Fatal("requests never converged on the in-flight call")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	<-s.sem
+	wg.Wait()
+
+	for i := 0; i < clients; i++ {
+		if statuses[i] != http.StatusOK {
+			t.Fatalf("client %d: status %d", i, statuses[i])
+		}
+		if assemblies[i] != assemblies[0] {
+			t.Fatalf("client %d: assembly differs", i)
+		}
+	}
+	snap := s.Counters().Snapshot()
+	if snap.Deduped == 0 {
+		t.Error("no requests deduped despite identical concurrent load")
+	}
+	if snap.Completed == 0 {
+		t.Error("no compile completed")
+	}
+	if snap.Deduped+snap.Completed < clients {
+		t.Errorf("deduped (%d) + completed (%d) < clients (%d)", snap.Deduped, snap.Completed, clients)
+	}
+}
+
+func TestStatsAndHealthz(t *testing.T) {
+	cache := cover.NewBoundedCache(64)
+	s, ts := testServer(t, Config{Options: aviv.Options{Cache: cache}})
+	postCompile(t, ts.URL, CompileRequest{Source: testSource, Machine: isdl.ExampleArchISDL})
+
+	httpResp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	var stats StatsResponse
+	if err := json.NewDecoder(httpResp.Body).Decode(&stats); err != nil {
+		t.Fatalf("decoding /stats: %v", err)
+	}
+	if stats.Server.Requests != 1 || stats.Server.Completed != 1 {
+		t.Errorf("stats = %+v, want 1 request / 1 completed", stats.Server)
+	}
+	if stats.Server.MachinesInterned != 1 {
+		t.Errorf("machines interned = %d, want 1", stats.Server.MachinesInterned)
+	}
+	if stats.MemCache == nil || stats.MemCache.Entries == 0 {
+		t.Error("mem cache stats missing or empty after a compile")
+	}
+	if s.Workers() < 1 {
+		t.Errorf("workers = %d, want >= 1", s.Workers())
+	}
+
+	hz, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hz.Body.Close()
+	if hz.StatusCode != http.StatusOK {
+		t.Errorf("/healthz status = %d", hz.StatusCode)
+	}
+}
+
+// TestMachineInterningSharesPointers proves distinct requests with the
+// same machine text share one parsed machine, which is what lets the
+// compile cache memoize the machine fingerprint per pointer.
+func TestMachineInterningSharesPointers(t *testing.T) {
+	s, ts := testServer(t, Config{Options: aviv.Options{Cache: cover.NewCache()}})
+	for i := 0; i < 3; i++ {
+		src := fmt.Sprintf("x = %d; y = x * 2;", i+1)
+		httpResp, resp := postCompile(t, ts.URL, CompileRequest{Source: src, Machine: isdl.ExampleArchISDL})
+		if httpResp.StatusCode != http.StatusOK || resp.Error != "" {
+			t.Fatalf("request %d failed: %d %s", i, httpResp.StatusCode, resp.Error)
+		}
+	}
+	if got := s.Counters().MachinesInterned.Load(); got != 1 {
+		t.Errorf("machines interned = %d, want 1 across 3 requests", got)
+	}
+}

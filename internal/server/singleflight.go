@@ -1,0 +1,62 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// flightGroup deduplicates concurrent identical work: the first caller
+// for a key becomes the leader and runs fn in a detached goroutine;
+// every caller — leader's request included — waits for that one
+// execution, each bounded by its own context. The computation itself is
+// never cancelled by a waiter's timeout (compilation is CPU-bound and
+// uninterruptible anyway), so a slow client cannot poison the result
+// for faster ones; the entry is removed when fn completes, after which
+// the two-tier compile cache makes re-requests cheap.
+type flightGroup struct {
+	mu    sync.Mutex
+	calls map[string]*flightCall
+	// waiters counts callers blocked on an in-flight execution
+	// (leaders included); tests use it to sequence interleavings
+	// deterministically.
+	waiters atomic.Int64
+}
+
+type flightCall struct {
+	done chan struct{}
+	resp *CompileResponse
+	err  error
+}
+
+// do returns fn's outcome for key, and whether this caller piggybacked
+// on an already in-flight execution. ctx bounds only the wait, never
+// the execution.
+func (g *flightGroup) do(ctx context.Context, key string, fn func() (*CompileResponse, error)) (resp *CompileResponse, shared bool, err error) {
+	g.mu.Lock()
+	if g.calls == nil {
+		g.calls = make(map[string]*flightCall)
+	}
+	c, inflight := g.calls[key]
+	if !inflight {
+		c = &flightCall{done: make(chan struct{})}
+		g.calls[key] = c
+		go func() {
+			c.resp, c.err = fn()
+			g.mu.Lock()
+			delete(g.calls, key)
+			g.mu.Unlock()
+			close(c.done)
+		}()
+	}
+	g.mu.Unlock()
+
+	g.waiters.Add(1)
+	defer g.waiters.Add(-1)
+	select {
+	case <-c.done:
+		return c.resp, inflight, c.err
+	case <-ctx.Done():
+		return nil, inflight, ctx.Err()
+	}
+}

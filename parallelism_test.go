@@ -1,0 +1,52 @@
+package aviv
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestResolveParallelismDefaulting pins the one shared defaulting rule:
+// <= 0 means GOMAXPROCS, positive values pass through. The server pool
+// and the block worker pool both resolve through ResolveParallelism, so
+// this is the regression test that the two cannot drift.
+func TestResolveParallelismDefaulting(t *testing.T) {
+	gomax := runtime.GOMAXPROCS(0)
+	for _, par := range []int{0, -1, -100} {
+		if got := ResolveParallelism(par); got != gomax {
+			t.Errorf("ResolveParallelism(%d) = %d, want GOMAXPROCS (%d)", par, got, gomax)
+		}
+	}
+	for _, par := range []int{1, 2, 7, 64} {
+		if got := ResolveParallelism(par); got != par {
+			t.Errorf("ResolveParallelism(%d) = %d, want %d", par, got, par)
+		}
+	}
+}
+
+// TestPoolSizeUsesSharedResolution checks poolSize composes the shared
+// rule with its own clamps (block count, serial tracing).
+func TestPoolSizeUsesSharedResolution(t *testing.T) {
+	var opts Options
+
+	// Defaulted parallelism clamps to the block count.
+	opts.Parallelism = 0
+	if got := opts.poolSize(1); got != 1 {
+		t.Errorf("poolSize(1 block) = %d, want 1", got)
+	}
+	many := runtime.GOMAXPROCS(0) + 100
+	if got := opts.poolSize(many); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("poolSize(%d blocks, default par) = %d, want GOMAXPROCS (%d)",
+			many, got, runtime.GOMAXPROCS(0))
+	}
+
+	// Explicit parallelism clamps to the block count too.
+	opts.Parallelism = 8
+	if got := opts.poolSize(3); got != 3 {
+		t.Errorf("poolSize(3 blocks, par 8) = %d, want 3", got)
+	}
+
+	// Zero blocks still yields a worker.
+	if got := opts.poolSize(0); got != 1 {
+		t.Errorf("poolSize(0 blocks) = %d, want 1", got)
+	}
+}
