@@ -1,5 +1,5 @@
 # Convenience targets; `make check` is the gate ci.sh runs in CI.
-.PHONY: check test build vet lint staticcheck fuzz bench benchsmoke benchjson servesmoke servejson
+.PHONY: check test build vet lint staticcheck fuzz bench benchsmoke benchjson servesmoke servejson zoosmoke zoojson
 
 check:
 	./ci.sh
@@ -46,3 +46,12 @@ servesmoke:
 # Regenerate the machine-readable compile-server report.
 servejson:
 	go run ./cmd/avivbench -servejson BENCH_serve.json
+
+# Race-enabled smoke over a small machine zoo: every class generated,
+# linted, compiled, and differentially checked (also part of ci.sh).
+zoosmoke:
+	go test -race -run '^TestZooSmoke$$' -count=1 .
+
+# Regenerate the machine-readable per-machine-class zoo bench matrix.
+zoojson:
+	go run ./cmd/avivbench -zoojson BENCH_zoo.json

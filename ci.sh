@@ -52,6 +52,9 @@ go test -race ./...
 echo "== server differential (race) =="
 go test -race -run '^TestServerDifferentialCorpus$' -count=1 .
 
+echo "== zoo smoke (machine generator + differential, race) =="
+go test -race -run '^TestZooSmoke$' -count=1 .
+
 if [ "${1:-}" != "-short" ]; then
     echo "== fuzz smoke (FuzzCompileSource, 10s) =="
     go test -run '^$' -fuzz='^FuzzCompileSource$' -fuzztime=10s .

@@ -9,6 +9,7 @@
 //	avivbench -ablation           heuristic knob ablation study
 //	avivbench -parscale           parallel block-compilation speedup study
 //	avivbench -stats -parallel 4  compile-metrics report at a pool size
+//	avivbench -zoo                per-machine-class bench matrix over the machine zoo
 //	avivbench -all                everything above
 package main
 
@@ -50,6 +51,10 @@ func main() {
 	stats := flag.Bool("stats", false, "print the compile-metrics report for the multi-block workload at -parallel N")
 	all := flag.Bool("all", false, "run every table, figure, and study")
 	benchJSON := flag.String("benchjson", "", "benchmark the multi-block compile (uncached and cached) and write a JSON report to this file")
+	zooFlag := flag.Bool("zoo", false, "run the per-machine-class bench matrix over the generated machine zoo")
+	zooJSON := flag.String("zoojson", "", "run the zoo matrix and write a JSON report to this file (implies -zoo)")
+	zooSeed := flag.Uint64("zooseed", 1, "machine-zoo generation seed")
+	zooCount := flag.Int("zoocount", 27, "number of zoo machines (three cycles over the nine classes)")
 	serve := flag.Bool("serve", false, "run the compile-server study (cold/warm/disk-warm latency, throughput, dedup) against an in-process avivd")
 	serveJSON := flag.String("servejson", "", "run the compile-server study and write a JSON report to this file (implies -serve)")
 	servePrograms := flag.Int("serveprograms", 6, "distinct programs in the compile-server study")
@@ -167,6 +172,12 @@ func main() {
 	if *benchJSON != "" {
 		ran = true
 		if err := benchJSONReport(*benchJSON); err != nil {
+			fail(err)
+		}
+	}
+	if *zooFlag || *zooJSON != "" {
+		ran = true
+		if err := zooStudy(*zooJSON, *zooSeed, *zooCount); err != nil {
 			fail(err)
 		}
 	}

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"aviv"
+	"aviv/internal/bench"
+	"aviv/internal/zoo"
+)
+
+// zooWorkload is the fixed program set every zoo machine compiles: a
+// few single-block expression shapes plus multi-block control flow, the
+// same family the differential matrix uses. Small enough that the full
+// class matrix stays interactive, large enough that spill pressure and
+// transfer topology show up in the numbers.
+func zooWorkload() map[string]string {
+	return map[string]string{
+		"expr":   "out = (a + b) - (c * d);\n",
+		"logic":  "x = (a & b) | (c ^ d); y = x << 1; z = y >> 2;\n",
+		"branch": "if (a > b) { m = a - b; } else { m = b - a; } out = m * c;\n",
+		"loop":   "s = 0; for (i = 0; i < 4; i = i + 1) { s = s + a * b; }\n",
+		"multi2": bench.MultiBlockSource(2, 9, 6),
+		"multi4": bench.MultiBlockSource(4, 9, 6),
+	}
+}
+
+// zooMachineRow is the per-machine record of the -zoo study.
+type zooMachineRow struct {
+	Index     int     `json:"index"`
+	Class     string  `json:"class"`
+	Machine   string  `json:"machine"`
+	CodeSize  int     `json:"code_size"`
+	Spills    int     `json:"spills"`
+	CompileMS float64 `json:"compile_ms"`
+}
+
+// zooClassRow aggregates the machines of one class.
+type zooClassRow struct {
+	Class     string  `json:"class"`
+	Machines  int     `json:"machines"`
+	CodeSize  float64 `json:"avg_code_size"`
+	Spills    float64 `json:"avg_spills"`
+	CompileMS float64 `json:"avg_compile_ms"`
+}
+
+// zooStudy compiles the fixed workload on every machine of the
+// generated zoo (translation validation on), prints the per-class bench
+// matrix, and — when path is non-empty — writes the machine-readable
+// report consumed by BENCH_zoo.json.
+func zooStudy(path string, seed uint64, count int) error {
+	entries, err := zoo.Generate(seed, count)
+	if err != nil {
+		return err
+	}
+	workload := zooWorkload()
+	names := make([]string, 0, len(workload))
+	for n := range workload {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+
+	var rows []zooMachineRow
+	for _, e := range entries {
+		row := zooMachineRow{Index: e.Index, Class: e.Class, Machine: e.M.Name}
+		for _, n := range names {
+			opts := aviv.DefaultOptions()
+			opts.Verify = true
+			start := time.Now()
+			res, err := aviv.CompileSource(workload[n], e.M, 1, opts)
+			if err != nil {
+				return fmt.Errorf("zoo m%d (%s) program %s: %w", e.Index, e.Class, n, err)
+			}
+			row.CompileMS += float64(time.Since(start)) / float64(time.Millisecond)
+			row.CodeSize += res.CodeSize()
+			row.Spills += res.Metrics.TotalSpills()
+		}
+		rows = append(rows, row)
+	}
+
+	byClass := map[string]*zooClassRow{}
+	for _, r := range rows {
+		c := byClass[r.Class]
+		if c == nil {
+			c = &zooClassRow{Class: r.Class}
+			byClass[r.Class] = c
+		}
+		c.Machines++
+		c.CodeSize += float64(r.CodeSize)
+		c.Spills += float64(r.Spills)
+		c.CompileMS += r.CompileMS
+	}
+	classes := make([]zooClassRow, 0, len(byClass))
+	for _, class := range zoo.Classes() {
+		if c, ok := byClass[class]; ok {
+			n := float64(c.Machines)
+			classes = append(classes, zooClassRow{
+				Class: c.Class, Machines: c.Machines,
+				CodeSize: c.CodeSize / n, Spills: c.Spills / n, CompileMS: c.CompileMS / n,
+			})
+		}
+	}
+
+	fmt.Printf("==== Machine zoo bench matrix (seed %d, %d machines, %d programs, verified) ====\n",
+		seed, count, len(names))
+	fmt.Printf("%-14s %9s %14s %11s %15s\n", "class", "machines", "avg code size", "avg spills", "avg compile ms")
+	for _, c := range classes {
+		fmt.Printf("%-14s %9d %14.1f %11.1f %15.1f\n", c.Class, c.Machines, c.CodeSize, c.Spills, c.CompileMS)
+	}
+	fmt.Println()
+
+	if path == "" {
+		return nil
+	}
+	report := struct {
+		Seed     uint64          `json:"seed"`
+		Count    int             `json:"count"`
+		Programs []string        `json:"programs"`
+		Classes  []zooClassRow   `json:"classes"`
+		Machines []zooMachineRow `json:"machines"`
+	}{Seed: seed, Count: count, Programs: names, Classes: classes, Machines: rows}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("report written to %s\n\n", path)
+	return nil
+}

@@ -10,16 +10,33 @@ import (
 	"aviv/internal/dataflow/diag"
 	"aviv/internal/ir"
 	"aviv/internal/isdl"
+	"aviv/internal/zoo"
 	"aviv/internal/lang"
 	"aviv/internal/sim"
 	"aviv/internal/verify"
 )
 
+// fuzzMachinePool returns the machines FuzzCompileSource targets: the
+// paper's example VLIW plus one zoo machine per class (the first cycle
+// of the shipped zoo), so the fuzzer explores machine diversity, not
+// just program diversity. Falls back to the example machine alone if
+// zoo generation ever fails — the fuzz target must not Fatal in F.
+func fuzzMachinePool() []*isdl.Machine {
+	pool := []*isdl.Machine{isdl.ExampleArchFull(4)}
+	if entries, err := zooOnce(); err == nil {
+		for _, e := range entries[:len(zoo.Classes())] {
+			pool = append(pool, e.M)
+		}
+	}
+	return pool
+}
+
 // FuzzCompileSource drives the whole pipeline from arbitrary source
-// text. Invariants: the compiler never panics; whatever it accepts must
-// round-trip through the binary object format; and if the reference
-// interpreter finishes the program within budget, the simulated program
-// must finish too and leave the same data memory behind.
+// text, on a fuzzer-chosen machine from the zoo-backed pool. Invariants:
+// the compiler never panics; whatever it accepts must round-trip through
+// the binary object format; and if the reference interpreter finishes
+// the program within budget, the simulated program must finish too and
+// leave the same data memory behind.
 func FuzzCompileSource(f *testing.F) {
 	seeds := []string{
 		"x = a + b;",
@@ -34,11 +51,14 @@ func FuzzCompileSource(f *testing.F) {
 		"x = -a; y = ~b; z = x * y + 1;",
 		"if (a == b) { r = 1; } else { if (a < b) { r = 2; } else { r = 3; } }",
 	}
-	for _, s := range seeds {
-		f.Add(s)
+	for i, s := range seeds {
+		// Spread the seed programs across the machine pool so the seed
+		// corpus alone already exercises every zoo class.
+		f.Add(s, uint64(i))
 	}
-	m := isdl.ExampleArchFull(4)
-	f.Fuzz(func(t *testing.T, src string) {
+	pool := fuzzMachinePool()
+	f.Fuzz(func(t *testing.T, src string, zooPick uint64) {
+		m := pool[zooPick%uint64(len(pool))]
 		// The dataflow analyses and the diagnostics pass must handle
 		// anything the front end accepts: no panics, solver agreeing with
 		// the brute-force oracles, and a deterministic report.

@@ -213,6 +213,7 @@ func optionsFingerprint(o Options) [sha256.Size]byte {
 	w.bool(o.PruneIncremental)
 	w.int(o.MaxAssignments)
 	w.int(o.LevelWindow)
+	w.int(o.CliqueBudget)
 	w.bool(o.Lookahead)
 	w.bool(o.TransferParallelismHeuristic)
 	w.bool(o.SpillAwareAssignment)

@@ -206,6 +206,10 @@ type cliqueGen struct {
 	keyBuf []byte
 	tmp    bitset.Set
 	free   []bitset.Set
+	// budget caps the number of recorded cliques (0 = unlimited); full
+	// is latched once the budget is reached and aborts the recursion.
+	budget int
+	full   bool
 }
 
 func (g *cliqueGen) get() bitset.Set {
@@ -230,6 +234,9 @@ func (g *cliqueGen) record(clique bitset.Set) {
 	}
 	g.seen[string(g.keyBuf)] = true
 	g.out = append(g.out, clique.AppendBits(nil))
+	if g.budget > 0 && len(g.out) >= g.budget {
+		g.full = true
+	}
 }
 
 // gen is the recursive core of Fig. 8. clique holds the members so far;
@@ -237,6 +244,9 @@ func (g *cliqueGen) record(clique bitset.Set) {
 // members' matrix rows); index is the preclusion threshold. clique is
 // mutated by absorption, so callers pass a private copy.
 func (g *cliqueGen) gen(clique, cand bitset.Set, index int) {
+	if g.full {
+		return
+	}
 	// First loop: absorb candidates that preclude no other candidate. A
 	// candidate i is universal when cand \ row(i) contains nothing but i
 	// itself — a word-wise ANDNOT instead of a pairwise scan.
@@ -275,6 +285,9 @@ func (g *cliqueGen) gen(clique, cand bitset.Set, index int) {
 	childCand := g.get()
 	// Second loop: spawn one recursive call per remaining candidate.
 	for _, i := range rest {
+		if g.full {
+			break
+		}
 		childClique.Copy(clique)
 		childClique.Set(i)
 		childCand.And(candRest, g.pm.Row(i))
@@ -298,19 +311,33 @@ func (g *cliqueGen) gen(clique, cand bitset.Set, index int) {
 // packed rows. Cliques are returned as sorted index slices, largest
 // first.
 func GenMaxCliquesBits(pm *bitset.Matrix) [][]int {
+	return GenMaxCliquesLimit(pm, 0)
+}
+
+// GenMaxCliquesLimit is GenMaxCliquesBits with a budget: enumeration
+// stops deterministically once budget cliques are recorded (0 means
+// unlimited), and a repair pass then extends the result with one
+// greedily-built maximal clique per node the truncated enumeration left
+// uncovered, so downstream covering always finds a grouping for every
+// node.
+func GenMaxCliquesLimit(pm *bitset.Matrix, budget int) [][]int {
 	n := pm.N()
 	g := &cliqueGen{
-		pm:   pm,
-		seen: make(map[string]bool),
-		tmp:  bitset.New(n),
+		pm:     pm,
+		seen:   make(map[string]bool),
+		tmp:    bitset.New(n),
+		budget: budget,
 	}
 	seedClique := bitset.New(n)
 	seedCand := bitset.New(n)
-	for i := 0; i < n; i++ {
+	for i := 0; i < n && !g.full; i++ {
 		seedClique.Reset()
 		seedClique.Set(i)
 		seedCand.Copy(pm.Row(i))
 		g.gen(seedClique, seedCand, i)
+	}
+	if g.full {
+		g.repairCoverage()
 	}
 	out := g.out
 	keys := make([]string, len(out))
@@ -319,6 +346,46 @@ func GenMaxCliquesBits(pm *bitset.Matrix) [][]int {
 	}
 	sort.Sort(&cliqueSort{cliques: out, keys: keys})
 	return out
+}
+
+// repairCoverage runs after a budget-truncated enumeration: any node no
+// recorded clique contains gets one maximal clique built greedily
+// around it (always absorbing the lowest-index remaining candidate), so
+// the truncation can never make a node unschedulable.
+func (g *cliqueGen) repairCoverage() {
+	n := g.pm.N()
+	covered := bitset.New(n)
+	for _, c := range g.out {
+		for _, i := range c {
+			covered.Set(i)
+		}
+	}
+	clique := bitset.New(n)
+	cand := bitset.New(n)
+	for i := 0; i < n; i++ {
+		if covered.Get(i) {
+			continue
+		}
+		clique.Reset()
+		clique.Set(i)
+		cand.Copy(g.pm.Row(i))
+		for {
+			j := -1
+			cand.ForEach(func(k int) {
+				if j < 0 {
+					j = k
+				}
+			})
+			if j < 0 {
+				break
+			}
+			clique.Set(j)
+			cand.And(cand, g.pm.Row(j))
+			cand.Clear(j)
+		}
+		g.record(clique)
+		clique.ForEach(func(k int) { covered.Set(k) })
+	}
 }
 
 // GenMaxCliques is GenMaxCliquesBits over a [][]bool matrix, kept for
@@ -378,14 +445,14 @@ func buildCliques(nodes []*SNode, m *isdl.Machine, opts Options) [][]*SNode {
 	if len(nodes) == 0 {
 		return nil
 	}
-	return cliquesFromMatrix(nodes, parallelMatrix(nodes, m, opts.LevelWindow), m)
+	return cliquesFromMatrix(nodes, parallelMatrix(nodes, m, opts.LevelWindow), m, opts.CliqueBudget)
 }
 
 // cliquesFromMatrix is buildCliques from a precomputed parallelism
 // matrix; cliqueCover computes the matrix itself so it can also serve as
 // the memo key.
-func cliquesFromMatrix(nodes []*SNode, par *bitset.Matrix, m *isdl.Machine) [][]*SNode {
-	raw := GenMaxCliquesBits(par)
+func cliquesFromMatrix(nodes []*SNode, par *bitset.Matrix, m *isdl.Machine, budget int) [][]*SNode {
+	raw := GenMaxCliquesLimit(par, budget)
 	var out [][]*SNode
 	for _, idxs := range raw {
 		group := make([]*SNode, len(idxs))

@@ -331,7 +331,7 @@ func cliqueCover(d *sndag.DAG, a *Assignment, opts Options, memo *coverMemo) (*S
 	}
 	sched := newScheduler(g, opts)
 	if pm != nil {
-		sched.initialCliques = cliquesFromMatrix(g.nodes, pm, g.machine)
+		sched.initialCliques = cliquesFromMatrix(g.nodes, pm, g.machine, opts.CliqueBudget)
 	}
 	if err := sched.run(); err != nil {
 		return nil, err

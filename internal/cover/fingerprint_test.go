@@ -25,6 +25,7 @@ func TestOptionsFingerprintStability(t *testing.T) {
 		{"prune", func(o *Options) { o.PruneIncremental = !o.PruneIncremental }},
 		{"maxassign", func(o *Options) { o.MaxAssignments = base.MaxAssignments + 1 }},
 		{"window", func(o *Options) { o.LevelWindow = base.LevelWindow + 2 }},
+		{"cliquebudget", func(o *Options) { o.CliqueBudget = base.CliqueBudget + 512 }},
 		{"lookahead", func(o *Options) { o.Lookahead = !o.Lookahead }},
 		{"transfer", func(o *Options) { o.TransferParallelismHeuristic = !o.TransferParallelismHeuristic }},
 		{"spillaware", func(o *Options) { o.SpillAwareAssignment = !o.SpillAwareAssignment }},

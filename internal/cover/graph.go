@@ -41,6 +41,10 @@ type graph struct {
 
 	// nextSpill numbers spill slots.
 	nextSpill int
+	// nextMove numbers the synthetic memory slots transfer chains park
+	// values in when a minimal path routes through a memory (no
+	// bank-to-bank transfer exists, e.g. on memory-hub machines).
+	nextMove int
 }
 
 func (g *graph) newNode(kind SNodeKind) *SNode {
@@ -48,6 +52,17 @@ func (g *graph) newNode(kind SNodeKind) *SNode {
 	g.nextID++
 	g.nodes = append(g.nodes, n)
 	return n
+}
+
+// moveSlot returns a fresh compiler-internal memory slot for a transfer
+// chain that must park a value in a memory on its way to a register
+// bank. The "$" prefix marks the slot block-local, like spill slots, so
+// the verifier pairs the store with its reloads instead of matching it
+// against IR memory traffic.
+func (g *graph) moveSlot() string {
+	s := fmt.Sprintf("$mv%d", g.nextMove)
+	g.nextMove++
+	return s
 }
 
 // bankLoc returns the register-bank location a functional unit reads
@@ -223,18 +238,31 @@ func (g *graph) ensureValueAt(o *ir.Node, want isdl.Loc, loadsByVar map[string][
 	if err != nil {
 		return nil, fmt.Errorf("cover: value n%d: %w", o.ID, err)
 	}
-	cur := g.prod[valKey{o, src}] // nil when src is data memory
-	loc := src
+	cur := g.prod[valKey{o, src}] // nil when src is the variable's memory
 	for _, step := range path {
 		if p, ok := g.prod[valKey{o, step.To}]; ok {
-			cur, loc = p, step.To
+			cur = p
 			continue
 		}
 		t := g.newNode(MoveNode)
-		if step.From.Kind == isdl.LocMem {
+		switch {
+		case step.From.Kind == isdl.LocMem && cur == nil:
+			// First hop out of the variable's home memory: a named load.
 			t.Kind = LoadNode
 			t.Var = o.Var
 			loadsByVar[o.Var] = append(loadsByVar[o.Var], t)
+		case step.From.Kind == isdl.LocMem:
+			// Hop out of an intermediate memory: reload the compiler
+			// temp the previous hop parked there.
+			t.Kind = LoadNode
+			t.Var = cur.Var
+		case step.To.Kind == isdl.LocMem:
+			// Hop into an intermediate memory (want is always a bank, so
+			// this is never the final step): park the value in a fresh
+			// compiler temp. A minimal path only routes through a memory
+			// when the machine has no bank-to-bank transfer for this leg.
+			t.Kind = StoreNode
+			t.Var = g.moveSlot()
 		}
 		t.Value = o
 		t.Step = step
@@ -243,9 +271,8 @@ func (g *graph) ensureValueAt(o *ir.Node, want isdl.Loc, loadsByVar map[string][
 		}
 		g.busLoad[step.Bus]++
 		g.prod[valKey{o, step.To}] = t
-		cur, loc = t, step.To
+		cur = t
 	}
-	_ = loc
 	return cur, nil
 }
 
@@ -305,10 +332,19 @@ func (g *graph) buildStore(s *ir.Node, loadsByVar map[string][]*SNode) (*SNode, 
 	cur := producer
 	for i, step := range path {
 		var t *SNode
-		if i == len(path)-1 {
+		switch {
+		case i == len(path)-1:
 			t = g.newNode(StoreNode)
 			t.Var = s.Var
-		} else {
+		case step.To.Kind == isdl.LocMem:
+			// Intermediate memory stop before the destination memory:
+			// park the value in a compiler temp.
+			t = g.newNode(StoreNode)
+			t.Var = g.moveSlot()
+		case step.From.Kind == isdl.LocMem:
+			t = g.newNode(LoadNode)
+			t.Var = cur.Var
+		default:
 			t = g.newNode(MoveNode)
 		}
 		t.Value = arg

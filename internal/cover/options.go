@@ -32,6 +32,20 @@ type Options struct {
 	// most LevelWindow. <0 disables the heuristic.
 	LevelWindow int
 
+	// CliqueBudget caps how many maximal groupings one enumeration may
+	// produce. On machines where one wide bus carries most transfers
+	// (hub topologies), the pairwise parallelism matrix cannot express
+	// the bus-capacity limit and the number of maximal cliques explodes
+	// combinatorially; the budget cuts the enumeration off
+	// deterministically, and a repair pass then guarantees every node
+	// still appears in at least one grouping so covering cannot
+	// dead-end. The cap is above what ordinary blocks generate, so it
+	// only engages on pathological matrices — and on those, cost grows
+	// far faster than linearly with the budget (each later clique needs
+	// deeper preclusion-pruned recursion to reach), so the cap must stay
+	// small to be effective. <=0 means unlimited.
+	CliqueBudget int
+
 	// Lookahead enables the tie-breaking lookahead cost of Sec. IV-D
 	// when several cliques cover equally many ready nodes.
 	Lookahead bool
@@ -94,6 +108,7 @@ func DefaultOptions() Options {
 		PruneIncremental:             true,
 		MaxAssignments:               200_000,
 		LevelWindow:                  3,
+		CliqueBudget:                 256,
 		Lookahead:                    true,
 		TransferParallelismHeuristic: true,
 	}

@@ -74,9 +74,18 @@ func serialFallback(d *sndag.DAG, a *Assignment, opts Options) (*Solution, error
 		var cur *SNode
 		for i, step := range paths[0] {
 			t := g.newNode(MoveNode)
-			if i == 0 {
+			switch {
+			case i == 0:
 				t.Kind = LoadNode
 				t.Var = slot
+			case step.From.Kind == isdl.LocMem:
+				// Hop out of an intermediate memory: reload the temp the
+				// previous hop parked there.
+				t.Kind = LoadNode
+				t.Var = cur.Var
+			case step.To.Kind == isdl.LocMem:
+				t.Kind = StoreNode
+				t.Var = g.moveSlot()
 			}
 			t.Value = o
 			t.Step = step
@@ -97,10 +106,17 @@ func serialFallback(d *sndag.DAG, a *Assignment, opts Options) (*Solution, error
 		cur := src
 		for i, step := range paths[0] {
 			var t *SNode
-			if i == len(paths[0])-1 {
+			switch {
+			case i == len(paths[0])-1:
 				t = g.newNode(StoreNode)
 				t.Var = name
-			} else {
+			case step.To.Kind == isdl.LocMem:
+				t = g.newNode(StoreNode)
+				t.Var = g.moveSlot()
+			case step.From.Kind == isdl.LocMem:
+				t = g.newNode(LoadNode)
+				t.Var = cur.Var
+			default:
 				t = g.newNode(MoveNode)
 			}
 			t.Value = src.Value

@@ -8,6 +8,60 @@ import (
 	"aviv/internal/ir"
 )
 
+// Dump renders the machine back into the textual ISDL-flavored format
+// accepted by Parse, so descriptions can round-trip Parse→Dump→Parse.
+// Declarations come out in an order the parser can always resolve:
+// units first, then memories (the parser classifies transfer endpoints
+// by the memories declared so far), then buses, transfers, constraints,
+// and patterns. The rendering is deterministic — unit op lists are
+// sorted, everything else keeps declaration order — so Dump is also a
+// stable serialization for fuzz corpora and generated-machine files.
+//
+// The output is faithful as long as no register bank shares a name with
+// a memory (the textual format resolves a transfer endpoint to a memory
+// first), which Finalize-clean machines built by this repository always
+// satisfy.
+func (m *Machine) Dump() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "machine %s\n", m.Name)
+	for _, u := range m.Units {
+		fmt.Fprintf(&sb, "unit %s { regs %d", u.Name, u.Regs.Size)
+		if u.Regs.Name != u.Name {
+			fmt.Fprintf(&sb, " bank %s", u.Regs.Name)
+		}
+		if len(u.Ops) > 0 {
+			sb.WriteString(" ops")
+			for _, op := range u.OpList() {
+				fmt.Fprintf(&sb, " %s", op)
+				if lat, ok := u.Latency[op]; ok && lat > 1 {
+					fmt.Fprintf(&sb, ":%d", lat)
+				}
+			}
+		}
+		sb.WriteString(" }\n")
+	}
+	for _, mem := range m.Memories {
+		fmt.Fprintf(&sb, "memory %s\n", mem.Name)
+	}
+	for _, b := range m.Buses {
+		fmt.Fprintf(&sb, "bus %s width %d\n", b.Name, b.Width)
+	}
+	for _, t := range m.Transfers {
+		fmt.Fprintf(&sb, "transfer %s -> %s via %s\n", t.From.Name, t.To.Name, t.Bus)
+	}
+	for _, c := range m.Constraints {
+		parts := make([]string, len(c.Forbid))
+		for i, s := range c.Forbid {
+			parts[i] = s.String()
+		}
+		fmt.Fprintf(&sb, "constraint !(%s)\n", strings.Join(parts, " & "))
+	}
+	for _, p := range m.Patterns {
+		fmt.Fprintf(&sb, "pattern %s\n", p)
+	}
+	return sb.String()
+}
+
 // Describe renders a human-readable dump of the machine and its derived
 // databases (op→unit correlation, expanded transfer paths), the
 // information Fig. 3 of the paper conveys.

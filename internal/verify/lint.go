@@ -4,6 +4,36 @@ import (
 	"aviv/internal/isdl"
 )
 
+// LintRules returns the canonical list of rule identifiers LintMachine
+// can emit, in a stable order. Consumers that classify lint rejections
+// (the machine zoo's regenerate-on-reject, the lint table tests) check
+// against this registry so a renamed or new rule cannot slip through
+// unclassified.
+func LintRules() []string {
+	return []string{
+		"isdl/no-units",
+		"isdl/unit-dup",
+		"isdl/unit-empty",
+		"isdl/unit-op",
+		"isdl/bank-size",
+		"isdl/bank-mismatch",
+		"isdl/latency",
+		"isdl/mem-dup",
+		"isdl/no-memory",
+		"isdl/bus-dup",
+		"isdl/bus-width",
+		"isdl/bus-dead",
+		"isdl/transfer",
+		"isdl/constraint",
+		"isdl/constraint-total",
+		"isdl/pattern",
+		"isdl/finalize",
+		"isdl/disconnected",
+		"isdl/mem-path",
+		"isdl/mem-dead",
+	}
+}
+
 // LintMachine statically lints an ISDL machine description. It goes
 // beyond isdl.Finalize's accept/reject checks: it re-implements the
 // structural rules independently (so every problem is reported, not just

@@ -1,0 +1,184 @@
+package verify
+
+import (
+	"testing"
+
+	"aviv/internal/ir"
+	"aviv/internal/isdl"
+)
+
+// lintBase returns a minimal machine that lints clean, for the table
+// entries to break in exactly one way.
+func lintBase() *isdl.Machine {
+	m := isdl.NewMachine("m")
+	m.AddUnit("U1", 4, ir.OpAdd)
+	m.AddMemory("MEM")
+	m.AddBus("DB", 1)
+	m.ConnectAll("DB")
+	return m
+}
+
+// TestLintRuleTable drives one broken machine per lint rule through
+// LintMachine and asserts the exact rule name is reported. A final
+// bidirectional check pins the table against the LintRules registry, so
+// a new or renamed rule without a table entry fails loudly.
+func TestLintRuleTable(t *testing.T) {
+	cases := []struct {
+		rule  string
+		build func() *isdl.Machine
+	}{
+		{"isdl/no-units", func() *isdl.Machine {
+			return isdl.NewMachine("empty")
+		}},
+		{"isdl/unit-dup", func() *isdl.Machine {
+			m := lintBase()
+			m.AddUnit("U1", 4, ir.OpSub)
+			m.ConnectAll("DB")
+			return m
+		}},
+		{"isdl/unit-empty", func() *isdl.Machine {
+			m := lintBase()
+			m.AddUnit("DEAD", 4)
+			m.ConnectAll("DB")
+			return m
+		}},
+		{"isdl/unit-op", func() *isdl.Machine {
+			m := lintBase()
+			m.Units[0].Ops[ir.OpLoad] = true // not a functional-unit op
+			return m
+		}},
+		{"isdl/bank-size", func() *isdl.Machine {
+			m := lintBase()
+			m.Units[0].Regs.Size = 0
+			return m
+		}},
+		{"isdl/bank-mismatch", func() *isdl.Machine {
+			m := lintBase()
+			u2 := m.AddUnit("U2", 4, ir.OpSub)
+			u2.Regs = isdl.RegFile{Name: "U1", Size: 8} // shares U1's bank, disagrees on size
+			m.ConnectAll("DB")
+			return m
+		}},
+		{"isdl/latency", func() *isdl.Machine {
+			m := lintBase()
+			m.Units[0].SetLatency(ir.OpMul, 2) // latency for an op the unit lacks
+			return m
+		}},
+		{"isdl/mem-dup", func() *isdl.Machine {
+			m := lintBase()
+			m.AddMemory("MEM")
+			return m
+		}},
+		{"isdl/no-memory", func() *isdl.Machine {
+			m := isdl.NewMachine("m")
+			m.AddUnit("U1", 4, ir.OpAdd)
+			return m
+		}},
+		{"isdl/bus-dup", func() *isdl.Machine {
+			m := lintBase()
+			m.AddBus("DB", 2)
+			return m
+		}},
+		{"isdl/bus-width", func() *isdl.Machine {
+			m := lintBase()
+			m.Buses[0].Width = 0
+			return m
+		}},
+		{"isdl/bus-dead", func() *isdl.Machine {
+			m := lintBase()
+			m.AddBus("XB", 1) // carries no transfer
+			return m
+		}},
+		{"isdl/transfer", func() *isdl.Machine {
+			m := lintBase()
+			m.AddTransfer(isdl.UnitLoc("GHOST"), isdl.UnitLoc("U1"), "DB")
+			return m
+		}},
+		{"isdl/constraint", func() *isdl.Machine {
+			m := lintBase()
+			m.AddConstraint(isdl.SlotRef{Unit: "NOPE", Op: ir.OpAdd}, isdl.SlotRef{Unit: "U1", Op: ir.OpAdd})
+			return m
+		}},
+		{"isdl/constraint-total", func() *isdl.Machine {
+			m := lintBase()
+			m.AddConstraint(isdl.SlotRef{Unit: "U1", Op: ir.OpAdd})
+			return m
+		}},
+		{"isdl/pattern", func() *isdl.Machine {
+			m := lintBase()
+			m.Patterns = append(m.Patterns, isdl.MACPattern("GHOST"))
+			return m
+		}},
+		{"isdl/finalize", func() *isdl.Machine {
+			// Structurally clean for the lint passes (unit exists and
+			// performs the result op) but Finalize's deeper pattern
+			// validation rejects the malformed tree: MAC takes three
+			// operands, the tree supplies two wildcards.
+			m := lintBase()
+			m.Units[0].Ops[ir.OpMAC] = true
+			m.Patterns = append(m.Patterns, isdl.Pattern{
+				Result: ir.OpMAC,
+				Unit:   "U1",
+				Tree:   &isdl.PatTree{Op: ir.OpAdd, Kids: []*isdl.PatTree{nil, nil}},
+			})
+			return m
+		}},
+		{"isdl/disconnected", func() *isdl.Machine {
+			// A memory link would be enough to connect the banks (values
+			// can hop through memory), so the stranded unit gets no
+			// transfers at all.
+			m := lintBase()
+			m.AddUnit("U2", 4, ir.OpSub)
+			return m
+		}},
+		{"isdl/mem-path", func() *isdl.Machine {
+			m := isdl.NewMachine("m")
+			m.AddUnit("U1", 4, ir.OpAdd)
+			m.AddMemory("MEM")
+			m.AddBus("DB", 1)
+			// Load-only connection: U1 can never store (or spill).
+			m.AddTransfer(isdl.MemLoc("MEM"), isdl.UnitLoc("U1"), "DB")
+			return m
+		}},
+		{"isdl/mem-dead", func() *isdl.Machine {
+			m := lintBase()
+			m.AddMemory("ROM") // connected to nothing
+			return m
+		}},
+	}
+
+	covered := map[string]bool{}
+	for _, tc := range cases {
+		t.Run(tc.rule, func(t *testing.T) {
+			err := LintMachine(tc.build())
+			if err == nil {
+				t.Fatalf("machine built for %s lints clean", tc.rule)
+			}
+			if !err.Has(tc.rule) {
+				t.Errorf("want %s, got %v", tc.rule, err)
+			}
+		})
+		covered[tc.rule] = true
+	}
+
+	// Bidirectional: the table covers every registered rule, and every
+	// table entry names a registered rule.
+	registry := map[string]bool{}
+	for _, r := range LintRules() {
+		registry[r] = true
+		if !covered[r] {
+			t.Errorf("registered rule %s has no table entry", r)
+		}
+	}
+	for r := range covered {
+		if !registry[r] {
+			t.Errorf("table rule %s is not in LintRules", r)
+		}
+	}
+
+	// The base machine itself must lint clean, or every entry above is
+	// testing the wrong breakage.
+	if err := LintMachine(lintBase()); err != nil {
+		t.Errorf("lintBase does not lint clean: %v", err)
+	}
+}

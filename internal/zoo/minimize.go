@@ -1,0 +1,183 @@
+package zoo
+
+import (
+	"aviv/internal/isdl"
+)
+
+// Minimize shrinks a failing machine to a local minimum: it greedily
+// applies structural reductions (drop a unit, an op, a constraint, a
+// pattern, a transfer, a memory, a latency entry; shrink a register
+// bank) and keeps any reduction under which fails still returns true.
+// The result is the smallest machine this process reaches that still
+// reproduces the failure — the machine to check in as a regression
+// test.
+//
+// fails receives an unfinalized deep copy and must decide for itself
+// whether the candidate still exhibits the bug (typically: lints clean
+// AND the compile/verify/differential failure reproduces; candidates
+// the linter rejects should return false so minimization stays inside
+// the space of machines the zoo would actually emit). Minimize never
+// mutates its argument.
+//
+// The candidate order is deterministic, so the same input machine and
+// predicate always minimize to the same machine.
+func Minimize(m *isdl.Machine, fails func(*isdl.Machine) bool) *isdl.Machine {
+	cur := m.Clone(m.Name)
+	// Greedy descent: restart the candidate scan after every accepted
+	// reduction; stop at a pass with no accepted candidate. The guard
+	// bounds pathological predicates — each acceptance strictly shrinks
+	// the machine, so the structural size is also a hard bound.
+	for guard := 0; guard < 10000; guard++ {
+		accepted := false
+		for _, cand := range shrinkCandidates(cur) {
+			if fails(cand.Clone(cand.Name)) {
+				cur = cand
+				accepted = true
+				break
+			}
+		}
+		if !accepted {
+			break
+		}
+	}
+	return cur
+}
+
+// shrinkCandidates enumerates every single-step reduction of m, most
+// aggressive first (whole units before single ops, halving a bank
+// before decrementing it), each as an independent clone.
+func shrinkCandidates(m *isdl.Machine) []*isdl.Machine {
+	var out []*isdl.Machine
+
+	// Drop a unit (RemoveUnit also deletes transfers stranded by the
+	// unit's bank disappearing and constraints naming the unit).
+	if len(m.Units) > 1 {
+		for _, u := range m.Units {
+			c := m.Clone(m.Name)
+			c.RemoveUnit(u.Name)
+			out = append(out, c)
+		}
+	}
+
+	// Drop a memory and the transfers touching it.
+	if len(m.Memories) > 1 {
+		for _, mem := range m.Memories {
+			c := m.Clone(m.Name)
+			removeMemory(c, mem.Name)
+			out = append(out, c)
+		}
+	}
+
+	// Drop a bus together with every transfer riding it (a bus left
+	// dead by transfer removal alone would fail the isdl/bus-dead lint,
+	// deadlocking the descent).
+	if len(m.Buses) > 1 {
+		for _, b := range m.Buses {
+			c := m.Clone(m.Name)
+			var buses []*isdl.Bus
+			for _, cb := range c.Buses {
+				if cb.Name != b.Name {
+					buses = append(buses, cb)
+				}
+			}
+			c.Buses = buses
+			var kept []isdl.Transfer
+			for _, t := range c.Transfers {
+				if t.Bus != b.Name {
+					kept = append(kept, t)
+				}
+			}
+			c.Transfers = kept
+			out = append(out, c)
+		}
+	}
+
+	// Drop a constraint / pattern / transfer.
+	for i := range m.Constraints {
+		c := m.Clone(m.Name)
+		c.Constraints = append(c.Constraints[:i:i], c.Constraints[i+1:]...)
+		out = append(out, c)
+	}
+	for i := range m.Patterns {
+		c := m.Clone(m.Name)
+		c.Patterns = append(c.Patterns[:i:i], c.Patterns[i+1:]...)
+		out = append(out, c)
+	}
+	for i := range m.Transfers {
+		c := m.Clone(m.Name)
+		c.Transfers = append(c.Transfers[:i:i], c.Transfers[i+1:]...)
+		out = append(out, c)
+	}
+
+	// Shrink a register bank: halve first (fast descent), then
+	// decrement (fine descent). All units sharing the bank shrink
+	// together so the description stays consistent.
+	for _, bank := range m.Banks() {
+		size := m.BankSize(bank)
+		if half := size / 2; half >= 1 && half < size {
+			out = append(out, resizeBank(m, bank, half))
+		}
+		if size > 1 {
+			out = append(out, resizeBank(m, bank, size-1))
+		}
+	}
+
+	// Drop a single op from a unit (deterministic via the sorted op
+	// list), together with any latency entry for it.
+	for _, u := range m.Units {
+		if len(u.Ops) <= 1 {
+			continue
+		}
+		for _, op := range u.OpList() {
+			c := m.Clone(m.Name)
+			cu := c.Unit(u.Name)
+			delete(cu.Ops, op)
+			delete(cu.Latency, op)
+			out = append(out, c)
+		}
+	}
+
+	// Drop a latency entry (reverting the op to single-cycle).
+	for _, u := range m.Units {
+		for _, op := range u.OpList() {
+			if _, ok := u.Latency[op]; !ok {
+				continue
+			}
+			c := m.Clone(m.Name)
+			delete(c.Unit(u.Name).Latency, op)
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// removeMemory deletes the named memory and every transfer touching it.
+func removeMemory(m *isdl.Machine, name string) {
+	var mems []*isdl.Memory
+	for _, mem := range m.Memories {
+		if mem.Name != name {
+			mems = append(mems, mem)
+		}
+	}
+	m.Memories = mems
+	loc := isdl.MemLoc(name)
+	var kept []isdl.Transfer
+	for _, t := range m.Transfers {
+		if t.From != loc && t.To != loc {
+			kept = append(kept, t)
+		}
+	}
+	m.Transfers = kept
+}
+
+// resizeBank clones m with the named register bank (and every unit on
+// it) resized.
+func resizeBank(m *isdl.Machine, bank string, size int) *isdl.Machine {
+	c := m.Clone(m.Name)
+	for _, u := range c.Units {
+		if u.Regs.Name == bank {
+			u.Regs.Size = size
+		}
+	}
+	return c
+}

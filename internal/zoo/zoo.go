@@ -1,0 +1,430 @@
+// Package zoo generates random-but-lintable ISDL machine descriptions:
+// the "machine zoo" that turns the repository's retargetability claim
+// into a tested property instead of a promise. The paper's whole point
+// (Hanono & Devadas, DAC 1998) is that one covering/allocation/
+// scheduling engine serves any ISDL-described target; the zoo supplies
+// target diversity — clustered register files, multi-cycle units, wide
+// and single-issue machines, sparse transfer graphs, hostile constraint
+// sets — so the differential harness can compile the whole program
+// corpus on every one of them.
+//
+// Generation is seeded and deterministic: the same (seed, index) always
+// yields the same machine, byte for byte (Entry.Text), so any failure
+// anywhere reproduces from two integers. Every generated machine passes
+// verify.LintMachine; a candidate the linter rejects is regenerated
+// from the next attempt sub-seed under a bounded retry budget, and the
+// rejection rule names are recorded so generator bugs show up as
+// rejection statistics rather than silent retries.
+package zoo
+
+import (
+	"fmt"
+	"sort"
+
+	"aviv/internal/ir"
+	"aviv/internal/isdl"
+	"aviv/internal/verify"
+)
+
+// Classes returns the machine class labels the generator cycles
+// through, in the order Generate assigns them to indices. Each class
+// stresses a different axis of the target space; the per-class rows of
+// BENCH_zoo.json aggregate over these labels.
+func Classes() []string {
+	return []string{
+		ClassSingleIssue,
+		ClassWideVLIW,
+		ClassClustered,
+		ClassHubBank,
+		ClassMemHub,
+		ClassMultiCycle,
+		ClassConstrained,
+		ClassDualMemory,
+		ClassTinyRegs,
+	}
+}
+
+// Machine class labels.
+const (
+	// ClassSingleIssue is a one-unit accumulator-style machine: no ILP,
+	// everything serialized through one register file.
+	ClassSingleIssue = "single-issue"
+	// ClassWideVLIW is a 3–5 unit machine with a full crossbar and a
+	// possibly multi-slot bus: the paper's example architecture scaled.
+	ClassWideVLIW = "wide-vliw"
+	// ClassClustered groups units into clusters sharing register banks
+	// with a narrow inter-cluster exchange bus (CodeSyn/FlexWare-style).
+	ClassClustered = "clustered"
+	// ClassHubBank routes all inter-bank traffic through one hub
+	// register bank: a sparse transfer graph with 2-hop bank-to-bank
+	// paths.
+	ClassHubBank = "hub-bank"
+	// ClassMemHub has no direct bank-to-bank transfer at all — every
+	// cross-bank move goes through the data memory (2 hops), the
+	// sparsest connected topology the linter accepts.
+	ClassMemHub = "mem-hub"
+	// ClassMultiCycle gives multipliers (and friends) latencies of 2–4
+	// cycles on an interlock-free machine, so the scheduler must pad.
+	ClassMultiCycle = "multi-cycle"
+	// ClassConstrained adds ISDL illegal-grouping constraints between
+	// units, shrinking the legal instruction set.
+	ClassConstrained = "constrained"
+	// ClassDualMemory is an X/Y banked-memory DSP: two data memories on
+	// separate buses.
+	ClassDualMemory = "dual-memory"
+	// ClassTinyRegs starves the register allocator: 2-register files,
+	// forcing spill traffic on any non-trivial block.
+	ClassTinyRegs = "tiny-regs"
+)
+
+// RetryBudget bounds regenerate-on-reject attempts per machine index.
+// A healthy generator almost never retries (TestZooRejectionRate pins
+// this); the budget exists so a generator regression fails loudly
+// instead of looping.
+const RetryBudget = 16
+
+// Entry is one generated zoo machine together with its provenance.
+type Entry struct {
+	// M is the finalized, lint-clean machine.
+	M *isdl.Machine
+	// Class is the machine class label (one of Classes).
+	Class string
+	// Seed and Index identify the generation slot; Attempt is the
+	// sub-seed attempt that produced the accepted machine (0 unless the
+	// linter rejected earlier candidates).
+	Seed    uint64
+	Index   int
+	Attempt int
+	// Text is the machine rendered in the parseable textual ISDL format
+	// (isdl.Machine.Dump): the reproduction handle for any failure.
+	Text string
+	// Rejects lists the lint rule names of rejected candidates, in
+	// attempt order (empty for a first-try accept).
+	Rejects []string
+}
+
+// Generate produces n lint-clean machines from the given seed. Classes
+// are assigned round-robin over Classes() so any n >= 9 covers every
+// class. The result is deterministic: same seed and n, same machines.
+func Generate(seed uint64, n int) ([]*Entry, error) {
+	entries := make([]*Entry, 0, n)
+	for i := 0; i < n; i++ {
+		e, err := One(seed, i)
+		if err != nil {
+			return nil, err
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}
+
+// One generates the machine for a single (seed, index) slot,
+// regenerating on lint rejection up to RetryBudget attempts.
+func One(seed uint64, index int) (*Entry, error) {
+	classes := Classes()
+	class := classes[index%len(classes)]
+	var rejects []string
+	for attempt := 0; attempt < RetryBudget; attempt++ {
+		r := newRng(subSeed(seed, index, attempt))
+		m := synth(r, class, fmt.Sprintf("Zoo%d_%d", seed, index))
+		if verr := verify.LintMachine(m); verr != nil {
+			rejects = append(rejects, RejectRules(verr)...)
+			continue
+		}
+		return &Entry{
+			M:       m,
+			Class:   class,
+			Seed:    seed,
+			Index:   index,
+			Attempt: attempt,
+			Text:    m.Dump(),
+			Rejects: rejects,
+		}, nil
+	}
+	return nil, fmt.Errorf("zoo: seed %d index %d (%s): %d candidates rejected by LintMachine (rules: %v)",
+		seed, index, class, RetryBudget, rejects)
+}
+
+// RejectRules extracts the distinct lint rule names from a verifier
+// error, sorted — the classification handle regenerate-on-reject and
+// the rejection-rate test use.
+func RejectRules(verr *verify.VerifyError) []string {
+	if verr == nil {
+		return nil
+	}
+	seen := map[string]bool{}
+	var rules []string
+	for _, v := range verr.Violations {
+		if !seen[v.Rule] {
+			seen[v.Rule] = true
+			rules = append(rules, v.Rule)
+		}
+	}
+	sort.Strings(rules)
+	return rules
+}
+
+// rng is the zoo's deterministic generator: the same LCG family used by
+// the difftest program generator, so machine streams are stable across
+// Go releases (unlike math/rand).
+type rng struct{ state uint64 }
+
+func newRng(seed uint64) *rng {
+	return &rng{state: seed*2654435761 + 0x9E3779B97F4A7C15}
+}
+
+// next returns a value in [0, n).
+func (r *rng) next(n int) int {
+	r.state = r.state*6364136223846793005 + 1442695040888963407
+	return int((r.state >> 33) % uint64(n))
+}
+
+// between returns a value in [lo, hi] inclusive.
+func (r *rng) between(lo, hi int) int { return lo + r.next(hi-lo+1) }
+
+// chance reports true with probability num/den.
+func (r *rng) chance(num, den int) bool { return r.next(den) < num }
+
+// subSeed mixes (seed, index, attempt) into one rng seed.
+func subSeed(seed uint64, index, attempt int) uint64 {
+	x := seed ^ uint64(index)*0x9E3779B97F4A7C15 ^ uint64(attempt)*0xBF58476D1CE4E5B9
+	x ^= x >> 30
+	x *= 0x94D049BB133111EB
+	x ^= x >> 27
+	return x
+}
+
+// coreOps is the computation repertoire the program corpus needs. The
+// generator guarantees every core op is offered by at least one unit of
+// every machine, so every corpus program compiles on every zoo machine
+// and a compile failure is always a bug, never a repertoire gap.
+var coreOps = []ir.Op{
+	ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpNeg, ir.OpCompl,
+	ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpShl, ir.OpShr,
+	ir.OpCmpEQ, ir.OpCmpNE, ir.OpCmpLT, ir.OpCmpLE, ir.OpCmpGT, ir.OpCmpGE,
+}
+
+// synth builds one candidate machine of the given class. It only
+// constructs — linting is the caller's job.
+func synth(r *rng, class, name string) *isdl.Machine {
+	m := isdl.NewMachine(name)
+	switch class {
+	case ClassSingleIssue:
+		m.AddUnit("U0", r.between(3, 8))
+		spreadOps(r, m, false)
+		m.AddMemory("DM")
+		crossbar(r, m)
+	case ClassWideVLIW:
+		n := r.between(3, 5)
+		regs := r.between(3, 6)
+		for i := 0; i < n; i++ {
+			m.AddUnit(fmt.Sprintf("U%d", i), regs)
+		}
+		spreadOps(r, m, true)
+		m.AddMemory("DM")
+		crossbar(r, m)
+		if r.chance(1, 3) {
+			addConstraints(r, m, 1)
+		}
+	case ClassClustered:
+		clusters := r.between(2, 3)
+		regs := r.between(3, 6)
+		var banks []string
+		for c := 0; c < clusters; c++ {
+			bank := fmt.Sprintf("K%d", c)
+			u0 := fmt.Sprintf("U%d", 2*c)
+			u1 := fmt.Sprintf("U%d", 2*c+1)
+			m.AddUnit(u0, regs)
+			m.AddUnit(u1, regs)
+			if err := m.ShareBank(bank, regs, u0, u1); err != nil {
+				panic("zoo: ShareBank on fresh units: " + err.Error())
+			}
+			banks = append(banks, bank)
+		}
+		spreadOps(r, m, true)
+		m.AddMemory("DM")
+		m.AddBus("DB", 1)
+		m.AddBus("XB", r.between(1, 2))
+		for _, bank := range banks {
+			m.AddTransfer(isdl.MemLoc("DM"), isdl.UnitLoc(bank), "DB")
+			m.AddTransfer(isdl.UnitLoc(bank), isdl.MemLoc("DM"), "DB")
+		}
+		// Exchange ring: each cluster can reach the next; with at most
+		// three clusters every pair stays within the path-hop bound.
+		for c := range banks {
+			nxt := banks[(c+1)%len(banks)]
+			m.AddTransfer(isdl.UnitLoc(banks[c]), isdl.UnitLoc(nxt), "XB")
+			m.AddTransfer(isdl.UnitLoc(nxt), isdl.UnitLoc(banks[c]), "XB")
+		}
+	case ClassHubBank:
+		n := r.between(2, 4)
+		for i := 0; i < n; i++ {
+			m.AddUnit(fmt.Sprintf("U%d", i), r.between(3, 6))
+		}
+		spreadOps(r, m, true)
+		m.AddMemory("DM")
+		hub := m.Units[0].Regs.Name
+		m.AddBus("HB", r.between(1, 2))
+		m.AddTransfer(isdl.UnitLoc(hub), isdl.MemLoc("DM"), "HB")
+		m.AddTransfer(isdl.MemLoc("DM"), isdl.UnitLoc(hub), "HB")
+		for _, u := range m.Units[1:] {
+			m.AddTransfer(isdl.UnitLoc(hub), isdl.UnitLoc(u.Regs.Name), "HB")
+			m.AddTransfer(isdl.UnitLoc(u.Regs.Name), isdl.UnitLoc(hub), "HB")
+			// Spoke banks load/store directly so 2-hop memory traffic
+			// does not have to squeeze through the hub both ways.
+			if r.chance(1, 2) {
+				m.AddTransfer(isdl.UnitLoc(u.Regs.Name), isdl.MemLoc("DM"), "HB")
+				m.AddTransfer(isdl.MemLoc("DM"), isdl.UnitLoc(u.Regs.Name), "HB")
+			}
+		}
+	case ClassMemHub:
+		n := r.between(2, 3)
+		for i := 0; i < n; i++ {
+			m.AddUnit(fmt.Sprintf("U%d", i), r.between(3, 6))
+		}
+		spreadOps(r, m, true)
+		m.AddMemory("DM")
+		m.AddBus("MB", r.between(1, 2))
+		for _, u := range m.Units {
+			m.AddTransfer(isdl.UnitLoc(u.Regs.Name), isdl.MemLoc("DM"), "MB")
+			m.AddTransfer(isdl.MemLoc("DM"), isdl.UnitLoc(u.Regs.Name), "MB")
+		}
+	case ClassMultiCycle:
+		n := r.between(2, 3)
+		for i := 0; i < n; i++ {
+			m.AddUnit(fmt.Sprintf("U%d", i), r.between(3, 6))
+		}
+		spreadOps(r, m, true)
+		for _, u := range m.Units {
+			for _, op := range []ir.Op{ir.OpMul, ir.OpDiv, ir.OpMod} {
+				if u.Can(op) {
+					u.SetLatency(op, r.between(2, 4))
+				}
+			}
+			if r.chance(1, 4) && u.Can(ir.OpShl) {
+				u.SetLatency(ir.OpShl, 2)
+			}
+		}
+		m.AddMemory("DM")
+		crossbar(r, m)
+	case ClassConstrained:
+		n := r.between(3, 4)
+		regs := r.between(3, 6)
+		for i := 0; i < n; i++ {
+			m.AddUnit(fmt.Sprintf("U%d", i), regs)
+		}
+		spreadOps(r, m, true)
+		m.AddMemory("DM")
+		crossbar(r, m)
+		addConstraints(r, m, r.between(2, 4))
+	case ClassDualMemory:
+		n := r.between(2, 3)
+		for i := 0; i < n; i++ {
+			m.AddUnit(fmt.Sprintf("U%d", i), r.between(3, 6))
+		}
+		spreadOps(r, m, true)
+		m.AddMemory("XM")
+		m.AddMemory("YM")
+		m.AddBus("BX", 1)
+		m.AddBus("BY", 1)
+		for _, u := range m.Units {
+			m.AddTransfer(isdl.MemLoc("XM"), isdl.UnitLoc(u.Regs.Name), "BX")
+			m.AddTransfer(isdl.UnitLoc(u.Regs.Name), isdl.MemLoc("XM"), "BX")
+			m.AddTransfer(isdl.MemLoc("YM"), isdl.UnitLoc(u.Regs.Name), "BY")
+			m.AddTransfer(isdl.UnitLoc(u.Regs.Name), isdl.MemLoc("YM"), "BY")
+		}
+		for i := 1; i < len(m.Units); i++ {
+			m.AddTransfer(isdl.UnitLoc(m.Units[0].Regs.Name), isdl.UnitLoc(m.Units[i].Regs.Name), "BX")
+			m.AddTransfer(isdl.UnitLoc(m.Units[i].Regs.Name), isdl.UnitLoc(m.Units[0].Regs.Name), "BX")
+		}
+	case ClassTinyRegs:
+		n := r.between(1, 2)
+		for i := 0; i < n; i++ {
+			m.AddUnit(fmt.Sprintf("U%d", i), 2)
+		}
+		spreadOps(r, m, n > 1)
+		m.AddMemory("DM")
+		crossbar(r, m)
+	default:
+		panic("zoo: unknown class " + class)
+	}
+
+	// Optional flourishes shared by all classes: a division-capable
+	// unit, and a MAC unit with the matching complex-instruction
+	// pattern.
+	if r.chance(1, 3) {
+		u := m.Units[r.next(len(m.Units))]
+		u.Ops[ir.OpDiv] = true
+		u.Ops[ir.OpMod] = true
+	}
+	if r.chance(1, 3) {
+		u := m.Units[r.next(len(m.Units))]
+		u.Ops[ir.OpMAC] = true
+		m.Patterns = append(m.Patterns, isdl.MACPattern(u.Name))
+	}
+	return m
+}
+
+// spreadOps distributes the core repertoire over the machine's units:
+// every core op lands on at least one unit, chosen by the rng, and
+// units pick up extra ops with low probability so repertoires overlap
+// (sparse=true keeps overlap rare, making op→unit choice matter more).
+func spreadOps(r *rng, m *isdl.Machine, sparse bool) {
+	n := len(m.Units)
+	for _, op := range coreOps {
+		m.Units[r.next(n)].Ops[op] = true
+	}
+	num, den := 1, 3
+	if sparse {
+		num, den = 1, 6
+	}
+	for _, u := range m.Units {
+		for _, op := range coreOps {
+			if !u.Ops[op] && r.chance(num, den) {
+				u.Ops[op] = true
+			}
+		}
+		// A unit the spread left empty still needs a repertoire.
+		if len(u.Ops) == 0 {
+			u.Ops[coreOps[r.next(len(coreOps))]] = true
+			u.Ops[ir.OpAdd] = true
+		}
+	}
+}
+
+// crossbar wires every bank and memory to every other over one bus of
+// width 1 or 2, the paper's example-architecture topology.
+func crossbar(r *rng, m *isdl.Machine) {
+	m.AddBus("DB", r.between(1, 2))
+	m.ConnectAll("DB")
+}
+
+// addConstraints forbids n random two-slot co-issues between distinct
+// units. Slots are drawn from each unit's sorted op list so the result
+// is deterministic.
+func addConstraints(r *rng, m *isdl.Machine, n int) {
+	if len(m.Units) < 2 {
+		return
+	}
+	seen := map[string]bool{}
+	for k := 0; k < n; k++ {
+		i := r.next(len(m.Units))
+		j := r.next(len(m.Units))
+		if i == j {
+			j = (j + 1) % len(m.Units)
+		}
+		a, b := m.Units[i], m.Units[j]
+		aOps, bOps := a.OpList(), b.OpList()
+		if len(aOps) == 0 || len(bOps) == 0 {
+			continue
+		}
+		sa := isdl.SlotRef{Unit: a.Name, Op: aOps[r.next(len(aOps))]}
+		sb := isdl.SlotRef{Unit: b.Name, Op: bOps[r.next(len(bOps))]}
+		key := sa.String() + "&" + sb.String()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		m.AddConstraint(sa, sb)
+	}
+}

@@ -1,0 +1,184 @@
+package zoo
+
+import (
+	"strings"
+	"testing"
+
+	"aviv/internal/ir"
+	"aviv/internal/isdl"
+	"aviv/internal/verify"
+)
+
+// TestGenerateLintCleanAndDeterministic is the zoo's core contract: a
+// fixed seed yields the same machines byte for byte, every one of them
+// lints clean, and the class rotation covers every class.
+func TestGenerateLintCleanAndDeterministic(t *testing.T) {
+	const seed, n = 1, 27
+	a, err := Generate(seed, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(seed, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != n || len(b) != n {
+		t.Fatalf("got %d and %d entries, want %d", len(a), len(b), n)
+	}
+	classes := map[string]int{}
+	for i := range a {
+		if a[i].Text != b[i].Text {
+			t.Errorf("machine %d not deterministic:\n%s\nvs\n%s", i, a[i].Text, b[i].Text)
+		}
+		if a[i].M.Fingerprint() != b[i].M.Fingerprint() {
+			t.Errorf("machine %d fingerprint not deterministic", i)
+		}
+		if verr := verify.LintMachine(a[i].M.Clone(a[i].M.Name)); verr != nil {
+			t.Errorf("machine %d (%s) does not lint clean: %v", i, a[i].Class, verr)
+		}
+		classes[a[i].Class]++
+	}
+	for _, c := range Classes() {
+		if classes[c] == 0 {
+			t.Errorf("class %s never generated in %d machines", c, n)
+		}
+	}
+}
+
+// TestGenerateCoversCoreRepertoire: every corpus op must be offered by
+// some unit of every machine, so compile failures on zoo machines are
+// always bugs, never repertoire gaps.
+func TestGenerateCoversCoreRepertoire(t *testing.T) {
+	entries, err := Generate(7, 18)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		for _, op := range coreOps {
+			if len(e.M.UnitsFor(op)) == 0 {
+				t.Errorf("%s (%s): no unit performs %s", e.M.Name, e.Class, op)
+			}
+		}
+	}
+}
+
+// TestGenerateRejectionRate pins the regenerate-on-reject machinery: the
+// generator should almost never need a retry, and when it does the
+// recorded rules must be real lint rule names.
+func TestGenerateRejectionRate(t *testing.T) {
+	entries, err := Generate(3, 45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rejects := 0
+	for _, e := range entries {
+		rejects += len(e.Rejects)
+		for _, rule := range e.Rejects {
+			if !strings.HasPrefix(rule, "isdl/") {
+				t.Errorf("%s: rejection rule %q is not an isdl lint rule", e.M.Name, rule)
+			}
+		}
+	}
+	if rejects > len(entries) {
+		t.Errorf("%d rejections across %d machines: generator emits too much lint-rejected garbage", rejects, len(entries))
+	}
+}
+
+// TestRoundTripParseDumpParse: the textual rendering of every zoo
+// machine re-parses to an equivalent machine — equal Describe output
+// means equal derived databases and therefore equal fingerprints, so
+// Entry.Text really is a complete reproduction handle.
+func TestRoundTripParseDumpParse(t *testing.T) {
+	entries, err := Generate(1, 27)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		m2, err := isdl.Parse(e.Text)
+		if err != nil {
+			t.Errorf("%s (%s): dumped text does not parse: %v\n%s", e.M.Name, e.Class, err, e.Text)
+			continue
+		}
+		if got, want := m2.Describe(), e.M.Describe(); got != want {
+			t.Errorf("%s: Parse(Dump(m)) differs from m:\n--- reparsed\n%s\n--- original\n%s", e.M.Name, got, want)
+		}
+		if m2.Fingerprint() != e.M.Fingerprint() {
+			t.Errorf("%s: fingerprint changed across Parse(Dump(m))", e.M.Name)
+		}
+	}
+}
+
+// TestMinimize shrinks a wide zoo machine under a synthetic failure
+// predicate ("lints clean and some unit performs MUL") and must reach
+// the structural minimum: one single-op unit on a one-register bank
+// with nothing but the memory round trip left.
+func TestMinimize(t *testing.T) {
+	e, err := One(1, 1) // index 1 = wide-vliw
+	if err != nil {
+		t.Fatal(err)
+	}
+	fails := func(m *isdl.Machine) bool {
+		if verify.LintMachine(m) != nil {
+			return false
+		}
+		for _, u := range m.Units {
+			if u.Can(ir.OpMul) {
+				return true
+			}
+		}
+		return false
+	}
+	if !fails(e.M.Clone(e.M.Name)) {
+		t.Fatal("precondition: generated machine should satisfy the predicate")
+	}
+	min := Minimize(e.M, fails)
+	if !fails(min.Clone(min.Name)) {
+		t.Fatalf("minimized machine no longer fails:\n%s", min.Dump())
+	}
+	if len(min.Units) != 1 {
+		t.Errorf("want 1 unit after minimization, got %d:\n%s", len(min.Units), min.Dump())
+	}
+	if ops := min.Units[0].OpList(); len(ops) != 1 || ops[0] != ir.OpMul {
+		t.Errorf("want exactly [MUL] on the surviving unit, got %v", ops)
+	}
+	if size := min.Units[0].Regs.Size; size != 1 {
+		t.Errorf("want the bank shrunk to 1 register, got %d", size)
+	}
+	if len(min.Constraints) != 0 || len(min.Patterns) != 0 {
+		t.Errorf("constraints/patterns survived minimization:\n%s", min.Dump())
+	}
+	if len(min.Transfers) != 2 {
+		t.Errorf("want only the memory round trip (2 transfers), got %d:\n%s", len(min.Transfers), min.Dump())
+	}
+	// Determinism: minimizing again reproduces the same machine.
+	again := Minimize(e.M, fails)
+	if again.Dump() != min.Dump() {
+		t.Errorf("minimization not deterministic:\n%s\nvs\n%s", again.Dump(), min.Dump())
+	}
+}
+
+// TestOneRetryBudgetExhausted: One must fail loudly, naming the
+// rejection rules, when every candidate is rejected. Exercised through
+// the real path by a class whose machines always lint clean being
+// impossible to break — so instead drive RejectRules directly and
+// check One's bounded loop via an impossible budget simulation is not
+// possible without stubbing; RejectRules behavior is pinned here.
+func TestRejectRules(t *testing.T) {
+	m := isdl.NewMachine("bad")
+	m.AddUnit("U", 0) // empty repertoire + zero-size bank
+	verr := verify.LintMachine(m)
+	if verr == nil {
+		t.Fatal("want lint violations")
+	}
+	rules := RejectRules(verr)
+	want := map[string]bool{"isdl/unit-empty": true, "isdl/bank-size": true, "isdl/no-memory": true}
+	for _, r := range rules {
+		delete(want, r)
+	}
+	if len(want) != 0 {
+		t.Errorf("RejectRules missing %v (got %v)", want, rules)
+	}
+	if RejectRules(nil) != nil {
+		t.Error("RejectRules(nil) should be nil")
+	}
+}
