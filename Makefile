@@ -1,5 +1,5 @@
 # Convenience targets; `make check` is the gate ci.sh runs in CI.
-.PHONY: check test build vet lint staticcheck fuzz bench benchsmoke benchjson servesmoke servejson zoosmoke zoojson
+.PHONY: check test build vet lint lintfix lintsmoke toolinstall staticcheck fuzz bench benchsmoke benchjson servesmoke servejson zoosmoke zoojson
 
 check:
 	./ci.sh
@@ -20,8 +20,28 @@ staticcheck:
 	else echo "warning: staticcheck not installed; skipping"; fi
 
 lint:
+	go run ./cmd/avivlint ./...
 	for f in examples/machines/*.isdl; do go run ./cmd/isdldump -lint $$f; done
 	go test -run 'TestMutation|TestLint' ./internal/verify
+
+# Apply the mechanical rewrites the analyzer suite suggests (today:
+# errctx's %v -> %w); findings without a fix are printed and still fail.
+lintfix:
+	go run ./cmd/avivlint -fix ./...
+
+# The static-analysis gate exactly as ci.sh runs it: avivlint over the
+# tree plus the analyzer golden tests and the archtest.
+lintsmoke:
+	go run ./cmd/avivlint ./...
+	go test -run 'TestAnalyzerFixtureTable|TestErrCtxSuggestedFix|TestSuiteIsSelfClean|TestLayer|TestCheckEdge|TestComponent|TestArchSuite' -count=1 ./internal/analysis
+
+# Install the external lint toolchain at the pinned versions ci.sh
+# expects, and build avivlint (standard library only — no module
+# downloads needed for it). Run this when preparing a CI image or a
+# networked dev environment; the gate itself never downloads tools.
+toolinstall:
+	go install honnef.co/go/tools/cmd/staticcheck@2024.1
+	go build -o bin/avivlint ./cmd/avivlint
 
 fuzz:
 	go test -run '^$$' -fuzz='^FuzzCompileSource$$' -fuzztime=10s .

@@ -19,24 +19,38 @@ echo "== go vet =="
 go vet ./...
 
 # staticcheck is pinned so every environment that does have the binary
-# agrees on the rule set; offline containers without it skip with a
-# warning rather than failing the gate (the tool is never downloaded
-# here — CI images are expected to bake it in).
+# agrees on the rule set. When it is installed, the stage is a hard
+# fail — including on a version mismatch, which `make toolinstall`
+# resolves. Offline containers without the binary skip with a warning
+# (the tool is never downloaded here — CI images bake it in via
+# `make toolinstall`).
 STATICCHECK_VERSION="2024.1"
 echo "== staticcheck (${STATICCHECK_VERSION}) =="
 if command -v staticcheck >/dev/null 2>&1; then
     have=$(staticcheck -version 2>/dev/null || true)
     case "$have" in
     *"$STATICCHECK_VERSION"*) ;;
-    *) echo "warning: staticcheck version is '$have', want ${STATICCHECK_VERSION}; running anyway" ;;
+    *)
+        echo "error: staticcheck version is '$have', want ${STATICCHECK_VERSION}; run 'make toolinstall' to converge"
+        exit 1
+        ;;
     esac
     staticcheck ./...
 else
-    echo "warning: staticcheck not installed; skipping lint stage"
+    echo "warning: staticcheck not installed; skipping (run 'make toolinstall' in a networked environment)"
 fi
 
 echo "== go build =="
 go build ./...
+
+echo "== lintsmoke: avivlint static-analysis suite =="
+# Hard fail: the layering / determinism / mutexhygiene / errctx /
+# suppress passes must be clean on the whole tree, and each analyzer
+# must still catch its planted-defect fixtures. The archtest
+# (TestArchSuite) repeats the tree-wide run under plain `go test`, so
+# the race stage below cross-checks it too.
+go run ./cmd/avivlint ./...
+go test -run 'TestAnalyzerFixtureTable|TestErrCtxSuggestedFix|TestSuiteIsSelfClean|TestLayer|TestCheckEdge|TestComponent|TestArchSuite' -count=1 ./internal/analysis
 
 echo "== lint: ISDL machine descriptions =="
 for f in examples/machines/*.isdl; do

@@ -1,0 +1,157 @@
+// Command avivlint is the multichecker driving the repository's custom
+// static-analysis suite (internal/analysis): the layering, determinism,
+// mutexhygiene, errctx, and suppress passes.
+//
+// Usage:
+//
+//	avivlint [-run name,name] [-fix] [packages]
+//	avivlint -list
+//
+// With no package arguments it checks ./... relative to the current
+// directory. Exit status is 0 when the tree is clean, 1 when findings
+// remain, 2 on usage or load errors. Findings are suppressed one site
+// at a time with //lint:reason <justification> on the flagged line or
+// the line above; the suite rejects empty justifications.
+//
+// -fix applies the mechanical rewrites some findings carry (today:
+// errctx's %v -> %w) and reports what it changed; findings without a
+// fix are printed as usual and still fail the run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"aviv/internal/analysis"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
+	fix := flag.Bool("fix", false, "apply suggested fixes to the source tree")
+	runNames := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
+	flag.Parse()
+
+	analyzers := analysis.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *runNames != "" {
+		analyzers = analyzers[:0]
+		for _, name := range strings.Split(*runNames, ",") {
+			a := analysis.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(os.Stderr, "avivlint: unknown analyzer %q (see -list)\n", name)
+				return 2
+			}
+			analyzers = append(analyzers, a)
+		}
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	fset := token.NewFileSet()
+	pkgs, err := analysis.Load(fset, ".", patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "avivlint: %v\n", err)
+		return 2
+	}
+	findings, err := analysis.Run(fset, pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "avivlint: %v\n", err)
+		return 2
+	}
+
+	if *fix {
+		fixed, err := applyFixes(fset, findings)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "avivlint: applying fixes: %v\n", err)
+			return 2
+		}
+		var remaining []analysis.Finding
+		for _, f := range findings {
+			if f.Fix == nil {
+				remaining = append(remaining, f)
+			}
+		}
+		fmt.Printf("avivlint: applied %d fix(es)\n", fixed)
+		findings = remaining
+	}
+
+	for _, f := range findings {
+		fmt.Println(relify(f))
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "avivlint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+// relify renders a finding with the filename relative to the working
+// directory when possible, keeping output stable across checkouts.
+func relify(f analysis.Finding) string {
+	name := f.Position.Filename
+	if wd, err := os.Getwd(); err == nil {
+		if rel, err := filepath.Rel(wd, name); err == nil && !strings.HasPrefix(rel, "..") {
+			name = rel
+		}
+	}
+	return fmt.Sprintf("%s:%d:%d: %s [%s]", name, f.Position.Line, f.Position.Column, f.Message, f.Analyzer)
+}
+
+// applyFixes rewrites source files with every suggested fix, applying
+// edits back to front per file so earlier offsets stay valid.
+func applyFixes(fset *token.FileSet, findings []analysis.Finding) (int, error) {
+	type edit struct {
+		start, end int
+		text       string
+	}
+	byFile := map[string][]edit{}
+	n := 0
+	for _, f := range findings {
+		if f.Fix == nil {
+			continue
+		}
+		n++
+		for _, e := range f.Fix.Edits {
+			pos := fset.Position(e.Pos)
+			end := fset.Position(e.End)
+			byFile[pos.Filename] = append(byFile[pos.Filename], edit{pos.Offset, end.Offset, e.New})
+		}
+	}
+	for file, edits := range byFile {
+		src, err := os.ReadFile(file)
+		if err != nil {
+			return n, err
+		}
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
+		for i, e := range edits {
+			if i > 0 && e.end > edits[i-1].start {
+				return n, fmt.Errorf("%s: overlapping fixes", file)
+			}
+			if e.start < 0 || e.end > len(src) || e.start > e.end {
+				return n, fmt.Errorf("%s: fix out of range", file)
+			}
+			src = append(src[:e.start], append([]byte(e.text), src[e.end:]...)...)
+		}
+		if err := os.WriteFile(file, src, 0o644); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

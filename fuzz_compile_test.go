@@ -10,10 +10,10 @@ import (
 	"aviv/internal/dataflow/diag"
 	"aviv/internal/ir"
 	"aviv/internal/isdl"
-	"aviv/internal/zoo"
 	"aviv/internal/lang"
 	"aviv/internal/sim"
 	"aviv/internal/verify"
+	"aviv/internal/zoo"
 )
 
 // fuzzMachinePool returns the machines FuzzCompileSource targets: the

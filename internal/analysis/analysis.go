@@ -1,0 +1,157 @@
+// Package analysis is the compiler's static-analysis suite: a small,
+// dependency-free reimplementation of the golang.org/x/tools/go/analysis
+// surface (Analyzer / Pass / Diagnostic) plus the aviv-specific passes
+// that enforce the repository's load-bearing invariants at compile time:
+//
+//   - layering       — the package import graph must match the declared
+//     layer DAG in layers.go (ir/isdl/bitset at the bottom, the covering
+//     engine in the middle, server/zoo/bench on top, cmd above all);
+//   - determinism    — compile-path packages must not let map iteration
+//     order, wall clocks, or global randomness reach an output;
+//   - mutexhygiene   — no channel sends or calls into other locking
+//     functions while a mutex is held;
+//   - errctx         — error-wrapping fmt.Errorf must use %w in the
+//     packages that define structured error types;
+//   - suppress       — every //lint:reason annotation must carry a
+//     non-empty justification.
+//
+// The x/tools module is deliberately not a dependency: the repo builds
+// offline from the standard library alone, so the framework here mirrors
+// the x/tools API shape (an Analyzer with a Run func over a Pass that
+// Reports Diagnostics) without importing it. Driving happens through
+// cmd/avivlint (a multichecker) and through the archtest in this
+// package, which runs the same passes under plain `go test`.
+//
+// Diagnostics are suppressed, one site at a time, with an inline comment
+//
+//	//lint:reason <non-empty justification>
+//
+// on the flagged line or the line directly above it. An empty reason is
+// itself a diagnostic, so every suppression documents why the flagged
+// code is in fact safe.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer describes one static-analysis pass. The shape mirrors
+// golang.org/x/tools/go/analysis.Analyzer so the passes could be ported
+// to a real multichecker driver without rewriting their Run functions.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and on the
+	// avivlint command line. Names are stable API: tests enumerate
+	// them exactly.
+	Name string
+
+	// Doc is a one-paragraph description, shown by `avivlint -list`.
+	Doc string
+
+	// NeedTypes reports whether Run requires a type-checked package.
+	// Purely syntactic passes (layering, suppress) leave it false and
+	// can run on code whose imports do not resolve, which is what
+	// lets fixtures declare impossible imports.
+	NeedTypes bool
+
+	// Components restricts the pass to the listed module components
+	// (see componentOf; e.g. "internal/cover"). Nil means every
+	// component.
+	Components []string
+
+	// Run executes the pass over one package, reporting findings via
+	// pass.Report. Returning an error aborts the whole run; ordinary
+	// findings are diagnostics, not errors.
+	Run func(pass *Pass) error
+}
+
+// A Pass connects one Analyzer run to one package.
+type Pass struct {
+	Analyzer *Analyzer
+
+	// Path is the package's full import path ("aviv/internal/cover").
+	Path string
+
+	Fset  *token.FileSet
+	Files []*ast.File
+
+	// Pkg and Info hold type information when Analyzer.NeedTypes is
+	// set; both are nil for syntactic passes.
+	Pkg  *types.Package
+	Info *types.Info
+
+	diags *[]Diagnostic
+}
+
+// A Diagnostic is one finding at one position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+
+	// Analyzer is the reporting pass's name; the driver fills it in.
+	Analyzer string
+
+	// Fix, when non-nil, is a mechanical rewrite that resolves the
+	// finding; `avivlint -fix` applies it.
+	Fix *Fix
+}
+
+// A Fix is a set of non-overlapping text edits.
+type Fix struct {
+	Message string
+	Edits   []Edit
+}
+
+// An Edit replaces the source range [Pos, End) with New.
+type Edit struct {
+	Pos, End token.Pos
+	New      string
+}
+
+// Report records one finding.
+func (p *Pass) Report(d Diagnostic) {
+	d.Analyzer = p.Analyzer.Name
+	*p.diags = append(*p.diags, d)
+}
+
+// Reportf records one finding at pos with a formatted message.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// RunOn executes the analyzer over an already-parsed package and
+// returns its raw diagnostics. It is the entry point the analysistest
+// harness uses; cmd/avivlint and the archtest go through Run, which
+// adds suppression filtering and deterministic ordering.
+func (a *Analyzer) RunOn(fset *token.FileSet, path string, files []*ast.File, pkg *types.Package, info *types.Info) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	pass := &Pass{
+		Analyzer: a,
+		Path:     path,
+		Fset:     fset,
+		Files:    files,
+		Pkg:      pkg,
+		Info:     info,
+		diags:    &diags,
+	}
+	if err := a.Run(pass); err != nil {
+		return nil, err
+	}
+	return diags, nil
+}
+
+// FilterSuppressed drops diagnostics covered by a non-empty
+// //lint:reason annotation, mirroring what the driver does on real
+// packages so fixtures exercise the same rule.
+func FilterSuppressed(fset *token.FileSet, files []*ast.File, diags []Diagnostic) []Diagnostic {
+	sup := suppressionsIn(fset, files)
+	var out []Diagnostic
+	for _, d := range diags {
+		if !suppressed(sup, fset.Position(d.Pos)) {
+			out = append(out, d)
+		}
+	}
+	return out
+}

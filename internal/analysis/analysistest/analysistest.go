@@ -1,0 +1,206 @@
+// Package analysistest runs one analyzer over a fixture directory and
+// checks its diagnostics against inline expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest without the dependency.
+//
+// Expectations are comments of the form
+//
+//	code() // want "regexp"
+//	code() // want "first" "second"
+//
+// where each quoted pattern is a regular expression that must match a
+// diagnostic reported on that line, and every diagnostic must be
+// claimed by some pattern. A /* want "..." */ block comment works too,
+// which is how fixtures attach an expectation to a //lint:reason line
+// (a line comment would swallow the rest of the line).
+//
+// Fixtures live under testdata/src/<analyzer>/<case>. Type-aware
+// analyzers get the fixture type-checked against compiled export data
+// for its standard-library imports; syntactic analyzers run on the
+// bare parse, so fixtures may import unresolvable module paths (the
+// layering fixtures do exactly that).
+package analysistest
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"aviv/internal/analysis"
+)
+
+// Run checks the analyzer against the fixture directory. asPath is the
+// import path the fixture package pretends to be — component-scoped
+// analyzers (layering, determinism, errctx) behave according to it;
+// pass anything ("fixture") for unscoped analyzers.
+func Run(t *testing.T, a *analysis.Analyzer, dir, asPath string) {
+	t.Helper()
+	diags, fset, files := Diagnostics(t, a, dir, asPath)
+	check(t, fset, files, diags)
+}
+
+// Diagnostics runs the analyzer over the fixture and returns its
+// post-suppression diagnostics without checking want expectations, for
+// tests that assert on diagnostic details (suggested fixes, ordering).
+func Diagnostics(t *testing.T, a *analysis.Analyzer, dir, asPath string) ([]analysis.Diagnostic, *token.FileSet, []*ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, dir)
+	if err != nil {
+		t.Fatalf("parsing fixture %s: %v", dir, err)
+	}
+	if len(files) == 0 {
+		t.Fatalf("fixture %s has no Go files", dir)
+	}
+
+	var pkg *types.Package
+	var info *types.Info
+	if a.NeedTypes {
+		pkg, info, err = typecheck(fset, files, asPath)
+		if err != nil {
+			t.Fatalf("type checking fixture %s: %v", dir, err)
+		}
+	}
+
+	diags, err := a.RunOn(fset, asPath, files, pkg, info)
+	if err != nil {
+		t.Fatalf("running %s on %s: %v", a.Name, dir, err)
+	}
+	if a != analysis.Suppress {
+		diags = analysis.FilterSuppressed(fset, files, diags)
+	}
+	return diags, fset, files
+}
+
+func parseDir(fset *token.FileSet, dir string) ([]*ast.File, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// typecheck type-checks the fixture against export data for its
+// standard-library imports. Module-path imports are rejected: typed
+// fixtures must be self-contained.
+func typecheck(fset *token.FileSet, files []*ast.File, path string) (*types.Package, *types.Info, error) {
+	var std []string
+	seen := map[string]bool{}
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || seen[p] {
+				continue
+			}
+			seen[p] = true
+			std = append(std, p)
+		}
+	}
+	sort.Strings(std)
+	imp, err := analysis.StdImporter(fset, std...)
+	if err != nil {
+		return nil, nil, err
+	}
+	info := analysis.NewTypesInfo()
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return nil, nil, err
+	}
+	return pkg, info, nil
+}
+
+// expectation is one want pattern at one file line.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	met  bool
+}
+
+// wantRe matches `want` followed by one or more double- or
+// backquote-quoted regexp patterns (backquotes keep patterns with
+// quotes and parens readable).
+var wantRe = regexp.MustCompile("want ((?:(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)\\s*)+)")
+
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) []*expectation {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := m[1]
+				for {
+					rest = strings.TrimSpace(rest)
+					if rest == "" || (rest[0] != '"' && rest[0] != '`') {
+						break
+					}
+					q, err := strconv.QuotedPrefix(rest)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %q", pos.Filename, pos.Line, rest)
+					}
+					pat, _ := strconv.Unquote(q)
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: want pattern %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, re: re, raw: pat})
+					rest = rest[len(q):]
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	wants := collectWants(t, fset, files)
+	claimed := make([]bool, len(diags))
+	for _, w := range wants {
+		for i, d := range diags {
+			if claimed[i] {
+				continue
+			}
+			pos := fset.Position(d.Pos)
+			if pos.Filename == w.file && pos.Line == w.line && w.re.MatchString(d.Message) {
+				claimed[i] = true
+				w.met = true
+				break
+			}
+		}
+		if !w.met {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.raw)
+		}
+	}
+	for i, d := range diags {
+		if !claimed[i] {
+			pos := fset.Position(d.Pos)
+			t.Errorf("%s:%d: unexpected diagnostic: %s", pos.Filename, pos.Line, d.Message)
+		}
+	}
+}

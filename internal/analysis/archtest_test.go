@@ -1,0 +1,36 @@
+//go:build !noarchtest
+
+// The archtest: the same passes cmd/avivlint drives, run under plain
+// `go test` so the architecture gate travels with the ordinary test
+// suite (no extra binary, no extra CI stage needed to catch an upward
+// import). Build with -tags noarchtest to skip it in environments
+// where the go command cannot list/build the module (the loader shells
+// out to `go list -export`).
+package analysis_test
+
+import (
+	"testing"
+
+	"aviv/internal/analysis"
+)
+
+// TestArchSuite runs the full analyzer suite over the whole module and
+// requires a clean tree: every finding must have been either fixed or
+// suppressed with a justified //lint:reason. This is the test-shaped
+// twin of `avivlint ./...` in ci.sh.
+func TestArchSuite(t *testing.T) {
+	if testing.Short() {
+		t.Skip("archtest loads and type-checks the whole module; skipped in -short")
+	}
+	fset, pkgs := loadModulePackages(t, "aviv/...")
+	findings, err := analysis.Run(fset, pkgs, analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+	if len(findings) > 0 {
+		t.Logf("fix the findings or annotate them with //lint:reason <why> (see internal/analysis doc)")
+	}
+}

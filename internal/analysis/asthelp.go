@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// pkgFuncCall reports whether call invokes a package-level function of
+// the package with import path pkgPath, returning its name ("" when
+// not). It resolves through the type checker, so aliased imports and
+// shadowed identifiers are handled correctly.
+func pkgFuncCall(info *types.Info, call *ast.CallExpr, pkgPath string) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	x, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pn, ok := info.Uses[x].(*types.PkgName)
+	if !ok || pn.Imported().Path() != pkgPath {
+		return ""
+	}
+	return sel.Sel.Name
+}
+
+// stmtLists visits every statement list in the file: block bodies,
+// switch case clauses, and select comm clauses. Analyzers that need
+// "the statements following X in its enclosing list" (the determinism
+// pass's sort-rescue scan, the mutex pass's held-region walk) hang off
+// this rather than re-deriving parent links.
+func stmtLists(f *ast.File, visit func(list []ast.Stmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BlockStmt:
+			visit(n.List)
+		case *ast.CaseClause:
+			visit(n.Body)
+		case *ast.CommClause:
+			visit(n.Body)
+		}
+		return true
+	})
+}
+
+// inspectNoFuncLit walks n like ast.Inspect but does not descend into
+// function literals: a closure's body runs at some other time (or on
+// some other goroutine), so facts about "code executed here" must not
+// leak across its boundary.
+func inspectNoFuncLit(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// usesObject reports whether the expression tree references obj.
+func usesObject(info *types.Info, n ast.Node, obj types.Object) bool {
+	if obj == nil || n == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,116 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// A Finding is one diagnostic resolved to a file position, as emitted
+// by the driver after suppression filtering.
+type Finding struct {
+	Diagnostic
+	Position token.Position
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]",
+		f.Position.Filename, f.Position.Line, f.Position.Column, f.Message, f.Analyzer)
+}
+
+// Run executes every analyzer over every package, honors //lint:reason
+// suppressions, and returns the surviving findings in deterministic
+// (file, line, column, analyzer, message) order. A non-nil error means
+// a pass could not run at all — individual findings are never errors.
+func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
+	var findings []Finding
+	for _, pkg := range pkgs {
+		sup := suppressionsIn(fset, pkg.Files)
+		comp := Component(pkg.Path)
+		for _, a := range analyzers {
+			if !a.appliesTo(comp) {
+				continue
+			}
+			if a.NeedTypes && pkg.Types == nil {
+				return nil, fmt.Errorf("analyzer %s needs types, but package %s was loaded without them", a.Name, pkg.Path)
+			}
+			var diags []Diagnostic
+			pass := &Pass{
+				Analyzer: a,
+				Path:     pkg.Path,
+				Fset:     fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Types,
+				Info:     pkg.Info,
+				diags:    &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("analyzer %s on %s: %v", a.Name, pkg.Path, err)
+			}
+			for _, d := range diags {
+				pos := fset.Position(d.Pos)
+				// The suppress pass polices the annotations
+				// themselves and is exempt from them.
+				if a != Suppress && suppressed(sup, pos) {
+					continue
+				}
+				findings = append(findings, Finding{Diagnostic: d, Position: pos})
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Position.Filename != b.Position.Filename {
+			return a.Position.Filename < b.Position.Filename
+		}
+		if a.Position.Line != b.Position.Line {
+			return a.Position.Line < b.Position.Line
+		}
+		if a.Position.Column != b.Position.Column {
+			return a.Position.Column < b.Position.Column
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return findings, nil
+}
+
+// appliesTo reports whether the analyzer is scoped to run on the given
+// module component.
+func (a *Analyzer) appliesTo(component string) bool {
+	if a.Components == nil {
+		return true
+	}
+	for _, c := range a.Components {
+		if c == component {
+			return true
+		}
+	}
+	return false
+}
+
+// All returns the complete analyzer suite in registry order. Like
+// verify.LintRules, the list is stable API: the table-driven tests
+// enumerate it by exact name, and cmd/avivlint runs it verbatim.
+func All() []*Analyzer {
+	return []*Analyzer{
+		Layering,
+		Determinism,
+		MutexHygiene,
+		ErrCtx,
+		Suppress,
+	}
+}
+
+// ByName returns the registered analyzer with the given name, or nil.
+func ByName(name string) *Analyzer {
+	for _, a := range All() {
+		if a.Name == name {
+			return a
+		}
+	}
+	return nil
+}

@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// errctxComponents are the packages that define structured error types
+// (verify.VerifyError, the server's in-band error envelope, the disk
+// cache's corrupt-entry errors). There, losing the wrapped error to a
+// %v breaks errors.Is/As dispatch that callers rely on.
+var errctxComponents = []string{
+	"internal/verify",
+	"internal/server",
+	"internal/diskcache",
+}
+
+// ErrCtx flags fmt.Errorf calls that format a received error without
+// wrapping it: an error argument rendered by %v (or %s) instead of %w.
+// Where the error is the final argument matched by a trailing verb,
+// the finding carries a mechanical %v -> %w fix that `avivlint -fix`
+// applies.
+var ErrCtx = &Analyzer{
+	Name: "errctx",
+	Doc: "in packages with structured error types, fmt.Errorf over an error " +
+		"value must wrap it with %w so errors.Is/As keep working",
+	NeedTypes:  true,
+	Components: errctxComponents,
+	Run:        runErrCtx,
+}
+
+func runErrCtx(pass *Pass) error {
+	errType := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || pkgFuncCall(pass.Info, call, "fmt") != "Errorf" || len(call.Args) < 2 {
+				return true
+			}
+			lit, ok := call.Args[0].(*ast.BasicLit)
+			if !ok {
+				return true // dynamic format string; nothing to prove
+			}
+			format, err := strconv.Unquote(lit.Value)
+			if err != nil {
+				return true
+			}
+			wraps := strings.Contains(format, "%w")
+			for i, arg := range call.Args[1:] {
+				t, ok := pass.Info.Types[arg]
+				if !ok || t.Type == nil || !types.Implements(t.Type, errType) {
+					continue
+				}
+				if wraps {
+					continue // at least one %w present; assume it covers the error
+				}
+				d := Diagnostic{
+					Pos: arg.Pos(),
+					Message: "errctx: fmt.Errorf formats an error without wrapping it; " +
+						"use %w so callers can errors.Is/As through the message",
+				}
+				// Mechanical fix for the common shape: the error is the
+				// last argument and the format ends in %v or %s.
+				if i == len(call.Args[1:])-1 {
+					if idx := strings.LastIndex(lit.Value, "%v"); idx == -1 {
+						idx = strings.LastIndex(lit.Value, "%s")
+						if idx != -1 && idx == strings.LastIndex(trimVerbs(lit.Value), "%") {
+							d.Fix = verbFix(lit, idx)
+						}
+					} else if idx == strings.LastIndex(trimVerbs(lit.Value), "%") {
+						d.Fix = verbFix(lit, idx)
+					}
+				}
+				pass.Report(d)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// trimVerbs neutralizes literal %% pairs so LastIndex("%") finds the
+// final true verb.
+func trimVerbs(s string) string {
+	return strings.ReplaceAll(s, "%%", "..")
+}
+
+// verbFix replaces the two-byte verb at byte offset idx of the format
+// literal with %w.
+func verbFix(lit *ast.BasicLit, idx int) *Fix {
+	start := lit.Pos() + token.Pos(idx)
+	return &Fix{
+		Message: "wrap the error with %w",
+		Edits:   []Edit{{Pos: start, End: start + 2, New: "%w"}},
+	}
+}

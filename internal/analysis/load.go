@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one loaded, parsed, and (for module packages)
+// type-checked package, ready for analyzer passes.
+type Package struct {
+	Path  string
+	Dir   string
+	Files []*ast.File
+
+	// Types and Info are nil only when type checking was not
+	// requested or failed; Load fails hard instead of handing
+	// NeedTypes analyzers a half-typed package.
+	Types *types.Package
+	Info  *types.Info
+}
+
+// listPackage is the subset of `go list -json` output the loader needs.
+type listPackage struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+}
+
+// goList runs `go list -deps -export -json` for patterns in dir and
+// decodes the package stream. -export makes the go command write export
+// data for every dependency into the build cache, which is what lets a
+// std-library-only driver type-check against compiled signatures
+// instead of re-type-checking the world from source.
+func goList(dir string, patterns []string) ([]*listPackage, error) {
+	args := []string{
+		"list", "-deps", "-export",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Incomplete",
+		"--",
+	}
+	args = append(args, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []*listPackage
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		p := new(listPackage)
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter resolves import paths to export data files produced by
+// `go list -export`, for use with go/importer's gc machinery.
+type exportImporter map[string]string // import path -> export file
+
+func (m exportImporter) lookup(path string) (io.ReadCloser, error) {
+	file, ok := m[path]
+	if !ok || file == "" {
+		return nil, fmt.Errorf("no export data for %q", path)
+	}
+	return os.Open(file)
+}
+
+// Load parses and type-checks the packages matching patterns, resolved
+// relative to dir (the module root, or any directory inside it).
+// Dependencies — standard library included — are consumed as compiled
+// export data, so a full-module load costs about one `go build`.
+func Load(fset *token.FileSet, dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(exportImporter, len(listed))
+	for _, p := range listed {
+		exports[p.ImportPath] = p.Export
+	}
+	imp := importer.ForCompiler(fset, "gc", exports.lookup)
+
+	var out []*Package
+	for _, p := range listed {
+		if p.Standard || p.DepOnly || len(p.GoFiles) == 0 {
+			continue
+		}
+		if p.Incomplete {
+			return nil, fmt.Errorf("package %s did not build; fix the build before linting", p.ImportPath)
+		}
+		pkg := &Package{Path: p.ImportPath, Dir: p.Dir}
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("parsing %s: %v", name, err)
+			}
+			pkg.Files = append(pkg.Files, f)
+		}
+		pkg.Info = NewTypesInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(p.ImportPath, fset, pkg.Files, pkg.Info)
+		if err != nil {
+			return nil, fmt.Errorf("type checking %s: %v", p.ImportPath, err)
+		}
+		pkg.Types = tpkg
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// NewTypesInfo allocates the types.Info maps every NeedTypes analyzer
+// relies on; the loader and the analysistest harness share it so both
+// environments hand passes the same type facts.
+func NewTypesInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+}
+
+// StdImporter returns a types.Importer able to resolve the given
+// standard-library import paths (and their dependencies) from compiled
+// export data. The analysistest harness uses it to type-check fixture
+// packages, whose only resolvable imports are std ones.
+func StdImporter(fset *token.FileSet, paths ...string) (types.Importer, error) {
+	if len(paths) == 0 {
+		return importer.ForCompiler(fset, "gc", func(string) (io.ReadCloser, error) {
+			return nil, fmt.Errorf("no imports expected")
+		}), nil
+	}
+	listed, err := goList(".", paths)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(exportImporter, len(listed))
+	for _, p := range listed {
+		exports[p.ImportPath] = p.Export
+	}
+	return importer.ForCompiler(fset, "gc", exports.lookup), nil
+}

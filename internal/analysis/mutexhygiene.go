@@ -1,0 +1,254 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// MutexHygiene flags work done while a sync.Mutex/RWMutex is held that
+// can block indefinitely or deadlock: sending on (or receiving from) a
+// channel, and calling another function in the same package that
+// itself takes a lock. The single-flight and server code is the
+// motivating surface — a send under g.mu or a nested lock acquisition
+// there turns a slow client into a stalled compile service.
+//
+// The pass is syntactic about the held region: a region opens at a
+// statement-level x.Lock()/x.RLock() and closes at the matching
+// x.Unlock()/x.RUnlock() in the same statement list (or, for
+// `defer x.Unlock()`, at function end). Goroutine bodies and closures
+// are not treated as executing inside the region.
+var MutexHygiene = &Analyzer{
+	Name: "mutexhygiene",
+	Doc: "flag channel operations and calls to other locking functions " +
+		"while a sync mutex is held",
+	NeedTypes: true,
+	Run:       runMutexHygiene,
+}
+
+func runMutexHygiene(pass *Pass) error {
+	lockers := collectLockers(pass)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			walkHeld(pass, lockers, fd.Body.List, newHeldSet())
+		}
+	}
+	return nil
+}
+
+// heldSet tracks which mutexes are held at a point in the walk, keyed
+// by the printed receiver expression ("g.mu", "c.mu").
+type heldSet struct {
+	keys map[string]bool
+}
+
+func newHeldSet() *heldSet { return &heldSet{keys: make(map[string]bool)} }
+
+func (h *heldSet) clone() *heldSet {
+	c := newHeldSet()
+	for k := range h.keys {
+		c.keys[k] = true
+	}
+	return c
+}
+
+func (h *heldSet) any() bool { return len(h.keys) > 0 }
+
+// collectLockers returns the set of functions and methods declared in
+// this package whose bodies directly call Lock/RLock on a sync mutex.
+// Calling one of them while already holding a lock risks deadlock (or
+// at best an undocumented lock ordering), so the pass flags it.
+func collectLockers(pass *Pass) map[types.Object]bool {
+	lockers := make(map[types.Object]bool)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			locks := false
+			inspectNoFuncLit(fd.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					if name, _ := syncMutexMethod(pass.Info, call); name == "Lock" || name == "RLock" {
+						locks = true
+					}
+				}
+				return !locks
+			})
+			if locks {
+				if obj := pass.Info.ObjectOf(fd.Name); obj != nil {
+					lockers[obj] = true
+				}
+			}
+		}
+	}
+	return lockers
+}
+
+// syncMutexMethod matches calls to (*sync.Mutex)/(*sync.RWMutex)
+// Lock/Unlock/RLock/RUnlock, returning the method name and the printed
+// receiver expression. Embedded mutexes resolve through the type
+// checker like explicit fields do.
+func syncMutexMethod(info *types.Info, call *ast.CallExpr) (name, recv string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	fn, ok := info.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
+		var buf bytes.Buffer
+		printer.Fprint(&buf, token.NewFileSet(), sel.X)
+		return sel.Sel.Name, buf.String()
+	}
+	return "", ""
+}
+
+// walkHeld walks one statement list, maintaining the held-lock set and
+// reporting channel operations and locking calls inside held regions.
+// held is mutated along the list (a Lock earlier in the list covers
+// later statements) and copied into nested lists.
+func walkHeld(pass *Pass, lockers map[types.Object]bool, list []ast.Stmt, held *heldSet) {
+	for _, stmt := range list {
+		switch s := stmt.(type) {
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				switch name, recv := syncMutexMethod(pass.Info, call); name {
+				case "Lock", "RLock":
+					if held.keys[recv] {
+						pass.Reportf(call.Pos(), "mutexhygiene: %s is locked again while already held; recursive locking self-deadlocks", recv)
+					}
+					held.keys[recv] = true
+					continue
+				case "Unlock", "RUnlock":
+					delete(held.keys, recv)
+					continue
+				}
+			}
+		case *ast.DeferStmt:
+			if name, recv := syncMutexMethod(pass.Info, s.Call); name == "Unlock" || name == "RUnlock" {
+				// The conventional lock-then-defer-unlock pair: the
+				// lock stays held to function end, which is exactly
+				// what the rest of this list's walk assumes.
+				_ = recv
+				continue
+			}
+		}
+
+		if held.any() {
+			checkUnderLock(pass, lockers, stmt, held)
+		}
+
+		// Recurse into nested statement lists with a copy of the
+		// current held set; a lock taken inside a branch does not
+		// extend past it.
+		for _, nested := range nestedStmtLists(stmt) {
+			walkHeld(pass, lockers, nested, held.clone())
+		}
+	}
+}
+
+// nestedStmtLists returns the statement lists directly nested in stmt
+// (branch bodies, loop bodies, case clauses). Function literals and
+// `go` statements are excluded: their bodies do not run under the
+// current lock.
+func nestedStmtLists(stmt ast.Stmt) [][]ast.Stmt {
+	var out [][]ast.Stmt
+	switch s := stmt.(type) {
+	case *ast.BlockStmt:
+		out = append(out, s.List)
+	case *ast.IfStmt:
+		out = append(out, s.Body.List)
+		if s.Else != nil {
+			out = append(out, nestedStmtLists(s.Else)...)
+		}
+	case *ast.ForStmt:
+		out = append(out, s.Body.List)
+	case *ast.RangeStmt:
+		out = append(out, s.Body.List)
+	case *ast.SwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CaseClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.SelectStmt:
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				out = append(out, cc.Body)
+			}
+		}
+	case *ast.LabeledStmt:
+		out = append(out, nestedStmtLists(s.Stmt)...)
+	}
+	return out
+}
+
+// checkUnderLock reports violations inside one statement executed with
+// at least one mutex held. It looks at the statement itself, not its
+// nested lists (walkHeld recurses into those separately).
+func checkUnderLock(pass *Pass, lockers map[types.Object]bool, stmt ast.Stmt, held *heldSet) {
+	// Examine only this statement's own expressions: strip nested
+	// statement lists by inspecting the statement but cutting off at
+	// blocks, which the caller walks with proper held tracking.
+	inspectNoFuncLit(stmt, func(n ast.Node) bool {
+		if _, ok := n.(*ast.BlockStmt); ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false // spawned goroutines do not run under the lock
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(), "mutexhygiene: channel send while %s is held; a full channel blocks with the lock held", heldNames(held))
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				pass.Reportf(n.Pos(), "mutexhygiene: channel receive while %s is held; an empty channel blocks with the lock held", heldNames(held))
+			}
+		case *ast.CallExpr:
+			if id := calleeIdent(n); id != nil {
+				if obj := pass.Info.ObjectOf(id); obj != nil && lockers[obj] {
+					pass.Reportf(n.Pos(), "mutexhygiene: call to %s, which takes a lock, while %s is held; nested acquisition risks deadlock", id.Name, heldNames(held))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// calleeIdent extracts the identifier naming the called function or
+// method, nil for indirect calls.
+func calleeIdent(call *ast.CallExpr) *ast.Ident {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun
+	case *ast.SelectorExpr:
+		return fun.Sel
+	}
+	return nil
+}
+
+func heldNames(held *heldSet) string {
+	names := make([]string, 0, len(held.keys))
+	for k := range held.keys {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return strings.Join(names, ", ")
+}

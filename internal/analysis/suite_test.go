@@ -1,0 +1,142 @@
+package analysis_test
+
+import (
+	"go/token"
+	"path/filepath"
+	"testing"
+
+	"aviv/internal/analysis"
+	"aviv/internal/analysis/analysistest"
+)
+
+// loadModulePackages loads the requested packages (or the whole module
+// with "aviv/...") through the production loader.
+func loadModulePackages(t *testing.T, patterns ...string) (*token.FileSet, []*analysis.Package) {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := analysis.Load(fset, ".", patterns...)
+	if err != nil {
+		t.Fatalf("loading %v: %v", patterns, err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("loader returned no packages for %v", patterns)
+	}
+	return fset, pkgs
+}
+
+// fixtureCases drives every analyzer, by exact registry name, over its
+// planted-defect fixtures. Each fixture contains at least one positive
+// (a `want` expectation) and one negative (clean code with no
+// expectation) per diagnostic class, so the golden check proves both
+// that defects are caught and that the deterministic idioms stay
+// silent. The registry pinning at the bottom mirrors
+// verify.TestLintRuleTable: an analyzer without a fixture, or a
+// fixture for a ghost analyzer, fails loudly.
+var fixtureCases = []struct {
+	analyzer string
+	fixture  string // directory under testdata/src
+	asPath   string // import path the fixture impersonates
+}{
+	{"layering", "layering/upward", "aviv/internal/ir"},
+	{"layering", "layering/ok", "aviv/internal/cover"},
+	{"layering", "layering/unknown", "aviv/internal/newthing"},
+	{"layering", "layering/intocmd", "aviv/internal/server"},
+	{"determinism", "determinism", "aviv/internal/cover"},
+	{"mutexhygiene", "mutexhygiene", "aviv/internal/server"},
+	{"errctx", "errctx", "aviv/internal/diskcache"},
+	{"suppress", "suppress", "aviv/internal/server"},
+}
+
+func TestAnalyzerFixtureTable(t *testing.T) {
+	for _, tc := range fixtureCases {
+		t.Run(tc.analyzer+"/"+filepath.Base(tc.fixture), func(t *testing.T) {
+			a := analysis.ByName(tc.analyzer)
+			if a == nil {
+				t.Fatalf("fixture table names unknown analyzer %q", tc.analyzer)
+			}
+			analysistest.Run(t, a, filepath.Join("testdata", "src", tc.fixture), tc.asPath)
+		})
+	}
+
+	// Registry pinning, both directions.
+	want := map[string]bool{
+		"layering":     true,
+		"determinism":  true,
+		"mutexhygiene": true,
+		"errctx":       true,
+		"suppress":     true,
+	}
+	got := map[string]bool{}
+	for _, a := range analysis.All() {
+		if got[a.Name] {
+			t.Errorf("duplicate analyzer name %q in All()", a.Name)
+		}
+		got[a.Name] = true
+		if !want[a.Name] {
+			t.Errorf("analyzer %q is registered but has no entry in this test's table", a.Name)
+		}
+		if analysis.ByName(a.Name) != a {
+			t.Errorf("ByName(%q) does not round-trip", a.Name)
+		}
+		if a.Doc == "" {
+			t.Errorf("analyzer %q has no Doc", a.Name)
+		}
+	}
+	for name := range want {
+		if !got[name] {
+			t.Errorf("expected analyzer %q is not registered in All()", name)
+		}
+	}
+	covered := map[string]bool{}
+	for _, tc := range fixtureCases {
+		covered[tc.analyzer] = true
+	}
+	for name := range got {
+		if !covered[name] {
+			t.Errorf("analyzer %q has no fixture case", name)
+		}
+	}
+}
+
+// TestErrCtxSuggestedFix pins the %v -> %w rewrite: the simple-shape
+// findings must carry an edit that lands exactly on the trailing verb.
+func TestErrCtxSuggestedFix(t *testing.T) {
+	diags, fset, _ := analysistest.Diagnostics(t, analysis.ErrCtx,
+		filepath.Join("testdata", "src", "errctx"), "aviv/internal/diskcache")
+	if len(diags) == 0 {
+		t.Fatal("no errctx diagnostics on fixture")
+	}
+	withFix := 0
+	for _, d := range diags {
+		if d.Fix == nil {
+			continue
+		}
+		withFix++
+		if len(d.Fix.Edits) != 1 || d.Fix.Edits[0].New != "%w" {
+			t.Errorf("unexpected fix shape: %+v", d.Fix)
+		}
+		e := d.Fix.Edits[0]
+		if fset.Position(e.End).Offset-fset.Position(e.Pos).Offset != 2 {
+			t.Errorf("fix edit must replace exactly a two-byte verb, got [%v,%v)", e.Pos, e.End)
+		}
+	}
+	// lostContext, lostViaSprint, and escaped all end with the error as
+	// final arg matched by the final verb: all three are fixable.
+	if withFix != 3 {
+		t.Errorf("want 3 fixable findings, got %d", withFix)
+	}
+}
+
+// TestSuiteIsSelfClean runs every analyzer over internal/analysis
+// itself: the suite must hold itself to its own rules (the layering
+// table includes it, and its own code is determinism-clean).
+func TestSuiteIsSelfClean(t *testing.T) {
+	fset, pkgs := loadModulePackages(t, "aviv/internal/analysis", "aviv/internal/analysis/analysistest")
+	findings, err := analysis.Run(fset, pkgs, analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

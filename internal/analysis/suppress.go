@@ -1,0 +1,87 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// suppressPrefix is the literal comment prefix of an inline
+// suppression. The annotation must carry a non-empty reason:
+//
+//	m.Fingerprint() //lint:reason fingerprint is order-independent
+//
+// and applies to diagnostics on its own line or the line directly
+// below, so it can ride at the end of the flagged line or on a line of
+// its own above it.
+const suppressPrefix = "//lint:reason"
+
+// suppressionsIn collects every //lint:reason annotation in files,
+// keyed by filename then line. The reason may be empty here — the
+// suppress analyzer turns empty reasons into diagnostics, and the
+// driver refuses to honor them.
+func suppressionsIn(fset *token.FileSet, files []*ast.File) map[string]map[int]string {
+	out := make(map[string]map[int]string)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, suppressPrefix) {
+					continue
+				}
+				reason := strings.TrimSpace(strings.TrimPrefix(c.Text, suppressPrefix))
+				pos := fset.Position(c.Pos())
+				byLine := out[pos.Filename]
+				if byLine == nil {
+					byLine = make(map[int]string)
+					out[pos.Filename] = byLine
+				}
+				byLine[pos.Line] = reason
+			}
+		}
+	}
+	return out
+}
+
+// suppressed reports whether a diagnostic at pos is covered by a
+// non-empty //lint:reason annotation on the same line or the line
+// directly above.
+func suppressed(sup map[string]map[int]string, pos token.Position) bool {
+	byLine := sup[pos.Filename]
+	if byLine == nil {
+		return false
+	}
+	if r, ok := byLine[pos.Line]; ok && r != "" {
+		return true
+	}
+	if r, ok := byLine[pos.Line-1]; ok && r != "" {
+		return true
+	}
+	return false
+}
+
+// Suppress is the meta-pass: a //lint:reason annotation with an empty
+// justification is itself a diagnostic, so a suppression can never
+// silently waive a finding without saying why. Its own findings are
+// exempt from suppression.
+var Suppress = &Analyzer{
+	Name: "suppress",
+	Doc: "report //lint:reason annotations whose justification is empty; " +
+		"a suppression must document why the flagged code is safe",
+	Run: runSuppress,
+}
+
+func runSuppress(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, suppressPrefix) {
+					continue
+				}
+				if strings.TrimSpace(strings.TrimPrefix(c.Text, suppressPrefix)) == "" {
+					pass.Reportf(c.Pos(), "empty //lint:reason: a suppression must carry a non-empty justification")
+				}
+			}
+		}
+	}
+	return nil
+}

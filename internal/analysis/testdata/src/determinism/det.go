@@ -1,0 +1,131 @@
+// Fixture for the determinism pass: each diagnostic class appears once
+// as a violation and once in its deterministic (clean) form. The test
+// runs this package impersonating aviv/internal/cover, a compile-path
+// component.
+package det
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+type node struct{ id int }
+
+// --- class: map-append ------------------------------------------------
+
+// appendNoSort leaks map order into the returned slice.
+func appendNoSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `map iteration order reaches keys via append`
+	}
+	return keys
+}
+
+// appendThenSort is the canonical deterministic idiom: no finding.
+func appendThenSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// appendLoopLocal appends to a slice scoped inside the loop: order
+// cannot leak, no finding.
+func appendLoopLocal(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		total += len(local)
+	}
+	return total
+}
+
+// --- class: map-emit --------------------------------------------------
+
+// emitInRange writes output in map order.
+func emitInRange(m map[string]int, sb *strings.Builder) {
+	for k, v := range m {
+		fmt.Fprintf(sb, "%s=%d\n", k, v) // want `fmt.Fprintf inside range over map`
+	}
+}
+
+// writeInRange hits the same class through a Write method.
+func writeInRange(m map[string]int, sb *strings.Builder) {
+	for k := range m {
+		sb.WriteString(k) // want `write call inside range over map`
+	}
+}
+
+// emitSorted collects, sorts, then writes: no finding.
+func emitSorted(m map[string]int, sb *strings.Builder) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(sb, "%s=%d\n", k, m[k])
+	}
+}
+
+// --- class: map-return ------------------------------------------------
+
+// firstKey returns whichever key iteration yields first.
+func firstKey(m map[string]*node) string {
+	for k := range m {
+		return k // want `returning an element chosen by map iteration`
+	}
+	return ""
+}
+
+// containsEven returns a value independent of iteration order: no
+// finding.
+func containsEven(m map[string]int) bool {
+	for _, v := range m {
+		if v%2 == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// minID folds deterministically over the map: no finding.
+func minID(m map[*node]int) *node {
+	var best *node
+	for n := range m {
+		if best == nil || n.id < best.id {
+			best = n
+		}
+	}
+	return best
+}
+
+// --- class: map-print (address-ordered keys) --------------------------
+
+// printPointerKeyed formats a pointer-keyed map; fmt sorts those keys
+// by address, which differs run to run.
+func printPointerKeyed(m map[*node]int) string {
+	return fmt.Sprintf("%v", m) // want `map whose keys print in address order`
+}
+
+// printStringKeyed formats a string-keyed map; fmt sorts those
+// deterministically: no finding.
+func printStringKeyed(m map[string]int) string {
+	return fmt.Sprintf("%v", m)
+}
+
+// --- suppression ------------------------------------------------------
+
+// suppressedFirstKey documents why the arbitrary pick is safe; the
+// annotated finding must not surface.
+func suppressedFirstKey(m map[string]int) string {
+	for k := range m {
+		return k //lint:reason fixture: the map is guaranteed to hold exactly one entry
+	}
+	return ""
+}

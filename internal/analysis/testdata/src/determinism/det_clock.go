@@ -1,0 +1,31 @@
+// Fixture: the wall-clock and randomness classes, in their own file so
+// the banned import's finding does not muddy det.go.
+package det
+
+import (
+	"math/rand" // want `math/rand imported in a compile-path package`
+	"time"
+)
+
+// stampNow reads the wall clock on the compile path.
+func stampNow() int64 {
+	t := time.Now() // want `wall-clock read \(time.Now\)`
+	return t.Unix()
+}
+
+// elapsed reads the clock through Since.
+func elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `wall-clock read \(time.Since\)`
+}
+
+// fixedDuration only names time types and constants — no clock read,
+// no finding.
+func fixedDuration() time.Duration {
+	return 5 * time.Millisecond
+}
+
+// draw uses global randomness (any use; the import is already the
+// finding — calls do not double-report).
+func draw() int {
+	return rand.Intn(10)
+}

@@ -1,0 +1,44 @@
+// Fixture for the errctx pass: fmt.Errorf over received errors must
+// wrap with %w. The test runs this package impersonating
+// aviv/internal/diskcache, an errctx-scoped component.
+package errctx
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBase = errors.New("base")
+
+// lostContext formats the error with %v, severing the chain.
+func lostContext(err error) error {
+	return fmt.Errorf("reading index: %v", err) // want `formats an error without wrapping it`
+}
+
+// lostViaSprint hits the same class with %s mid-format.
+func lostViaSprint(path string, err error) error {
+	return fmt.Errorf("open %s: %s (giving up)", path, err) // want `formats an error without wrapping it`
+}
+
+// wrapped is the correct shape: no finding.
+func wrapped(err error) error {
+	return fmt.Errorf("reading index: %w", err)
+}
+
+// noErrorArgs formats plain data: no finding.
+func noErrorArgs(version, want int) error {
+	return fmt.Errorf("format version %d, want %d", version, want)
+}
+
+// dynamicFormat cannot be proven either way: no finding.
+func dynamicFormat(format string, err error) error {
+	return fmt.Errorf(format, err)
+}
+
+// escaped contains a literal %% before the trailing verb; the fix
+// offset logic must still find the true verb.
+func escaped(err error) error {
+	return fmt.Errorf("100%% failed: %v", err) // want `formats an error without wrapping it`
+}
+
+var _ = errBase

@@ -1,0 +1,13 @@
+// Fixture: a service-layer package importing a binary — cmd and
+// examples are importable by nothing, not even top layers. (Run
+// impersonating aviv/internal/server.)
+package server
+
+import (
+	"aviv/cmd/avivd" // want `forbidden import edge internal/server -> cmd: nothing may import cmd`
+
+	"aviv/internal/diskcache" // a declared downward edge: no finding
+)
+
+var _ = avivd.Anything
+var _ = diskcache.Anything

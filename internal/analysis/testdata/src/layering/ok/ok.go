@@ -1,0 +1,20 @@
+// Fixture: the covering engine importing exactly its declared
+// downward dependencies — every edge here is in the allowed table, so
+// the pass must stay silent. (Run impersonating aviv/internal/cover.)
+package cover
+
+import (
+	"aviv/internal/bitset"
+	"aviv/internal/dataflow"
+	"aviv/internal/ir"
+	"aviv/internal/isdl"
+	"aviv/internal/sndag"
+)
+
+var (
+	_ = bitset.Anything
+	_ = dataflow.Anything
+	_ = ir.Anything
+	_ = isdl.Anything
+	_ = sndag.Anything
+)

@@ -1,0 +1,4 @@
+// Fixture: a module package that is missing from the layer table
+// (run impersonating aviv/internal/newthing). Growing the tree without
+// declaring the new component's layer is itself a violation.
+package newthing // want `component internal/newthing\) is not assigned a layer`

@@ -1,0 +1,14 @@
+// Fixture: a layer-0 package (the test impersonates aviv/internal/ir)
+// reaching upward into the compile service — the canonical layering
+// violation the pass must reject. The imports cannot resolve, which is
+// fine: layering is purely syntactic.
+package ir
+
+import (
+	"aviv/internal/server" // want `forbidden import edge internal/ir -> internal/server \(layer 0 -> layer 8\).*upward`
+
+	"aviv/internal/cover" // want `forbidden import edge internal/ir -> internal/cover \(layer 0 -> layer 3\)`
+)
+
+var _ = server.Anything
+var _ = cover.Anything

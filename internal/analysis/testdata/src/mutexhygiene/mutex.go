@@ -1,0 +1,91 @@
+// Fixture for the mutexhygiene pass: channel operations and nested
+// lock acquisitions inside held regions, plus the clean shapes the
+// pass must accept (send after unlock, goroutine bodies, the
+// lock/defer-unlock idiom).
+package mutex
+
+import "sync"
+
+type box struct {
+	mu    sync.Mutex
+	state int
+	ch    chan int
+}
+
+// sendHeld sends on a channel between Lock and Unlock.
+func (b *box) sendHeld(v int) {
+	b.mu.Lock()
+	b.state = v
+	b.ch <- v // want `channel send while b.mu is held`
+	b.mu.Unlock()
+}
+
+// sendAfterUnlock is the clean shape: no finding.
+func (b *box) sendAfterUnlock(v int) {
+	b.mu.Lock()
+	b.state = v
+	b.mu.Unlock()
+	b.ch <- v
+}
+
+// recvHeld blocks on a receive with the lock held.
+func (b *box) recvHeld() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return <-b.ch // want `channel receive while b.mu is held`
+}
+
+// locked is a helper that takes the lock itself.
+func (b *box) locked() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// nestedCall calls a locking helper with the lock already held.
+func (b *box) nestedCall() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state + b.locked() // want `call to locked, which takes a lock, while b.mu is held`
+}
+
+// callAfterUnlock releases before calling the locking helper: no
+// finding.
+func (b *box) callAfterUnlock() int {
+	b.mu.Lock()
+	s := b.state
+	b.mu.Unlock()
+	return s + b.locked()
+}
+
+// relock acquires a mutex it already holds.
+func (b *box) relock() {
+	b.mu.Lock()
+	b.mu.Lock() // want `b.mu is locked again while already held`
+	b.mu.Unlock()
+	b.mu.Unlock()
+}
+
+// spawn launches a goroutine under the lock; the goroutine body does
+// not run inside the held region, so its lock use is clean.
+func (b *box) spawn(v int) {
+	b.mu.Lock()
+	go func() {
+		b.ch <- v
+		b.mu.Lock()
+		b.state = v
+		b.mu.Unlock()
+	}()
+	b.mu.Unlock()
+}
+
+// branchScoped takes the lock inside one branch only; the send after
+// the branch is not under it.
+func (b *box) branchScoped(cond bool, v int) {
+	if cond {
+		b.mu.Lock()
+		b.state = v
+		b.mu.Unlock()
+	}
+	b.ch <- v
+}

@@ -1,0 +1,19 @@
+// Fixture for the suppress meta-pass: a //lint:reason annotation must
+// carry a non-empty justification. The want expectations ride in block
+// comments because a line comment would swallow the rest of the line.
+package suppress
+
+func justified() int {
+	x := 1 //lint:reason fixture: documented and therefore accepted
+	return x
+}
+
+func empty() int {
+	/* want `empty //lint:reason` */ //lint:reason
+	return 2
+}
+
+func whitespaceOnly() int {
+	/* want `empty //lint:reason` */ //lint:reason
+	return 3
+}

@@ -48,11 +48,17 @@ func (s *Solution) Nodes() []*SNode {
 
 // CondHolder returns the node whose result register holds the branch
 // condition, or nil when the block does not branch on a register value.
+// ExternalUses carries exactly the condition holder today, but the
+// lowest-ID fold keeps the choice deterministic even if that invariant
+// ever loosens.
 func (s *Solution) CondHolder() *SNode {
+	var best *SNode
 	for n := range s.ExternalUses {
-		return n
+		if best == nil || n.ID < best.ID {
+			best = n
+		}
 	}
-	return nil
+	return best
 }
 
 func (s *Solution) String() string {

@@ -2,6 +2,7 @@ package cover
 
 import (
 	"fmt"
+	"sort"
 
 	"aviv/internal/ir"
 	"aviv/internal/isdl"
@@ -128,7 +129,15 @@ func serialFallback(d *sndag.DAG, a *Assignment, opts Options) (*Solution, error
 		return nil
 	}
 
-	for v, ld := range loaded {
+	// Iterate in sorted-variable order: temp slot numbering and the
+	// emitted snapshot sequence must not depend on map iteration.
+	loadVars := make([]string, 0, len(loaded))
+	for v := range loaded {
+		loadVars = append(loadVars, v)
+	}
+	sort.Strings(loadVars)
+	for _, v := range loadVars {
+		ld := loaded[v]
 		home, err := g.memOf(v)
 		if err != nil {
 			return nil, err
