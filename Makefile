@@ -20,6 +20,7 @@ staticcheck:
 	else echo "warning: staticcheck not installed; skipping"; fi
 
 lint:
+	go run ./cmd/avivlint -list
 	go run ./cmd/avivlint ./...
 	for f in examples/machines/*.isdl; do go run ./cmd/isdldump -lint $$f; done
 	go test -run 'TestMutation|TestLint' ./internal/verify
@@ -33,7 +34,10 @@ lintfix:
 # tree plus the analyzer golden tests and the archtest.
 lintsmoke:
 	go run ./cmd/avivlint ./...
-	go test -run 'TestAnalyzerFixtureTable|TestErrCtxSuggestedFix|TestSuiteIsSelfClean|TestLayer|TestCheckEdge|TestComponent|TestArchSuite' -count=1 ./internal/analysis
+	go run ./cmd/avivlint -run lockorder,goroutineleak,ctxflow ./...
+	go test -run 'TestAnalyzerFixtureTable|TestErrCtxSuggestedFix|TestErrCtxFixIdempotent|TestSuiteIsSelfClean|TestLayer|TestCheckEdge|TestComponent|TestArchSuite|TestSuppressionBudget|TestCallGraph|TestProgramFactsAndMemo' -count=1 ./internal/analysis
+	go test -count=1 ./cmd/avivlint
+	go test -race -count=1 ./internal/analysis
 
 # Install the external lint toolchain at the pinned versions ci.sh
 # expects, and build avivlint (standard library only — no module

@@ -44,13 +44,23 @@ echo "== go build =="
 go build ./...
 
 echo "== lintsmoke: avivlint static-analysis suite =="
-# Hard fail: the layering / determinism / mutexhygiene / errctx /
-# suppress passes must be clean on the whole tree, and each analyzer
-# must still catch its planted-defect fixtures. The archtest
-# (TestArchSuite) repeats the tree-wide run under plain `go test`, so
-# the race stage below cross-checks it too.
+# Hard fail: the layering / determinism / mutexhygiene / lockorder /
+# goroutineleak / ctxflow / errctx / suppress passes must be clean on
+# the whole tree, each analyzer must still catch its planted-defect
+# fixtures, and the tree's //lint:reason suppressions must match the
+# checked-in budget. The archtest (TestArchSuite) repeats the tree-wide
+# run under plain `go test`, so the race stage below cross-checks it
+# too; the concurrency passes also get a dedicated run so a regression
+# names the guilty pass in the CI log.
 go run ./cmd/avivlint ./...
-go test -run 'TestAnalyzerFixtureTable|TestErrCtxSuggestedFix|TestSuiteIsSelfClean|TestLayer|TestCheckEdge|TestComponent|TestArchSuite' -count=1 ./internal/analysis
+go run ./cmd/avivlint -run lockorder,goroutineleak,ctxflow ./...
+go test -run 'TestAnalyzerFixtureTable|TestErrCtxSuggestedFix|TestErrCtxFixIdempotent|TestSuiteIsSelfClean|TestLayer|TestCheckEdge|TestComponent|TestArchSuite|TestSuppressionBudget|TestCallGraph|TestProgramFactsAndMemo' -count=1 ./internal/analysis
+go test -count=1 ./cmd/avivlint
+# The interprocedural passes share memoized whole-program state
+# (callgraph, facts, channel census) across per-package runs; the
+# analysis package must be race-clean on its own, not only inside the
+# tree-wide -race stage.
+go test -race -count=1 ./internal/analysis
 
 echo "== lint: ISDL machine descriptions =="
 for f in examples/machines/*.isdl; do

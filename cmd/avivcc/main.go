@@ -293,7 +293,7 @@ func parseMem(s string) (map[string]int64, error) {
 		}
 		v, err := strconv.ParseInt(parts[1], 10, 64)
 		if err != nil {
-			return nil, fmt.Errorf("bad -mem value %q: %v", kv, err)
+			return nil, fmt.Errorf("bad -mem value %q: %w", kv, err)
 		}
 		mem[parts[0]] = v
 	}

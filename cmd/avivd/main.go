@@ -20,11 +20,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"aviv"
@@ -73,7 +77,25 @@ func main() {
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
-	log.Fatal(httpSrv.ListenAndServe())
+
+	// Graceful shutdown: SIGINT/SIGTERM stops accepting connections and
+	// drains in-flight compiles (bounded by the shutdown deadline), so a
+	// redeploy does not sever requests mid-compile.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		log.Printf("avivd: signal received, draining")
+		sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(sctx); err != nil {
+			log.Printf("avivd: shutdown: %v", err)
+		}
+	}()
+	if err := httpSrv.ListenAndServe(); !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalf("avivd: %v", err)
+	}
+	log.Printf("avivd: stopped")
 }
 
 func queueDesc(queue, workers int) string {

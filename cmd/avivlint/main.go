@@ -1,10 +1,11 @@
 // Command avivlint is the multichecker driving the repository's custom
 // static-analysis suite (internal/analysis): the layering, determinism,
-// mutexhygiene, errctx, and suppress passes.
+// mutexhygiene, lockorder, goroutineleak, ctxflow, errctx, and suppress
+// passes.
 //
 // Usage:
 //
-//	avivlint [-run name,name] [-fix] [packages]
+//	avivlint [-run name,name] [-fix] [-json] [packages]
 //	avivlint -list
 //
 // With no package arguments it checks ./... relative to the current
@@ -16,15 +17,20 @@
 // -fix applies the mechanical rewrites some findings carry (today:
 // errctx's %v -> %w) and reports what it changed; findings without a
 // fix are printed as usual and still fail the run.
+//
+// -json emits the findings as a JSON array (file/line/col/pass/message/
+// suggested_fix) for CI and editor integration, instead of the plain
+// file:line:col lines.
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"go/token"
 	"os"
 	"path/filepath"
-	"sort"
 	"strings"
 
 	"aviv/internal/analysis"
@@ -37,13 +43,14 @@ func main() {
 func run() int {
 	list := flag.Bool("list", false, "list the analyzers in the suite and exit")
 	fix := flag.Bool("fix", false, "apply suggested fixes to the source tree")
+	asJSON := flag.Bool("json", false, "emit findings as a JSON array")
 	runNames := flag.String("run", "", "comma-separated analyzer names to run (default: all)")
 	flag.Parse()
 
 	analyzers := analysis.All()
 	if *list {
-		for _, a := range analyzers {
-			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		for _, line := range listLines(analyzers) {
+			fmt.Println(line)
 		}
 		return 0
 	}
@@ -77,10 +84,16 @@ func run() int {
 	}
 
 	if *fix {
-		fixed, err := applyFixes(fset, findings)
+		rewritten, fixed, err := analysis.ApplyFixes(fset, findings, os.ReadFile)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "avivlint: applying fixes: %v\n", err)
 			return 2
+		}
+		for file, src := range rewritten {
+			if err := os.WriteFile(file, src, 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "avivlint: %v\n", err)
+				return 2
+			}
 		}
 		var remaining []analysis.Finding
 		for _, f := range findings {
@@ -92,8 +105,18 @@ func run() int {
 		findings = remaining
 	}
 
-	for _, f := range findings {
-		fmt.Println(relify(f))
+	if *asJSON {
+		out, err := marshalFindings(findings)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "avivlint: %v\n", err)
+			return 2
+		}
+		os.Stdout.Write(out)
+		os.Stdout.Write([]byte("\n"))
+	} else {
+		for _, f := range findings {
+			fmt.Println(relify(f))
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "avivlint: %d finding(s)\n", len(findings))
@@ -102,56 +125,71 @@ func run() int {
 	return 0
 }
 
-// relify renders a finding with the filename relative to the working
-// directory when possible, keeping output stable across checkouts.
-func relify(f analysis.Finding) string {
-	name := f.Position.Filename
-	if wd, err := os.Getwd(); err == nil {
-		if rel, err := filepath.Rel(wd, name); err == nil && !strings.HasPrefix(rel, "..") {
-			name = rel
-		}
+// listLines renders the -list output, one analyzer per line. The lint
+// target in the Makefile shows this to developers; the pinning test in
+// main_test.go keeps it in sync with the registry.
+func listLines(analyzers []*analysis.Analyzer) []string {
+	var out []string
+	for _, a := range analyzers {
+		out = append(out, fmt.Sprintf("%-14s %s", a.Name, a.Doc))
 	}
-	return fmt.Sprintf("%s:%d:%d: %s [%s]", name, f.Position.Line, f.Position.Column, f.Message, f.Analyzer)
+	return out
 }
 
-// applyFixes rewrites source files with every suggested fix, applying
-// edits back to front per file so earlier offsets stay valid.
-func applyFixes(fset *token.FileSet, findings []analysis.Finding) (int, error) {
-	type edit struct {
-		start, end int
-		text       string
-	}
-	byFile := map[string][]edit{}
-	n := 0
+// jsonFinding is the machine-readable diagnostic shape -json emits.
+// Field names are stable API for CI consumers; the golden test pins
+// them.
+type jsonFinding struct {
+	File         string `json:"file"`
+	Line         int    `json:"line"`
+	Col          int    `json:"col"`
+	Pass         string `json:"pass"`
+	Message      string `json:"message"`
+	SuggestedFix string `json:"suggested_fix,omitempty"`
+}
+
+// marshalFindings renders findings as indented JSON. An empty finding
+// set is the empty array, not null — consumers should not need a
+// null-check to iterate. HTML escaping is off: messages quote Go
+// expressions like <-ctx.Done() and must survive verbatim.
+func marshalFindings(findings []analysis.Finding) ([]byte, error) {
+	out := make([]jsonFinding, 0, len(findings))
 	for _, f := range findings {
-		if f.Fix == nil {
-			continue
+		jf := jsonFinding{
+			File:    relName(f.Position.Filename),
+			Line:    f.Position.Line,
+			Col:     f.Position.Column,
+			Pass:    f.Analyzer,
+			Message: f.Message,
 		}
-		n++
-		for _, e := range f.Fix.Edits {
-			pos := fset.Position(e.Pos)
-			end := fset.Position(e.End)
-			byFile[pos.Filename] = append(byFile[pos.Filename], edit{pos.Offset, end.Offset, e.New})
+		if f.Fix != nil {
+			jf.SuggestedFix = f.Fix.Message
+		}
+		out = append(out, jf)
+	}
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	enc.SetEscapeHTML(false)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		return nil, err
+	}
+	return bytes.TrimRight(buf.Bytes(), "\n"), nil
+}
+
+// relName renders a filename relative to the working directory when
+// possible, keeping output stable across checkouts.
+func relName(name string) string {
+	if wd, err := os.Getwd(); err == nil {
+		if rel, err := filepath.Rel(wd, name); err == nil && !strings.HasPrefix(rel, "..") {
+			return rel
 		}
 	}
-	for file, edits := range byFile {
-		src, err := os.ReadFile(file)
-		if err != nil {
-			return n, err
-		}
-		sort.Slice(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
-		for i, e := range edits {
-			if i > 0 && e.end > edits[i-1].start {
-				return n, fmt.Errorf("%s: overlapping fixes", file)
-			}
-			if e.start < 0 || e.end > len(src) || e.start > e.end {
-				return n, fmt.Errorf("%s: fix out of range", file)
-			}
-			src = append(src[:e.start], append([]byte(e.text), src[e.end:]...)...)
-		}
-		if err := os.WriteFile(file, src, 0o644); err != nil {
-			return n, err
-		}
-	}
-	return n, nil
+	return name
+}
+
+// relify renders a finding in the conventional file:line:col form.
+func relify(f analysis.Finding) string {
+	return fmt.Sprintf("%s:%d:%d: %s [%s]",
+		relName(f.Position.Filename), f.Position.Line, f.Position.Column, f.Message, f.Analyzer)
 }

@@ -1,0 +1,87 @@
+package main
+
+import (
+	"bytes"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"aviv/internal/analysis"
+)
+
+// TestListOutputPinsPassNames pins the -list surface: the Makefile lint
+// target shows it, docs reference it, and the pass names are stable API
+// for `avivlint -run`.
+func TestListOutputPinsPassNames(t *testing.T) {
+	want := []string{
+		"layering",
+		"determinism",
+		"mutexhygiene",
+		"lockorder",
+		"goroutineleak",
+		"ctxflow",
+		"errctx",
+		"suppress",
+	}
+	lines := listLines(analysis.All())
+	if len(lines) != len(want) {
+		t.Fatalf("-list prints %d lines, want %d: %q", len(lines), len(want), lines)
+	}
+	for i, line := range lines {
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			t.Fatalf("-list line %d has no doc: %q", i, line)
+		}
+		if fields[0] != want[i] {
+			t.Errorf("-list line %d names %q, want %q", i, fields[0], want[i])
+		}
+	}
+}
+
+// TestJSONGolden pins the -json output shape byte-for-byte against
+// testdata/golden.json: field names, ordering, and indentation are
+// stable API for CI consumers.
+func TestJSONGolden(t *testing.T) {
+	findings := []analysis.Finding{
+		{
+			Diagnostic: analysis.Diagnostic{
+				Message:  "errctx: fmt.Errorf wraps an error value with %v; use %w so errors.Is/As keep working",
+				Analyzer: "errctx",
+				Fix:      &analysis.Fix{Message: "replace the trailing %v with %w"},
+			},
+			Position: token.Position{Filename: "internal/diskcache/store.go", Line: 41, Column: 10},
+		},
+		{
+			Diagnostic: analysis.Diagnostic{
+				Message:  "ctxflow: blocking channel send outside select; pair it with <-ctx.Done() in a select so cancellation can interrupt it",
+				Analyzer: "ctxflow",
+			},
+			Position: token.Position{Filename: "internal/server/pool.go", Line: 87, Column: 2},
+		},
+	}
+	got, err := marshalFindings(findings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, err := os.ReadFile(filepath.Join("testdata", "golden.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(bytes.TrimSpace(got), bytes.TrimSpace(golden)) {
+		t.Errorf("-json output drifted from testdata/golden.json:\n--- got ---\n%s\n--- want ---\n%s", got, golden)
+	}
+}
+
+// TestJSONEmptyIsArray: a clean tree emits [], not null — consumers
+// iterate without a null-check.
+func TestJSONEmptyIsArray(t *testing.T) {
+	got, err := marshalFindings(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "[]" {
+		t.Errorf("empty finding set marshals to %q, want []", got)
+	}
+}

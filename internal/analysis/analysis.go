@@ -56,6 +56,14 @@ type Analyzer struct {
 	// lets fixtures declare impossible imports.
 	NeedTypes bool
 
+	// NeedProgram reports whether Run requires the whole-program view
+	// (Pass.Prog): the callgraph and the fact store. Implies NeedTypes.
+	// The driver builds one Program per Run and shares it across
+	// analyzers; under analysistest, RunOn builds a Program over just
+	// the fixture package, so interprocedural passes see a one-package
+	// program there.
+	NeedProgram bool
+
 	// Components restricts the pass to the listed module components
 	// (see componentOf; e.g. "internal/cover"). Nil means every
 	// component.
@@ -81,6 +89,9 @@ type Pass struct {
 	// set; both are nil for syntactic passes.
 	Pkg  *types.Package
 	Info *types.Info
+
+	// Prog is the whole-program view, set when Analyzer.NeedProgram is.
+	Prog *Program
 
 	diags *[]Diagnostic
 }
@@ -135,6 +146,14 @@ func (a *Analyzer) RunOn(fset *token.FileSet, path string, files []*ast.File, pk
 		Pkg:      pkg,
 		Info:     info,
 		diags:    &diags,
+	}
+	if a.NeedProgram {
+		pass.Prog = NewProgram(fset, []*Package{{
+			Path:  path,
+			Files: files,
+			Types: pkg,
+			Info:  info,
+		}})
 	}
 	if err := a.Run(pass); err != nil {
 		return nil, err

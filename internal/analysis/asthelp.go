@@ -1,7 +1,10 @@
 package analysis
 
 import (
+	"bytes"
 	"go/ast"
+	"go/printer"
+	"go/token"
 	"go/types"
 )
 
@@ -55,6 +58,34 @@ func inspectNoFuncLit(n ast.Node, fn func(ast.Node) bool) {
 		}
 		return fn(n)
 	})
+}
+
+// exprPrinted renders a node with the standard printer — the canonical
+// "name" of a receiver or channel expression in diagnostics.
+func exprPrinted(n ast.Node) string {
+	var buf bytes.Buffer
+	printer.Fprint(&buf, token.NewFileSet(), n)
+	return buf.String()
+}
+
+// buildParents maps every node under root to its enclosing node, for
+// checks that need to know the context a node appears in (is this send
+// a select comm? is this receive a statement?).
+func buildParents(root ast.Node) map[ast.Node]ast.Node {
+	parents := make(map[ast.Node]ast.Node)
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if len(stack) > 0 {
+			parents[n] = stack[len(stack)-1]
+		}
+		stack = append(stack, n)
+		return true
+	})
+	return parents
 }
 
 // usesObject reports whether the expression tree references obj.

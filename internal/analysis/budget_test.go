@@ -1,0 +1,87 @@
+//go:build !noarchtest
+
+package analysis_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"aviv/internal/analysis"
+)
+
+// suppressionBudget is the checked-in shape of
+// testdata/suppression_budget.json: the exact number of //lint:reason
+// annotations the tree is allowed to carry, and how many findings of
+// each pass they silence. Adding a suppression means editing the table
+// in the same change — the budget makes every silenced finding a
+// reviewed decision instead of an invisible one.
+type suppressionBudget struct {
+	Comment          string         `json:"comment"`
+	TotalAnnotations int            `json:"total_annotations"`
+	SilencedPerPass  map[string]int `json:"silenced_per_pass"`
+}
+
+// TestSuppressionBudget audits the tree's //lint:reason annotations
+// against the checked-in budget, in both directions: an unbudgeted
+// suppression fails, and so does a budget entry whose suppression has
+// been removed. Annotations that no longer silence anything are stale
+// and fail too.
+func TestSuppressionBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("budget audit loads and type-checks the whole module; skipped in -short")
+	}
+	raw, err := os.ReadFile(filepath.Join("testdata", "suppression_budget.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want suppressionBudget
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatalf("decoding suppression budget: %v", err)
+	}
+
+	fset, pkgs := loadModulePackages(t, "aviv/...")
+	_, silenced, err := analysis.RunAll(fset, pkgs, analysis.All())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	got := map[string]int{}
+	for _, f := range silenced {
+		got[f.Analyzer]++
+	}
+	for pass, n := range got {
+		if n != want.SilencedPerPass[pass] {
+			t.Errorf("pass %s silences %d finding(s), budget allows %d; update testdata/suppression_budget.json deliberately",
+				pass, n, want.SilencedPerPass[pass])
+		}
+	}
+	for pass, n := range want.SilencedPerPass {
+		if _, ok := got[pass]; !ok && n != 0 {
+			t.Errorf("budget reserves %d suppression(s) for pass %s but the tree has none; shrink the budget", n, pass)
+		}
+	}
+
+	var sites []analysis.SuppressionSite
+	for _, pkg := range pkgs {
+		sites = append(sites, analysis.SuppressionSites(fset, pkg.Files)...)
+	}
+	if len(sites) != want.TotalAnnotations {
+		t.Errorf("tree has %d //lint:reason annotation(s), budget allows %d", len(sites), want.TotalAnnotations)
+	}
+	// A suppression that silences nothing is dead weight: either the
+	// code changed under it or the pass did. Delete it.
+	for _, s := range sites {
+		covers := false
+		for _, f := range silenced {
+			if s.Covers(f.Position) {
+				covers = true
+				break
+			}
+		}
+		if !covers {
+			t.Errorf("stale suppression at %s:%d (%q): it silences no finding", s.File, s.Line, s.Reason)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+)
+
+// typecheckSrc parses and type-checks one import-free source file into
+// a loaded Package, for unit tests of the whole-program machinery.
+func typecheckSrc(t *testing.T, path, src string) (*token.FileSet, *Package) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path+".go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatalf("parsing: %v", err)
+	}
+	info := NewTypesInfo()
+	conf := types.Config{}
+	pkg, err := conf.Check(path, fset, []*ast.File{f}, info)
+	if err != nil {
+		t.Fatalf("type checking: %v", err)
+	}
+	return fset, &Package{Path: path, Files: []*ast.File{f}, Types: pkg, Info: info}
+}
+
+const cgSrc = `package p
+
+type Animal interface{ Speak() string }
+
+type Dog struct{}
+
+func (Dog) Speak() string { return bark() }
+
+func bark() string { return "woof" }
+
+type Cat struct{}
+
+func (Cat) Speak() string { return "meow" }
+
+func SpeakAll(a Animal) string { return a.Speak() }
+
+func chain() string { return SpeakAll(Dog{}) }
+
+func ping() { pong() }
+
+func pong() { ping() }
+
+func usesLit() {
+	f := func() string { return bark() }
+	f()
+}
+`
+
+func buildTestGraph(t *testing.T) (*Program, *CallGraph) {
+	t.Helper()
+	fset, pkg := typecheckSrc(t, "p", cgSrc)
+	prog := NewProgram(fset, []*Package{pkg})
+	return prog, prog.CallGraph()
+}
+
+func edgeTargets(cg *CallGraph, from string) map[string]bool {
+	out := map[string]bool{}
+	for _, n := range cg.Nodes {
+		if n.Name() != from {
+			continue
+		}
+		for _, e := range n.Out {
+			out[e.Callee.Name()] = true
+		}
+	}
+	return out
+}
+
+func TestCallGraphResolution(t *testing.T) {
+	_, cg := buildTestGraph(t)
+
+	wantNodes := []string{"p.Animal.Speak", "p.Dog.Speak", "p.bark", "p.Cat.Speak",
+		"p.SpeakAll", "p.chain", "p.ping", "p.pong", "p.usesLit"}
+	byName := map[string]bool{}
+	for _, n := range cg.Nodes {
+		byName[n.Name()] = true
+	}
+	for _, w := range wantNodes {
+		if w == "p.Animal.Speak" {
+			continue // interface methods have no body and no node
+		}
+		if !byName[w] {
+			t.Errorf("callgraph has no node %s (have %v)", w, byName)
+		}
+	}
+
+	// Static call: chain -> SpeakAll.
+	if got := edgeTargets(cg, "p.chain"); !got["p.SpeakAll"] {
+		t.Errorf("chain edges = %v, want p.SpeakAll", got)
+	}
+	// CHA fan-out: the dynamic a.Speak() resolves to every concrete
+	// implementation in scope.
+	got := edgeTargets(cg, "p.SpeakAll")
+	if !got["p.Dog.Speak"] || !got["p.Cat.Speak"] {
+		t.Errorf("SpeakAll edges = %v, want both p.Dog.Speak and p.Cat.Speak", got)
+	}
+	// FuncLit bodies attribute to the enclosing declaration.
+	if got := edgeTargets(cg, "p.usesLit"); !got["p.bark"] {
+		t.Errorf("usesLit edges = %v, want p.bark (call inside its literal)", got)
+	}
+}
+
+func TestCallGraphSCCsBottomUp(t *testing.T) {
+	_, cg := buildTestGraph(t)
+	sccs := cg.SCCs()
+
+	at := map[string]int{}
+	size := map[string]int{}
+	for i, scc := range sccs {
+		for _, n := range scc {
+			at[n.Name()] = i
+			size[n.Name()] = len(scc)
+		}
+	}
+	// ping/pong are mutually recursive: one SCC of two.
+	if at["p.ping"] != at["p.pong"] || size["p.ping"] != 2 {
+		t.Errorf("ping/pong SCC: at=%d/%d size=%d, want shared SCC of 2",
+			at["p.ping"], at["p.pong"], size["p.ping"])
+	}
+	// Bottom-up (callee-first) order: bark before Dog.Speak before
+	// SpeakAll before chain.
+	order := []string{"p.bark", "p.Dog.Speak", "p.SpeakAll", "p.chain"}
+	for i := 0; i+1 < len(order); i++ {
+		if at[order[i]] >= at[order[i+1]] {
+			t.Errorf("SCC order: %s at %d not before %s at %d",
+				order[i], at[order[i]], order[i+1], at[order[i+1]])
+		}
+	}
+}
+
+type countFact struct{ N int }
+
+func (*countFact) AFact() {}
+
+func TestProgramFactsAndMemo(t *testing.T) {
+	prog, cg := buildTestGraph(t)
+	barkFn := cg.ByFunc[findFunc(t, cg, "p.bark")].Fn
+
+	passA := &Pass{Analyzer: &Analyzer{Name: "a"}, Prog: prog}
+	passB := &Pass{Analyzer: &Analyzer{Name: "b"}, Prog: prog}
+
+	var got countFact
+	if passA.ImportFact(barkFn, &got) {
+		t.Fatal("fact present before export")
+	}
+	passA.ExportFact(barkFn, &countFact{N: 7})
+	if !passA.ImportFact(barkFn, &got) || got.N != 7 {
+		t.Fatalf("fact round-trip: ok=%v n=%d, want 7", passA.ImportFact(barkFn, &got), got.N)
+	}
+	// Facts are keyed by analyzer: pass b sees its own empty namespace.
+	if passB.ImportFact(barkFn, &got) {
+		t.Error("fact leaked across analyzers")
+	}
+
+	calls := 0
+	compute := func() (any, error) { calls++; return 42, nil }
+	for i := 0; i < 3; i++ {
+		v, err := prog.Memo("k", compute)
+		if err != nil || v.(int) != 42 {
+			t.Fatalf("Memo = %v, %v", v, err)
+		}
+	}
+	if calls != 1 {
+		t.Errorf("Memo computed %d times, want once", calls)
+	}
+}
+
+func findFunc(t *testing.T, cg *CallGraph, name string) *types.Func {
+	t.Helper()
+	for _, n := range cg.Nodes {
+		if n.Name() == name {
+			return n.Fn
+		}
+	}
+	t.Fatalf("no node %s", name)
+	return nil
+}

@@ -1,0 +1,158 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow enforces context discipline on the request path: in the
+// compile service components (internal/server, internal/diskcache, and
+// cmd/avivd), a context.Context must actually flow into the blocking
+// work a function does. Three shapes are findings:
+//
+//   - a function that takes a ctx parameter but calls
+//     context.Background() or context.TODO() — the request's deadline
+//     and cancellation are silently discarded;
+//   - a ctx parameter that is never referenced at all — cancellation
+//     stops propagating at this frame;
+//   - a naked statement-level channel send or receive outside a select
+//     — nothing can interrupt it, so a dead client wedges the server.
+//     A receive from ctx.Done() is the cancellation wait itself and is
+//     exempt.
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "enforce context discipline in the server components: no " +
+		"context.Background() on a request path, no unused ctx parameters, " +
+		"no blocking channel operations outside a select",
+	NeedTypes:  true,
+	Components: []string{"internal/server", "internal/diskcache", "cmd"},
+	Run:        runCtxFlow,
+}
+
+func runCtxFlow(pass *Pass) error {
+	// Within cmd, only the long-running server binary is request-path
+	// code; one-shot CLIs may block on their own channels.
+	if Component(pass.Path) == "cmd" && !strings.HasSuffix(pass.Path, "/avivd") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		parents := buildParents(f)
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkCtxParams(pass, fd)
+			checkNakedChanOps(pass, fd, parents)
+		}
+	}
+	return nil
+}
+
+// checkCtxParams handles the two parameter-flow findings: a fresh
+// root context created while a request ctx is in scope, and a ctx
+// parameter nothing uses.
+func checkCtxParams(pass *Pass, fd *ast.FuncDecl) {
+	info := pass.Info
+	var ctxParams []*ast.Ident
+	if fd.Type.Params != nil {
+		for _, field := range fd.Type.Params.List {
+			for _, name := range field.Names {
+				if obj := info.Defs[name]; obj != nil && isContextType(obj.Type()) {
+					ctxParams = append(ctxParams, name)
+				}
+			}
+		}
+	}
+	if len(ctxParams) == 0 {
+		return
+	}
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name := pkgFuncCall(info, call, "context"); name == "Background" || name == "TODO" {
+			pass.Reportf(call.Pos(),
+				"ctxflow: context.%s() called while the request context %s is in scope; derive from %s (or context.WithoutCancel(%s)) instead",
+				name, ctxParams[0].Name, ctxParams[0].Name, ctxParams[0].Name)
+		}
+		return true
+	})
+
+	for _, p := range ctxParams {
+		if p.Name == "_" {
+			continue
+		}
+		obj := info.Defs[p]
+		used := false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+				used = true
+			}
+			return !used
+		})
+		if !used {
+			pass.Reportf(p.Pos(),
+				"ctxflow: context parameter %s is never used; thread it into the blocking calls or drop the parameter",
+				p.Name)
+		}
+	}
+}
+
+// checkNakedChanOps flags statement-level channel operations outside a
+// select clause.
+func checkNakedChanOps(pass *Pass, fd *ast.FuncDecl, parents map[ast.Node]ast.Node) {
+	info := pass.Info
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if _, inSelect := parents[n].(*ast.CommClause); !inSelect {
+				pass.Reportf(n.Pos(),
+					"ctxflow: blocking channel send outside select; pair it with <-ctx.Done() in a select so cancellation can interrupt it")
+			}
+		case *ast.UnaryExpr:
+			if n.Op != token.ARROW || !statementLevelRecv(n, parents) {
+				return true
+			}
+			if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok && isCtxDoneCall(info, call) {
+				return true // the cancellation wait itself
+			}
+			pass.Reportf(n.Pos(),
+				"ctxflow: blocking channel receive outside select; pair it with <-ctx.Done() in a select so cancellation can interrupt it")
+		}
+		return true
+	})
+}
+
+// statementLevelRecv reports whether the receive is a statement of its
+// own (`<-ch` or `v := <-ch`) rather than part of a larger expression
+// or a select comm clause. Only statement-level receives are
+// unconditionally blocking waits.
+func statementLevelRecv(u *ast.UnaryExpr, parents map[ast.Node]ast.Node) bool {
+	switch p := parents[u].(type) {
+	case *ast.ExprStmt:
+		_, inSelect := parents[p].(*ast.CommClause)
+		return !inSelect
+	case *ast.AssignStmt:
+		if len(p.Rhs) != 1 {
+			return false
+		}
+		_, inSelect := parents[p].(*ast.CommClause)
+		return !inSelect
+	}
+	return false
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

@@ -20,6 +20,10 @@ var detComponents = []string{
 	"internal/dataflow",
 	"internal/dataflow/diag",
 	"internal/verify",
+	// The machine-zoo generator is seed-deterministic by contract: the
+	// same seed must emit byte-identical machine descriptions, so it is
+	// compile-path for ordering purposes.
+	"internal/zoo",
 }
 
 // Determinism flags constructs that let run-to-run nondeterminism

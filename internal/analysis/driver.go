@@ -24,7 +24,23 @@ func (f Finding) String() string {
 // (file, line, column, analyzer, message) order. A non-nil error means
 // a pass could not run at all — individual findings are never errors.
 func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Finding, error) {
-	var findings []Finding
+	kept, _, err := RunAll(fset, pkgs, analyzers)
+	return kept, err
+}
+
+// RunAll is Run, but also returns the findings a //lint:reason
+// annotation suppressed — the suppression-budget audit counts those,
+// so a suppression that no longer covers anything shows up as drift.
+// Both slices are in deterministic order.
+func RunAll(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) (kept, silenced []Finding, err error) {
+	// One shared whole-program view, built only if some analyzer asks.
+	var prog *Program
+	for _, a := range analyzers {
+		if a.NeedProgram {
+			prog = NewProgram(fset, pkgs)
+			break
+		}
+	}
 	for _, pkg := range pkgs {
 		sup := suppressionsIn(fset, pkg.Files)
 		comp := Component(pkg.Path)
@@ -32,8 +48,8 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Finding
 			if !a.appliesTo(comp) {
 				continue
 			}
-			if a.NeedTypes && pkg.Types == nil {
-				return nil, fmt.Errorf("analyzer %s needs types, but package %s was loaded without them", a.Name, pkg.Path)
+			if (a.NeedTypes || a.NeedProgram) && pkg.Types == nil {
+				return nil, nil, fmt.Errorf("analyzer %s needs types, but package %s was loaded without them", a.Name, pkg.Path)
 			}
 			var diags []Diagnostic
 			pass := &Pass{
@@ -45,20 +61,31 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Finding
 				Info:     pkg.Info,
 				diags:    &diags,
 			}
+			if a.NeedProgram {
+				pass.Prog = prog
+			}
 			if err := a.Run(pass); err != nil {
-				return nil, fmt.Errorf("analyzer %s on %s: %v", a.Name, pkg.Path, err)
+				return nil, nil, fmt.Errorf("analyzer %s on %s: %w", a.Name, pkg.Path, err)
 			}
 			for _, d := range diags {
 				pos := fset.Position(d.Pos)
+				f := Finding{Diagnostic: d, Position: pos}
 				// The suppress pass polices the annotations
 				// themselves and is exempt from them.
 				if a != Suppress && suppressed(sup, pos) {
+					silenced = append(silenced, f)
 					continue
 				}
-				findings = append(findings, Finding{Diagnostic: d, Position: pos})
+				kept = append(kept, f)
 			}
 		}
 	}
+	sortFindings(kept)
+	sortFindings(silenced)
+	return kept, silenced, nil
+}
+
+func sortFindings(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Position.Filename != b.Position.Filename {
@@ -75,7 +102,6 @@ func Run(fset *token.FileSet, pkgs []*Package, analyzers []*Analyzer) ([]Finding
 		}
 		return a.Message < b.Message
 	})
-	return findings, nil
 }
 
 // appliesTo reports whether the analyzer is scoped to run on the given
@@ -100,6 +126,9 @@ func All() []*Analyzer {
 		Layering,
 		Determinism,
 		MutexHygiene,
+		LockOrder,
+		GoroutineLeak,
+		CtxFlow,
 		ErrCtx,
 		Suppress,
 	}

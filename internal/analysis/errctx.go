@@ -8,28 +8,22 @@ import (
 	"strings"
 )
 
-// errctxComponents are the packages that define structured error types
-// (verify.VerifyError, the server's in-band error envelope, the disk
-// cache's corrupt-entry errors). There, losing the wrapped error to a
-// %v breaks errors.Is/As dispatch that callers rely on.
-var errctxComponents = []string{
-	"internal/verify",
-	"internal/server",
-	"internal/diskcache",
-}
-
 // ErrCtx flags fmt.Errorf calls that format a received error without
 // wrapping it: an error argument rendered by %v (or %s) instead of %w.
 // Where the error is the final argument matched by a trailing verb,
 // the finding carries a mechanical %v -> %w fix that `avivlint -fix`
 // applies.
+//
+// The pass started scoped to the packages defining structured error
+// types (verify, server, diskcache) and is now tree-wide: the whole
+// compile path flows errors up to the facade, and a single %v anywhere
+// on the way severs the errors.Is/As chain end to end.
 var ErrCtx = &Analyzer{
 	Name: "errctx",
-	Doc: "in packages with structured error types, fmt.Errorf over an error " +
-		"value must wrap it with %w so errors.Is/As keep working",
-	NeedTypes:  true,
-	Components: errctxComponents,
-	Run:        runErrCtx,
+	Doc: "fmt.Errorf over an error value must wrap it with %w so " +
+		"errors.Is/As keep working across the whole compile path",
+	NeedTypes: true,
+	Run:       runErrCtx,
 }
 
 func runErrCtx(pass *Pass) error {

@@ -1,0 +1,52 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// ApplyFixes computes the rewritten contents of every file touched by a
+// finding that carries a suggested fix. read supplies the current file
+// contents (os.ReadFile in cmd/avivlint; an in-memory map in tests, who
+// use it to prove -fix is idempotent without touching disk). It returns
+// the new contents per filename and the number of fixes applied.
+// Overlapping or out-of-range edits are errors, not silent corruption.
+func ApplyFixes(fset *token.FileSet, findings []Finding, read func(string) ([]byte, error)) (map[string][]byte, int, error) {
+	type edit struct {
+		start, end int
+		text       string
+	}
+	byFile := map[string][]edit{}
+	n := 0
+	for _, f := range findings {
+		if f.Fix == nil {
+			continue
+		}
+		n++
+		for _, e := range f.Fix.Edits {
+			pos := fset.Position(e.Pos)
+			end := fset.Position(e.End)
+			byFile[pos.Filename] = append(byFile[pos.Filename], edit{pos.Offset, end.Offset, e.New})
+		}
+	}
+	out := make(map[string][]byte, len(byFile))
+	for file, edits := range byFile {
+		src, err := read(file)
+		if err != nil {
+			return nil, n, err
+		}
+		sort.Slice(edits, func(i, j int) bool { return edits[i].start > edits[j].start })
+		for i, e := range edits {
+			if i > 0 && e.end > edits[i-1].start {
+				return nil, n, fmt.Errorf("%s: overlapping fixes", file)
+			}
+			if e.start < 0 || e.end > len(src) || e.start > e.end {
+				return nil, n, fmt.Errorf("%s: fix out of range", file)
+			}
+			src = append(src[:e.start], append([]byte(e.text), src[e.end:]...)...)
+		}
+		out[file] = src
+	}
+	return out, n, nil
+}

@@ -1,0 +1,623 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// GoroutineLeak flags `go` statements whose goroutine can block
+// forever. Three shapes are recognized:
+//
+//   - a channel send in the goroutine body when a program-wide census
+//     finds no receive (and no buffer) for that channel anywhere, or a
+//     receive when nothing ever sends or closes;
+//   - a sync.WaitGroup.Wait that blocks forever because the goroutine
+//     it waits on skips Done on some path (or never calls it), or
+//     because Add happens inside the goroutine and races with Wait;
+//   - in the server components, a `for { select { ... } }` loop with no
+//     <-ctx.Done() case and no terminating clause, so the goroutine
+//     outlives its request and the server's shutdown.
+//
+// The channel census is whole-program: every channel-typed variable or
+// field is credited with its sends, receives, closes, and ranges; a
+// channel that escapes through a parameter, a composite literal, or any
+// syntactic shape the census cannot attribute is exempt — the pass only
+// reports channels whose complete usage is visible, trading recall for
+// zero speculation. Goroutine bodies behind `go f(...)` resolve through
+// the callgraph to f's declaration.
+var GoroutineLeak = &Analyzer{
+	Name: "goroutineleak",
+	Doc: "flag go statements whose goroutine can block forever: channel " +
+		"operations with no reachable counterpart, WaitGroup waits whose Done " +
+		"can be skipped, and server select loops with no ctx.Done case",
+	NeedTypes:   true,
+	NeedProgram: true,
+	Run:         runGoroutineLeak,
+}
+
+// selectLoopComponents are the server-path components where a
+// non-terminating select loop must carry a cancellation case.
+var selectLoopComponents = map[string]bool{
+	"internal/server": true,
+	"cmd":             true,
+}
+
+func runGoroutineLeak(pass *Pass) error {
+	censusAny, err := pass.Prog.Memo("goroutineleak.census", func() (any, error) {
+		return buildChanCensus(pass.Prog), nil
+	})
+	if err != nil {
+		return err
+	}
+	census := censusAny.(*chanCensus)
+	cg := pass.Prog.CallGraph()
+
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkGoStmts(pass, fd, f, census, cg)
+		}
+	}
+	return nil
+}
+
+// checkGoStmts examines every go statement in fd.
+func checkGoStmts(pass *Pass, fd *ast.FuncDecl, file *ast.File, census *chanCensus, cg *CallGraph) {
+	info := pass.Info
+	waitRecvs := wgCallRecvs(info, fd.Body, "Wait")
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		g, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		body, calleeLabel := goroutineBody(info, g, cg)
+		if body == nil {
+			return true
+		}
+		checkGoChanOps(pass, g, body, calleeLabel, census)
+		checkGoWaitGroup(pass, fd, file, g, body, waitRecvs)
+		if selectLoopComponents[Component(pass.Path)] {
+			checkSelectLoops(pass, body)
+		}
+		return true
+	})
+}
+
+// goroutineBody resolves the statement list a go statement runs: the
+// literal's body, or the declaration of a statically resolved callee
+// (labelled for the diagnostic). Unresolved targets yield nil.
+func goroutineBody(info *types.Info, g *ast.GoStmt, cg *CallGraph) (*ast.BlockStmt, string) {
+	if lit, ok := g.Call.Fun.(*ast.FuncLit); ok {
+		return lit.Body, ""
+	}
+	var fn *types.Func
+	switch fun := ast.Unparen(g.Call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ = info.Uses[fun].(*types.Func)
+	case *ast.SelectorExpr:
+		fn, _ = info.Uses[fun.Sel].(*types.Func)
+	}
+	if fn == nil {
+		return nil, ""
+	}
+	if n := cg.ByFunc[fn]; n != nil {
+		return n.Decl.Body, n.Name()
+	}
+	return nil, ""
+}
+
+// checkGoChanOps flags channel operations in the goroutine body whose
+// counterpart does not exist anywhere in the program. Operations inside
+// a select are exempt: the select may have a live alternative.
+func checkGoChanOps(pass *Pass, g *ast.GoStmt, body *ast.BlockStmt, calleeLabel string, census *chanCensus) {
+	where := ""
+	if calleeLabel != "" {
+		where = " (in " + calleeLabel + ")"
+	}
+	info := pass.Info
+	inspectNoFuncLit(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			return false
+		case *ast.SendStmt:
+			if obj, _ := chanObjOf(info, n.Chan); obj != nil {
+				if o := census.ops[obj]; o != nil && !o.escaped && !o.buffered && o.recvs == 0 {
+					pass.Reportf(g.Pos(),
+						"goroutineleak: goroutine sends on %s%s but the program has no receive from it; the send blocks forever",
+						exprString(n.Chan), where)
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if obj, _ := chanObjOf(info, n.X); obj != nil {
+					if o := census.ops[obj]; o != nil && !o.escaped && o.sends == 0 && o.closes == 0 {
+						pass.Reportf(g.Pos(),
+							"goroutineleak: goroutine receives from %s%s but the program never sends on or closes it; the receive blocks forever",
+							exprString(n.X), where)
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if obj, _ := chanObjOf(info, n.X); obj != nil {
+				if o := census.ops[obj]; o != nil && !o.escaped && o.sends == 0 && o.closes == 0 {
+					pass.Reportf(g.Pos(),
+						"goroutineleak: goroutine ranges over %s%s but the program never sends on or closes it; the loop blocks forever",
+						exprString(n.X), where)
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkGoWaitGroup enforces the Add-before-go / Done-on-all-paths
+// protocol for goroutines a WaitGroup waits on.
+func checkGoWaitGroup(pass *Pass, fd *ast.FuncDecl, file *ast.File, g *ast.GoStmt, body *ast.BlockStmt, waitRecvs map[string]bool) {
+	info := pass.Info
+
+	// Add inside the goroutine body races with a Wait outside it.
+	inspectNoFuncLit(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name, recv := waitGroupMethod(info, call); name == "Add" &&
+			waitRecvs[recv] && !hasWGCall(info, body, "Wait", recv) {
+			pass.Reportf(call.Pos(),
+				"goroutineleak: %s.Add inside the goroutine races with %s.Wait; Wait may run before Add and return early, or block forever — call Add before the go statement",
+				recv, recv)
+		}
+		return true
+	})
+
+	// Done obligations: an Add on wg preceding this go statement in the
+	// same statement list, with a Wait on wg in the function, obligates
+	// the goroutine to call wg.Done on every path.
+	for _, recv := range precedingAddRecvs(info, file, g) {
+		if !waitRecvs[recv] {
+			continue
+		}
+		hasOwn := hasWGCall(info, body, "Done", recv)
+		if !hasOwn && !anyWGDone(info, body) {
+			pass.Reportf(g.Pos(),
+				"goroutineleak: goroutine never calls %s.Done after %s.Add; %s.Wait blocks forever",
+				recv, recv, recv)
+			continue
+		}
+		if hasOwn && !doneOnAllPaths(info, body.List, recv) {
+			pass.Reportf(g.Pos(),
+				"goroutineleak: %s.Done can be skipped on an early return in the goroutine; defer %s.Done() as its first statement",
+				recv, recv)
+		}
+	}
+}
+
+// precedingAddRecvs returns the receivers of wg.Add calls that precede
+// g in g's own enclosing statement list — the idiomatic Add-then-go
+// pairing the obligation check keys on.
+func precedingAddRecvs(info *types.Info, file *ast.File, g *ast.GoStmt) []string {
+	var recvs []string
+	stmtLists(file, func(list []ast.Stmt) {
+		at := -1
+		for i, s := range list {
+			if s == ast.Stmt(g) {
+				at = i
+				break
+			}
+		}
+		if at < 0 {
+			return
+		}
+		for _, s := range list[:at] {
+			es, ok := s.(*ast.ExprStmt)
+			if !ok {
+				continue
+			}
+			call, ok := es.X.(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			if name, recv := waitGroupMethod(info, call); name == "Add" {
+				recvs = append(recvs, recv)
+			}
+		}
+	})
+	sort.Strings(recvs)
+	return dedupeSorted(recvs)
+}
+
+// doneOnAllPaths reports whether every execution path through list
+// reaches a recv.Done() call. It is deliberately conservative: a defer
+// or an unconditional statement-level Done settles it; an if whose both
+// branches settle it settles it; any statement that may escape the
+// list (return, branch, panic) before Done is settled fails it.
+func doneOnAllPaths(info *types.Info, list []ast.Stmt, recv string) bool {
+	for _, stmt := range list {
+		switch s := stmt.(type) {
+		case *ast.DeferStmt:
+			if name, r := waitGroupMethod(info, s.Call); name == "Done" && r == recv {
+				return true
+			}
+		case *ast.ExprStmt:
+			if call, ok := s.X.(*ast.CallExpr); ok {
+				if name, r := waitGroupMethod(info, call); name == "Done" && r == recv {
+					return true
+				}
+			}
+		case *ast.IfStmt:
+			if s.Else != nil {
+				if els, ok := s.Else.(*ast.BlockStmt); ok &&
+					doneOnAllPaths(info, s.Body.List, recv) &&
+					doneOnAllPaths(info, els.List, recv) {
+					return true
+				}
+			}
+		}
+		if mayEscapeList(stmt) {
+			return false
+		}
+	}
+	return false
+}
+
+// mayEscapeList reports whether executing stmt may leave the enclosing
+// statement list other than by falling through: a return, branch, or
+// panic anywhere inside it (goroutine bodies excluded).
+func mayEscapeList(stmt ast.Stmt) bool {
+	escapes := false
+	inspectNoFuncLit(stmt, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			return false
+		case *ast.ReturnStmt, *ast.BranchStmt:
+			escapes = true
+		case *ast.CallExpr:
+			if id, ok := n.Fun.(*ast.Ident); ok && id.Name == "panic" {
+				escapes = true
+			}
+		}
+		return !escapes
+	})
+	return escapes
+}
+
+// checkSelectLoops flags `for { select { ... } }` loops with no
+// cancellation case and no terminating clause.
+func checkSelectLoops(pass *Pass, body *ast.BlockStmt) {
+	info := pass.Info
+	inspectNoFuncLit(body, func(n ast.Node) bool {
+		loop, ok := n.(*ast.ForStmt)
+		if !ok || loop.Cond != nil || loop.Init != nil || loop.Post != nil {
+			return true
+		}
+		for _, stmt := range loop.Body.List {
+			sel, ok := stmt.(*ast.SelectStmt)
+			if !ok {
+				continue
+			}
+			hasDone, hasDefault, terminates := false, false, false
+			for _, c := range sel.Body.List {
+				cc, ok := c.(*ast.CommClause)
+				if !ok {
+					continue
+				}
+				if cc.Comm == nil {
+					hasDefault = true
+					continue
+				}
+				if commWaitsOnCtxDone(info, cc.Comm) {
+					hasDone = true
+				}
+				for _, bs := range cc.Body {
+					if mayEscapeList(bs) {
+						terminates = true
+					}
+				}
+			}
+			if !hasDone && !hasDefault && !terminates {
+				pass.Reportf(sel.Pos(),
+					"goroutineleak: select loop has no <-ctx.Done() case, no default, and no terminating clause; the goroutine outlives its request and server shutdown")
+			}
+		}
+		return true
+	})
+}
+
+// commWaitsOnCtxDone reports whether a select comm statement waits on a
+// context's Done channel.
+func commWaitsOnCtxDone(info *types.Info, comm ast.Stmt) bool {
+	found := false
+	ast.Inspect(comm, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && isCtxDoneCall(info, call) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isCtxDoneCall reports whether call is ctx.Done() for a
+// context.Context receiver.
+func isCtxDoneCall(info *types.Info, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "Done" {
+		return false
+	}
+	fn, ok := info.ObjectOf(sel.Sel).(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "context"
+}
+
+// waitGroupMethod matches calls to sync.WaitGroup methods, returning
+// the method name and printed receiver (mirroring syncMutexMethod).
+func waitGroupMethod(info *types.Info, call *ast.CallExpr) (name, recv string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	fn, ok := info.ObjectOf(sel.Sel).(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	switch sel.Sel.Name {
+	case "Add", "Done", "Wait":
+		return sel.Sel.Name, exprString(sel.X)
+	}
+	return "", ""
+}
+
+// wgCallRecvs collects the printed receivers of WaitGroup calls with
+// the given method name anywhere under n (closures included: a Wait in
+// a closure is still a Wait something blocks on).
+func wgCallRecvs(info *types.Info, n ast.Node, method string) map[string]bool {
+	out := make(map[string]bool)
+	ast.Inspect(n, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if name, recv := waitGroupMethod(info, call); name == method {
+				out[recv] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func hasWGCall(info *types.Info, n ast.Node, method, recv string) bool {
+	return wgCallRecvs(info, n, method)[recv]
+}
+
+// anyWGDone reports whether the body, or any function it directly and
+// statically calls, contains a WaitGroup.Done call — the one-level
+// escape hatch for `go worker(&wg)` where Done lives in the callee.
+func anyWGDone(info *types.Info, body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if name, _ := waitGroupMethod(info, call); name == "Done" {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// --- whole-program channel census ---
+
+// chanCensus tallies, per channel-typed variable or field, every
+// operation the program performs on it.
+type chanCensus struct {
+	ops map[types.Object]*chanOps
+}
+
+type chanOps struct {
+	sends, recvs, closes int
+	escaped              bool
+	buffered             bool
+}
+
+func buildChanCensus(prog *Program) *chanCensus {
+	census := &chanCensus{ops: make(map[types.Object]*chanOps)}
+	get := func(obj types.Object) *chanOps {
+		o := census.ops[obj]
+		if o == nil {
+			o = &chanOps{}
+			census.ops[obj] = o
+		}
+		return o
+	}
+
+	for _, pkg := range prog.Pkgs {
+		info := pkg.Info
+		if info == nil {
+			continue
+		}
+		// consumed marks identifier references the census attributed to
+		// a recognized operation; any other reference to a channel
+		// means the channel escapes the census's view.
+		consumed := make(map[*ast.Ident]bool)
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SendStmt:
+					if obj, id := chanObjOf(info, n.Chan); obj != nil {
+						get(obj).sends++
+						consumed[id] = true
+					}
+				case *ast.UnaryExpr:
+					if n.Op == token.ARROW {
+						if obj, id := chanObjOf(info, n.X); obj != nil {
+							get(obj).recvs++
+							consumed[id] = true
+						}
+					}
+				case *ast.RangeStmt:
+					if obj, id := chanObjOf(info, n.X); obj != nil {
+						get(obj).recvs++
+						consumed[id] = true
+					}
+				case *ast.CallExpr:
+					if name := builtinName(info, n); name == "close" || name == "len" || name == "cap" {
+						if obj, id := chanObjOf(info, n.Args[0]); obj != nil {
+							if name == "close" {
+								get(obj).closes++
+							}
+							consumed[id] = true
+						}
+					}
+				case *ast.AssignStmt:
+					if len(n.Lhs) == len(n.Rhs) {
+						for i, lhs := range n.Lhs {
+							obj, id := chanObjOf(info, lhs)
+							if obj == nil {
+								continue
+							}
+							if isMake, buffered := makeChanCall(info, n.Rhs[i]); isMake {
+								get(obj).buffered = get(obj).buffered || buffered
+								consumed[id] = true
+							}
+						}
+					}
+				case *ast.ValueSpec:
+					for i, name := range n.Names {
+						if i >= len(n.Values) {
+							break
+						}
+						obj, id := chanObjOf(info, name)
+						if obj == nil {
+							continue
+						}
+						if isMake, buffered := makeChanCall(info, n.Values[i]); isMake {
+							get(obj).buffered = get(obj).buffered || buffered
+							consumed[id] = true
+						}
+					}
+				case *ast.FuncType:
+					// A channel crossing a function boundary escapes.
+					markFieldListEscaped(info, n.Params, get)
+					markFieldListEscaped(info, n.Results, get)
+				case *ast.FuncDecl:
+					markFieldListEscaped(info, n.Recv, get)
+				}
+				return true
+			})
+		}
+		// Any remaining reference to a channel-typed object is a shape
+		// the census does not model: mark the channel escaped.
+		for _, f := range pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok || consumed[id] {
+					return true
+				}
+				obj := info.ObjectOf(id)
+				if obj == nil || !isChanType(obj.Type()) {
+					return true
+				}
+				if _, isVar := obj.(*types.Var); !isVar {
+					return true
+				}
+				if info.Defs[id] != nil {
+					return true // declarations are neutral
+				}
+				get(obj).escaped = true
+				return true
+			})
+		}
+	}
+	return census
+}
+
+func markFieldListEscaped(info *types.Info, fl *ast.FieldList, get func(types.Object) *chanOps) {
+	if fl == nil {
+		return
+	}
+	for _, field := range fl.List {
+		for _, name := range field.Names {
+			if obj := info.Defs[name]; obj != nil && isChanType(obj.Type()) {
+				get(obj).escaped = true
+			}
+		}
+	}
+}
+
+// chanObjOf resolves a channel-typed expression to the variable or
+// field it names, plus the identifier referencing it. Other shapes
+// (map/slice elements, function results) return nil.
+func chanObjOf(info *types.Info, expr ast.Expr) (types.Object, *ast.Ident) {
+	var id *ast.Ident
+	switch e := ast.Unparen(expr).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil, nil
+	}
+	obj := info.ObjectOf(id)
+	if obj == nil || !isChanType(obj.Type()) {
+		return nil, nil
+	}
+	if _, isVar := obj.(*types.Var); !isVar {
+		return nil, nil
+	}
+	return obj, id
+}
+
+func isChanType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Chan)
+	return ok
+}
+
+func builtinName(info *types.Info, call *ast.CallExpr) string {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || len(call.Args) == 0 {
+		return ""
+	}
+	if b, ok := info.ObjectOf(id).(*types.Builtin); ok {
+		return b.Name()
+	}
+	return ""
+}
+
+// makeChanCall reports whether e is a make(chan ...) call and whether
+// the channel it makes is buffered. An unknown (non-constant) capacity
+// counts as buffered: the census must not speculate about blocking.
+func makeChanCall(info *types.Info, e ast.Expr) (isMake, buffered bool) {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok || builtinName(info, call) != "make" {
+		return false, false
+	}
+	if tv, ok := info.Types[call]; !ok || !isChanType(tv.Type) {
+		return false, false
+	}
+	if len(call.Args) < 2 {
+		return true, false
+	}
+	tv, ok := info.Types[call.Args[1]]
+	if !ok || tv.Value == nil {
+		return true, true
+	}
+	n, exact := constant.Int64Val(constant.ToInt(tv.Value))
+	return true, !exact || n > 0
+}
+
+// exprString renders an expression compactly for diagnostics, with the
+// same printer syncMutexMethod uses for receivers.
+func exprString(e ast.Expr) string {
+	s := exprPrinted(e)
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i] + "..."
+	}
+	return s
+}

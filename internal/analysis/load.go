@@ -59,7 +59,7 @@ func goList(dir string, patterns []string) ([]*listPackage, error) {
 	cmd.Stderr = &stderr
 	out, err := cmd.Output()
 	if err != nil {
-		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+		return nil, fmt.Errorf("go list %s: %w\n%s", strings.Join(patterns, " "), err, stderr.String())
 	}
 	var pkgs []*listPackage
 	dec := json.NewDecoder(bytes.NewReader(out))
@@ -68,7 +68,7 @@ func goList(dir string, patterns []string) ([]*listPackage, error) {
 		if err := dec.Decode(p); err == io.EOF {
 			break
 		} else if err != nil {
-			return nil, fmt.Errorf("go list: decoding output: %v", err)
+			return nil, fmt.Errorf("go list: decoding output: %w", err)
 		}
 		pkgs = append(pkgs, p)
 	}
@@ -114,7 +114,7 @@ func Load(fset *token.FileSet, dir string, patterns ...string) ([]*Package, erro
 		for _, name := range p.GoFiles {
 			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
 			if err != nil {
-				return nil, fmt.Errorf("parsing %s: %v", name, err)
+				return nil, fmt.Errorf("parsing %s: %w", name, err)
 			}
 			pkg.Files = append(pkg.Files, f)
 		}
@@ -122,7 +122,7 @@ func Load(fset *token.FileSet, dir string, patterns ...string) ([]*Package, erro
 		conf := types.Config{Importer: imp}
 		tpkg, err := conf.Check(p.ImportPath, fset, pkg.Files, pkg.Info)
 		if err != nil {
-			return nil, fmt.Errorf("type checking %s: %v", p.ImportPath, err)
+			return nil, fmt.Errorf("type checking %s: %w", p.ImportPath, err)
 		}
 		pkg.Types = tpkg
 		out = append(out, pkg)

@@ -1,0 +1,480 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// LockOrder derives a global lock-acquisition-order graph and reports
+// any cycle in it as a potential deadlock, with the full lock chain and
+// the call path that realizes each edge.
+//
+// Locks are abstracted to classes: a mutex field is "pkg.Owner.field"
+// (every instance of Owner collapses to one class), a package-level
+// mutex is "pkg.var", a type with an embedded mutex locked through the
+// receiver is "pkg.Type". Local mutex variables have no class and are
+// skipped. The held regions come from the same statement-level walker
+// mutexhygiene uses; per-function acquisition summaries are exported as
+// facts and composed bottom-up over the callgraph SCCs, so an edge
+// A -> B exists when some function acquires class B — directly or
+// through any chain of calls — while holding class A. Self-edges
+// (A -> A) are excluded: the class collapse cannot distinguish two
+// instances, and same-instance recursion is mutexhygiene's finding.
+var LockOrder = &Analyzer{
+	Name: "lockorder",
+	Doc: "derive the global lock-acquisition-order graph over the callgraph and " +
+		"report cycles as potential deadlocks, with lock chain and call path",
+	NeedTypes:   true,
+	NeedProgram: true,
+	Run:         runLockOrder,
+}
+
+func runLockOrder(pass *Pass) error {
+	v, err := pass.Prog.Memo("lockorder", func() (any, error) {
+		return lockOrderDiags(pass)
+	})
+	if err != nil {
+		return err
+	}
+	// The cycle set is global; each diagnostic is reported by the
+	// package whose files contain its position.
+	for _, d := range v.([]Diagnostic) {
+		if pass.containsPos(d.Pos) {
+			pass.Report(d)
+		}
+	}
+	return nil
+}
+
+// lockFact is the per-function summary exported for every callgraph
+// node: which lock classes running the function may acquire, directly
+// or transitively, and through which call chain.
+type lockFact struct {
+	// Acquires maps a lock class to how this function reaches its
+	// acquisition.
+	Acquires map[string]lockVia
+}
+
+func (*lockFact) AFact() {}
+
+// lockVia locates one acquisition: the source position of the eventual
+// direct Lock call and the call chain (callee names, outermost first)
+// leading from the summarized function to it; nil for a direct
+// acquisition in the function body.
+type lockVia struct {
+	Pos  token.Pos
+	Path []string
+}
+
+// lockSummary is one node's direct (intraprocedural) evidence.
+type lockSummary struct {
+	node *CallNode
+	// acquires: class -> first direct statement-level acquisition site.
+	acquires map[string]token.Pos
+	// pairs: class B acquired at pos while class A held, in source order.
+	pairs []lockPair
+	// calls: resolved call sites executed while at least one classed
+	// lock is held.
+	calls []heldCall
+}
+
+type lockPair struct {
+	a, b string
+	pos  token.Pos
+}
+
+type heldCall struct {
+	held   []string // sorted held classes
+	callee *CallNode
+	pos    token.Pos
+}
+
+// lockOrderDiags computes the whole-program lock-order graph and its
+// cycle diagnostics. pass is the first lockorder pass of the run; it
+// supplies the fact store (facts are keyed by analyzer, so every later
+// lockorder pass of the same run sees the same store).
+func lockOrderDiags(pass *Pass) ([]Diagnostic, error) {
+	prog := pass.Prog
+	cg := prog.CallGraph()
+
+	summaries := make(map[*CallNode]*lockSummary, len(cg.Nodes))
+	for _, n := range cg.Nodes {
+		summaries[n] = directLockSummary(n)
+	}
+
+	// Compose facts bottom-up over the SCCs; within an SCC, iterate to
+	// a fixpoint. The acquire set only grows and settled entries are
+	// never overwritten, so termination is by monotonicity.
+	for _, scc := range cg.SCCs() {
+		for {
+			changed := false
+			for _, n := range scc {
+				f := composeLockFact(pass, summaries[n])
+				var old lockFact
+				if !pass.ImportFact(n.Fn, &old) || len(f.Acquires) != len(old.Acquires) {
+					pass.ExportFact(n.Fn, f)
+					changed = true
+				}
+			}
+			if !changed {
+				break
+			}
+		}
+	}
+
+	// Global edge set A -> B: class B acquired while class A is held.
+	type lockEdge struct {
+		pos   token.Pos
+		where string
+	}
+	edges := make(map[[2]string]lockEdge)
+	addEdge := func(a, b string, pos token.Pos, where string) {
+		if a == b {
+			return
+		}
+		key := [2]string{a, b}
+		if old, ok := edges[key]; !ok || pos < old.pos {
+			edges[key] = lockEdge{pos, where}
+		}
+	}
+	for _, n := range cg.Nodes {
+		s := summaries[n]
+		for _, p := range s.pairs {
+			addEdge(p.a, p.b, p.pos, "in "+n.Name())
+		}
+		for _, hc := range s.calls {
+			var cf lockFact
+			if !pass.ImportFact(hc.callee.Fn, &cf) {
+				continue
+			}
+			for _, b := range sortedKeys(cf.Acquires) {
+				via := cf.Acquires[b]
+				chain := append([]string{hc.callee.Name()}, via.Path...)
+				where := "in " + n.Name() + " via " + strings.Join(chain, " -> ")
+				for _, a := range hc.held {
+					addEdge(a, b, hc.pos, where)
+				}
+			}
+		}
+	}
+
+	// Cycle detection over the class digraph.
+	adj := make(map[string][]string)
+	nodeSet := make(map[string]bool)
+	for key := range edges {
+		adj[key[0]] = append(adj[key[0]], key[1])
+		nodeSet[key[0]], nodeSet[key[1]] = true, true
+	}
+	classes := sortedBoolKeys(nodeSet)
+	for _, c := range classes {
+		sort.Strings(adj[c])
+	}
+
+	var diags []Diagnostic
+	for _, scc := range stringSCCs(classes, adj) {
+		if len(scc) < 2 {
+			continue
+		}
+		cycle := findClassCycle(scc, adj)
+		if cycle == nil {
+			continue
+		}
+		var steps []string
+		for i := 0; i+1 < len(cycle); i++ {
+			e := edges[[2]string{cycle[i], cycle[i+1]}]
+			steps = append(steps, fmt.Sprintf("%s taken while %s is held at %s (%s)",
+				cycle[i+1], cycle[i], posLabel(prog.Fset, e.pos), e.where))
+		}
+		first := edges[[2]string{cycle[0], cycle[1]}]
+		diags = append(diags, Diagnostic{
+			Pos: first.pos,
+			Message: fmt.Sprintf(
+				"lockorder: lock acquisition order cycle %s: %s; acquire these locks in one global order to avoid deadlock",
+				strings.Join(cycle, " -> "), strings.Join(steps, "; ")),
+		})
+	}
+	return diags, nil
+}
+
+// directLockSummary walks one function body with the shared held-region
+// walker, recording direct acquisitions, direct held pairs, and the
+// resolved calls made inside held regions.
+func directLockSummary(n *CallNode) *lockSummary {
+	s := &lockSummary{node: n, acquires: make(map[string]token.Pos)}
+	info := n.Pkg.Info
+	if info == nil || n.Decl.Body == nil {
+		return s
+	}
+
+	// Call sites resolve through the node's callgraph edges.
+	siteEdges := make(map[*ast.CallExpr][]*CallEdge)
+	for _, e := range n.Out {
+		siteEdges[e.Site] = append(siteEdges[e.Site], e)
+	}
+
+	// classOf maps a held receiver string ("s.mu") to its lock class.
+	classOf := make(map[string]string)
+	heldClasses := func(held *heldSet) []string {
+		var out []string
+		for recv := range held.keys {
+			if c := classOf[recv]; c != "" {
+				out = append(out, c)
+			}
+		}
+		sort.Strings(out)
+		return dedupeSorted(out)
+	}
+
+	walkHeldList(info, n.Decl.Body.List, newHeldSet(), heldHooks{
+		acquire: func(call *ast.CallExpr, recv string, held *heldSet) {
+			class, ok := lockClassOf(info, call)
+			if !ok {
+				return
+			}
+			classOf[recv] = class
+			if _, seen := s.acquires[class]; !seen {
+				s.acquires[class] = call.Pos()
+			}
+			for _, a := range heldClasses(held) {
+				if a != class {
+					s.pairs = append(s.pairs, lockPair{a, class, call.Pos()})
+				}
+			}
+		},
+		stmt: func(stmt ast.Stmt, held *heldSet) {
+			hc := heldClasses(held)
+			if len(hc) == 0 {
+				return
+			}
+			// The statement's own expressions only: nested lists are
+			// walked separately with their own held sets, and spawned
+			// goroutines do not run under the lock.
+			inspectNoFuncLit(stmt, func(node ast.Node) bool {
+				switch node := node.(type) {
+				case *ast.BlockStmt, *ast.GoStmt:
+					return false
+				case *ast.CallExpr:
+					for _, e := range siteEdges[node] {
+						s.calls = append(s.calls, heldCall{held: hc, callee: e.Callee, pos: node.Pos()})
+					}
+				}
+				return true
+			})
+		},
+	})
+	return s
+}
+
+// composeLockFact builds a node's fact from its direct summary plus the
+// current facts of its callees. First evidence wins: settled entries
+// keep their original call chain, which keeps reported paths stable
+// across fixpoint iterations.
+func composeLockFact(pass *Pass, s *lockSummary) *lockFact {
+	f := &lockFact{Acquires: make(map[string]lockVia, len(s.acquires))}
+	for class, pos := range s.acquires {
+		f.Acquires[class] = lockVia{Pos: pos}
+	}
+	for _, e := range s.node.Out {
+		var cf lockFact
+		if !pass.ImportFact(e.Callee.Fn, &cf) {
+			continue
+		}
+		for _, class := range sortedKeys(cf.Acquires) {
+			if _, ok := f.Acquires[class]; ok {
+				continue
+			}
+			via := cf.Acquires[class]
+			f.Acquires[class] = lockVia{
+				Pos:  via.Pos,
+				Path: append([]string{e.Callee.Name()}, via.Path...),
+			}
+		}
+	}
+	return f
+}
+
+// lockClassOf maps a statement-level Lock/RLock call to the lock class
+// it acquires, false for unclassed (local) mutexes.
+func lockClassOf(info *types.Info, call *ast.CallExpr) (string, bool) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	switch e := ast.Unparen(sel.X).(type) {
+	case *ast.Ident:
+		v, ok := info.ObjectOf(e).(*types.Var)
+		if !ok || v.Pkg() == nil {
+			return "", false
+		}
+		if v.Parent() == v.Pkg().Scope() {
+			return v.Pkg().Name() + "." + v.Name(), true // package-level mutex
+		}
+		// A variable of a lock-embedding named type, locked through the
+		// value itself (b.Lock()): class by the owning type.
+		if named := derefNamed(v.Type()); named != nil && !definedInSync(named) {
+			return typeClassName(named), true
+		}
+	case *ast.SelectorExpr:
+		obj, ok := info.ObjectOf(e.Sel).(*types.Var)
+		if !ok || obj.Pkg() == nil {
+			return "", false
+		}
+		if !obj.IsField() {
+			if obj.Parent() == obj.Pkg().Scope() {
+				return obj.Pkg().Name() + "." + obj.Name(), true // pkg-qualified global
+			}
+			return "", false
+		}
+		if selinfo, ok := info.Selections[e]; ok {
+			if named := derefNamed(selinfo.Recv()); named != nil {
+				return typeClassName(named) + "." + obj.Name(), true // mutex field
+			}
+		}
+	}
+	return "", false
+}
+
+func derefNamed(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+func definedInSync(named *types.Named) bool {
+	pkg := named.Obj().Pkg()
+	return pkg != nil && pkg.Path() == "sync"
+}
+
+func typeClassName(named *types.Named) string {
+	if pkg := named.Obj().Pkg(); pkg != nil {
+		return pkg.Name() + "." + named.Obj().Name()
+	}
+	return named.Obj().Name()
+}
+
+// findClassCycle reconstructs one concrete cycle inside a non-trivial
+// SCC, starting (and ending) at its lexically smallest class, visiting
+// smallest neighbors first — fully deterministic.
+func findClassCycle(scc []string, adj map[string][]string) []string {
+	inSCC := make(map[string]bool, len(scc))
+	for _, c := range scc {
+		inSCC[c] = true
+	}
+	sorted := append([]string(nil), scc...)
+	sort.Strings(sorted)
+	start := sorted[0]
+
+	seen := map[string]bool{start: true}
+	var path []string
+	var dfs func(n string) bool
+	dfs = func(n string) bool {
+		path = append(path, n)
+		for _, m := range adj[n] {
+			if m == start && len(path) > 1 {
+				return true
+			}
+			if !inSCC[m] || seen[m] {
+				continue
+			}
+			seen[m] = true
+			if dfs(m) {
+				return true
+			}
+		}
+		path = path[:len(path)-1]
+		return false
+	}
+	if !dfs(start) {
+		return nil
+	}
+	return append(path, start)
+}
+
+// stringSCCs is Tarjan over the class digraph, components emitted
+// bottom-up; node and edge order are pre-sorted by the caller.
+func stringSCCs(nodes []string, adj map[string][]string) [][]string {
+	index := make(map[string]int, len(nodes))
+	low := make(map[string]int, len(nodes))
+	onStack := make(map[string]bool, len(nodes))
+	var stack []string
+	var sccs [][]string
+	next := 0
+
+	var strongconnect func(n string)
+	strongconnect = func(n string) {
+		index[n] = next
+		low[n] = next
+		next++
+		stack = append(stack, n)
+		onStack[n] = true
+		for _, m := range adj[n] {
+			if _, seen := index[m]; !seen {
+				strongconnect(m)
+				if low[m] < low[n] {
+					low[n] = low[m]
+				}
+			} else if onStack[m] && index[m] < low[n] {
+				low[n] = index[m]
+			}
+		}
+		if low[n] == index[n] {
+			var scc []string
+			for {
+				m := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[m] = false
+				scc = append(scc, m)
+				if m == n {
+					break
+				}
+			}
+			sccs = append(sccs, scc)
+		}
+	}
+	for _, n := range nodes {
+		if _, seen := index[n]; !seen {
+			strongconnect(n)
+		}
+	}
+	return sccs
+}
+
+func posLabel(fset *token.FileSet, pos token.Pos) string {
+	p := fset.Position(pos)
+	return fmt.Sprintf("%s:%d", filepath.Base(p.Filename), p.Line)
+}
+
+func sortedKeys(m map[string]lockVia) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sortedBoolKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func dedupeSorted(s []string) []string {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}

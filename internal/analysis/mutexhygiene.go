@@ -1,9 +1,7 @@
 package analysis
 
 import (
-	"bytes"
 	"go/ast"
-	"go/printer"
 	"go/token"
 	"go/types"
 	"sort"
@@ -108,11 +106,23 @@ func syncMutexMethod(info *types.Info, call *ast.CallExpr) (name, recv string) {
 	}
 	switch sel.Sel.Name {
 	case "Lock", "Unlock", "RLock", "RUnlock", "TryLock", "TryRLock":
-		var buf bytes.Buffer
-		printer.Fprint(&buf, token.NewFileSet(), sel.X)
-		return sel.Sel.Name, buf.String()
+		return sel.Sel.Name, exprPrinted(sel.X)
 	}
 	return "", ""
+}
+
+// heldHooks parameterize walkHeldList. The walker owns the held-region
+// bookkeeping (what mutexhygiene established: statement-level
+// Lock/Unlock pairs, defer-Unlock held to function end, branch-scoped
+// regions); the hooks decide what a pass does with it — mutexhygiene
+// reports hazards inside regions, lockorder derives acquisition-order
+// facts from the same regions.
+type heldHooks struct {
+	// acquire fires at a statement-level Lock/RLock, with held still
+	// describing the region *before* this acquisition joins it.
+	acquire func(call *ast.CallExpr, recv string, held *heldSet)
+	// stmt fires for every other statement, with the current region.
+	stmt func(stmt ast.Stmt, held *heldSet)
 }
 
 // walkHeld walks one statement list, maintaining the held-lock set and
@@ -120,14 +130,30 @@ func syncMutexMethod(info *types.Info, call *ast.CallExpr) (name, recv string) {
 // held is mutated along the list (a Lock earlier in the list covers
 // later statements) and copied into nested lists.
 func walkHeld(pass *Pass, lockers map[types.Object]bool, list []ast.Stmt, held *heldSet) {
+	walkHeldList(pass.Info, list, held, heldHooks{
+		acquire: func(call *ast.CallExpr, recv string, held *heldSet) {
+			if held.keys[recv] {
+				pass.Reportf(call.Pos(), "mutexhygiene: %s is locked again while already held; recursive locking self-deadlocks", recv)
+			}
+		},
+		stmt: func(stmt ast.Stmt, held *heldSet) {
+			if held.any() {
+				checkUnderLock(pass, lockers, stmt, held)
+			}
+		},
+	})
+}
+
+// walkHeldList is the shared held-region walker.
+func walkHeldList(info *types.Info, list []ast.Stmt, held *heldSet, hooks heldHooks) {
 	for _, stmt := range list {
 		switch s := stmt.(type) {
 		case *ast.ExprStmt:
 			if call, ok := s.X.(*ast.CallExpr); ok {
-				switch name, recv := syncMutexMethod(pass.Info, call); name {
+				switch name, recv := syncMutexMethod(info, call); name {
 				case "Lock", "RLock":
-					if held.keys[recv] {
-						pass.Reportf(call.Pos(), "mutexhygiene: %s is locked again while already held; recursive locking self-deadlocks", recv)
+					if hooks.acquire != nil {
+						hooks.acquire(call, recv, held)
 					}
 					held.keys[recv] = true
 					continue
@@ -137,7 +163,7 @@ func walkHeld(pass *Pass, lockers map[types.Object]bool, list []ast.Stmt, held *
 				}
 			}
 		case *ast.DeferStmt:
-			if name, recv := syncMutexMethod(pass.Info, s.Call); name == "Unlock" || name == "RUnlock" {
+			if name, recv := syncMutexMethod(info, s.Call); name == "Unlock" || name == "RUnlock" {
 				// The conventional lock-then-defer-unlock pair: the
 				// lock stays held to function end, which is exactly
 				// what the rest of this list's walk assumes.
@@ -146,15 +172,15 @@ func walkHeld(pass *Pass, lockers map[types.Object]bool, list []ast.Stmt, held *
 			}
 		}
 
-		if held.any() {
-			checkUnderLock(pass, lockers, stmt, held)
+		if hooks.stmt != nil {
+			hooks.stmt(stmt, held)
 		}
 
 		// Recurse into nested statement lists with a copy of the
 		// current held set; a lock taken inside a branch does not
 		// extend past it.
 		for _, nested := range nestedStmtLists(stmt) {
-			walkHeld(pass, lockers, nested, held.clone())
+			walkHeldList(info, nested, held.clone(), hooks)
 		}
 	}
 }

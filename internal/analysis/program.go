@@ -1,0 +1,117 @@
+package analysis
+
+import (
+	"go/token"
+	"go/types"
+	"reflect"
+)
+
+// A Program is the whole-program view interprocedural analyzers run
+// over: every loaded package plus the lazily built callgraph and the
+// fact store that lets per-function summaries compose across package
+// boundaries. The driver builds one Program per Run and shares it
+// between analyzers; results and facts are namespaced by analyzer, so
+// passes cannot observe each other's state.
+type Program struct {
+	Fset *token.FileSet
+	// Pkgs holds the loaded packages in dependency order (imports
+	// before importers), as `go list -deps` emits them.
+	Pkgs []*Package
+
+	callgraph *CallGraph
+	facts     map[factKey]Fact
+	memo      map[string]any
+}
+
+// NewProgram assembles a Program over already-loaded packages. The
+// callgraph is built on first use, so analyzers that never ask for it
+// cost nothing extra.
+func NewProgram(fset *token.FileSet, pkgs []*Package) *Program {
+	return &Program{
+		Fset:  fset,
+		Pkgs:  pkgs,
+		facts: make(map[factKey]Fact),
+		memo:  make(map[string]any),
+	}
+}
+
+// CallGraph returns the program's CHA-style callgraph, building it on
+// first call.
+func (prog *Program) CallGraph() *CallGraph {
+	if prog.callgraph == nil {
+		prog.callgraph = buildCallGraph(prog)
+	}
+	return prog.callgraph
+}
+
+// Memo computes a whole-program result once per Run and caches it
+// under key, so an interprocedural analyzer invoked package by package
+// performs its global computation a single time. The driver runs
+// analyzers sequentially, so no locking is needed.
+func (prog *Program) Memo(key string, compute func() (any, error)) (any, error) {
+	if v, ok := prog.memo[key]; ok {
+		return v, nil
+	}
+	v, err := compute()
+	if err != nil {
+		return nil, err
+	}
+	prog.memo[key] = v
+	return v, nil
+}
+
+// A Fact is a per-object summary an analyzer exports for other
+// invocations of itself to import — the mechanism per-function
+// summaries use to compose bottom-up over the callgraph (mirroring
+// golang.org/x/tools/go/analysis facts, without the gob encoding: the
+// whole program is analyzed in one process, so facts stay in memory).
+// Implementations must be pointers; AFact is a marker.
+type Fact interface{ AFact() }
+
+// factKey namespaces facts by analyzer, object, and fact type.
+type factKey struct {
+	analyzer string
+	obj      types.Object
+	typ      reflect.Type
+}
+
+// ExportFact records fact for obj, visible to later ImportFact calls
+// by the same analyzer anywhere in the program. Unlike x/tools, obj
+// may belong to any loaded package, not just the one under analysis —
+// bottom-up summary propagation walks the callgraph across package
+// boundaries in one sweep.
+func (p *Pass) ExportFact(obj types.Object, fact Fact) {
+	if p.Prog == nil || obj == nil || fact == nil {
+		return
+	}
+	p.Prog.facts[factKey{p.Analyzer.Name, obj, reflect.TypeOf(fact)}] = fact
+}
+
+// ImportFact copies the fact of fact's type previously exported for
+// obj into fact, reporting whether one existed.
+func (p *Pass) ImportFact(obj types.Object, fact Fact) bool {
+	if p.Prog == nil || obj == nil || fact == nil {
+		return false
+	}
+	stored, ok := p.Prog.facts[factKey{p.Analyzer.Name, obj, reflect.TypeOf(fact)}]
+	if !ok {
+		return false
+	}
+	// Both are pointers of the same dynamic type; copy the pointee so
+	// the importer cannot mutate the stored summary.
+	reflect.ValueOf(fact).Elem().Set(reflect.ValueOf(stored).Elem())
+	return true
+}
+
+// containsPos reports whether the pass's own files contain pos — how
+// a whole-program analyzer decides which package reports a global
+// finding (each diagnostic is attributed to the package owning its
+// position, keeping per-package suppression filtering sound).
+func (p *Pass) containsPos(pos token.Pos) bool {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos <= f.FileEnd {
+			return true
+		}
+	}
+	return false
+}

@@ -1,8 +1,15 @@
 package analysis_test
 
 import (
+	"go/ast"
+	"go/parser"
 	"go/token"
+	"go/types"
+	"os"
 	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
 	"testing"
 
 	"aviv/internal/analysis"
@@ -42,7 +49,11 @@ var fixtureCases = []struct {
 	{"layering", "layering/unknown", "aviv/internal/newthing"},
 	{"layering", "layering/intocmd", "aviv/internal/server"},
 	{"determinism", "determinism", "aviv/internal/cover"},
+	{"determinism", "determinism/zoo", "aviv/internal/zoo"},
 	{"mutexhygiene", "mutexhygiene", "aviv/internal/server"},
+	{"lockorder", "lockorder", "aviv/internal/server"},
+	{"goroutineleak", "goroutineleak", "aviv/internal/server"},
+	{"ctxflow", "ctxflow", "aviv/internal/server"},
 	{"errctx", "errctx", "aviv/internal/diskcache"},
 	{"suppress", "suppress", "aviv/internal/server"},
 }
@@ -60,11 +71,14 @@ func TestAnalyzerFixtureTable(t *testing.T) {
 
 	// Registry pinning, both directions.
 	want := map[string]bool{
-		"layering":     true,
-		"determinism":  true,
-		"mutexhygiene": true,
-		"errctx":       true,
-		"suppress":     true,
+		"layering":      true,
+		"determinism":   true,
+		"mutexhygiene":  true,
+		"lockorder":     true,
+		"goroutineleak": true,
+		"ctxflow":       true,
+		"errctx":        true,
+		"suppress":      true,
 	}
 	got := map[string]bool{}
 	for _, a := range analysis.All() {
@@ -125,6 +139,104 @@ func TestErrCtxSuggestedFix(t *testing.T) {
 	if withFix != 3 {
 		t.Errorf("want 3 fixable findings, got %d", withFix)
 	}
+}
+
+// TestErrCtxFixIdempotent proves `avivlint -fix` converges in one
+// pass: applying the suggested %v -> %w edits in memory and re-running
+// the analyzer yields no further fixable findings and no further edits.
+func TestErrCtxFixIdempotent(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "errctx")
+	const asPath = "aviv/internal/diskcache"
+
+	diags, fset, _ := analysistest.Diagnostics(t, analysis.ErrCtx, dir, asPath)
+	findings := asFindings(fset, diags)
+	fixed, n, err := analysis.ApplyFixes(fset, findings, os.ReadFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("first pass applied %d fixes, want 3", n)
+	}
+
+	// Second pass, over the fixed sources: unfixable findings may
+	// remain, but nothing fixable and no edits.
+	fset2, diags2 := runErrCtxInMemory(t, dir, asPath, fixed)
+	for _, d := range diags2 {
+		if d.Fix != nil {
+			t.Errorf("fixable finding survived -fix: %s", d.Message)
+		}
+	}
+	readOverlay := func(name string) ([]byte, error) {
+		if b, ok := fixed[name]; ok {
+			return b, nil
+		}
+		return os.ReadFile(name)
+	}
+	fixed2, n2, err := analysis.ApplyFixes(fset2, asFindings(fset2, diags2), readOverlay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n2 != 0 || len(fixed2) != 0 {
+		t.Errorf("second -fix pass still edited: %d fixes over %d files", n2, len(fixed2))
+	}
+}
+
+func asFindings(fset *token.FileSet, diags []analysis.Diagnostic) []analysis.Finding {
+	out := make([]analysis.Finding, len(diags))
+	for i, d := range diags {
+		out[i] = analysis.Finding{Diagnostic: d, Position: fset.Position(d.Pos)}
+	}
+	return out
+}
+
+// runErrCtxInMemory re-parses the fixture with overlay contents taking
+// precedence over the on-disk files, type-checks it, and runs errctx.
+func runErrCtxInMemory(t *testing.T, dir, asPath string, overlay map[string][]byte) (*token.FileSet, []analysis.Diagnostic) {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var std []string
+	seen := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		name := filepath.Join(dir, e.Name())
+		var src any
+		if b, ok := overlay[name]; ok {
+			src = b
+		}
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("re-parsing %s: %v", name, err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			if p, err := strconv.Unquote(imp.Path.Value); err == nil && !seen[p] {
+				seen[p] = true
+				std = append(std, p)
+			}
+		}
+	}
+	sort.Strings(std)
+	imp, err := analysis.StdImporter(fset, std...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := analysis.NewTypesInfo()
+	pkg, err := (&types.Config{Importer: imp}).Check(asPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("re-type-checking fixed fixture: %v", err)
+	}
+	diags, err := analysis.ErrCtx.RunOn(fset, asPath, files, pkg, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, diags
 }
 
 // TestSuiteIsSelfClean runs every analyzer over internal/analysis

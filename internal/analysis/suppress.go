@@ -3,6 +3,7 @@ package analysis
 import (
 	"go/ast"
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -40,6 +41,38 @@ func suppressionsIn(fset *token.FileSet, files []*ast.File) map[string]map[int]s
 		}
 	}
 	return out
+}
+
+// A SuppressionSite is one //lint:reason annotation in a file.
+type SuppressionSite struct {
+	File   string
+	Line   int
+	Reason string
+}
+
+// SuppressionSites lists every //lint:reason annotation in files in
+// deterministic (file, line) order — the raw material of the
+// suppression-budget audit, which pins the tree-wide totals.
+func SuppressionSites(fset *token.FileSet, files []*ast.File) []SuppressionSite {
+	var out []SuppressionSite
+	for file, byLine := range suppressionsIn(fset, files) {
+		for line, reason := range byLine {
+			out = append(out, SuppressionSite{File: file, Line: line, Reason: reason})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].File != out[j].File {
+			return out[i].File < out[j].File
+		}
+		return out[i].Line < out[j].Line
+	})
+	return out
+}
+
+// Covers reports whether the annotation covers a diagnostic at the
+// given position: same file, same line or the line directly below.
+func (s SuppressionSite) Covers(pos token.Position) bool {
+	return s.File == pos.Filename && (s.Line == pos.Line || s.Line == pos.Line-1)
 }
 
 // suppressed reports whether a diagnostic at pos is covered by a

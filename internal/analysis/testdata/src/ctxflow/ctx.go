@@ -1,0 +1,69 @@
+// Fixture for the ctxflow pass, impersonating aviv/internal/server.
+// Each context-discipline class appears once as a violation and once
+// in its clean form.
+package ctxflow
+
+import "context"
+
+// --- class: fresh root context on a request path ---------------------
+
+// rootsOverRequest discards the request's deadline by minting a fresh
+// root context.
+func rootsOverRequest(ctx context.Context, work chan int) {
+	db := context.Background() // want `ctxflow: context\.Background\(\) called while the request context ctx is in scope`
+	_ = db
+	select {
+	case work <- 1:
+	case <-ctx.Done():
+	}
+}
+
+// derivesFromRequest threads the request context: clean.
+func derivesFromRequest(ctx context.Context) context.Context {
+	return context.WithValue(ctx, ctxKey{}, "v")
+}
+
+type ctxKey struct{}
+
+// root has no request context in scope, so Background is legitimate.
+func root() context.Context {
+	return context.Background()
+}
+
+// --- class: dropped ctx parameter ------------------------------------
+
+// dropsCtx accepts a context and never consults it.
+func dropsCtx(ctx context.Context, n int) int { // want `ctxflow: context parameter ctx is never used`
+	return n + 1
+}
+
+// waits consults its context (and a ctx.Done receive is the
+// cancellation wait itself, not a naked blocking op): clean.
+func waits(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// --- class: blocking channel op outside select -----------------------
+
+// sendsNaked blocks on a send nothing can interrupt.
+func sendsNaked(results chan int) {
+	results <- 1 // want `ctxflow: blocking channel send outside select`
+}
+
+// recvsNaked blocks on a receive nothing can interrupt.
+func recvsNaked(results chan int) {
+	v := <-results // want `ctxflow: blocking channel receive outside select`
+	_ = v
+}
+
+// selectable pairs both directions with cancellation: clean.
+func selectable(ctx context.Context, in, out chan int) {
+	select {
+	case v := <-in:
+		select {
+		case out <- v:
+		case <-ctx.Done():
+		}
+	case <-ctx.Done():
+	}
+}

@@ -1,0 +1,31 @@
+// Fixture: the machine-zoo generator is compile-path for ordering
+// purposes (same seed, byte-identical machine text), so determinism
+// applies under aviv/internal/zoo. Emitting while ranging a map leaks
+// address order into the generated description; the sorted-keys idiom
+// is clean.
+package zoo
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// emitOps writes one line per opcode straight out of map iteration.
+func emitOps(w *strings.Builder, ops map[string]int) {
+	for name, lat := range ops {
+		fmt.Fprintf(w, "op %s latency %d\n", name, lat) // want `determinism: fmt\.Fprintf inside range over map emits in random order`
+	}
+}
+
+// emitOpsSorted collects and sorts the keys first: clean.
+func emitOpsSorted(w *strings.Builder, ops map[string]int) {
+	var names []string
+	for name := range ops {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "op %s latency %d\n", name, ops[name])
+	}
+}

@@ -1,0 +1,123 @@
+// Fixture for the goroutineleak pass, impersonating aviv/internal/server
+// (the select-loop class only applies in server components). Each
+// diagnostic class appears once as a planted leak and once in its
+// clean form.
+package goroutineleak
+
+import "sync"
+
+func work() {}
+
+// --- class: channel op with no counterpart ---------------------------
+
+// leakySend spawns a goroutine that sends on a channel nothing ever
+// receives from: the send blocks forever and the goroutine leaks.
+func leakySend() {
+	ch := make(chan int)
+	go func() { // want `goroutineleak: goroutine sends on ch but the program has no receive from it`
+		ch <- 1
+	}()
+}
+
+// pairedSend has a receive for the channel: clean.
+func pairedSend() {
+	ch := make(chan int)
+	go func() {
+		ch <- 1
+	}()
+	<-ch
+}
+
+// bufferedSend cannot block on its first send: clean.
+func bufferedSend() {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- 1
+	}()
+}
+
+// leakyRecv receives from a channel nothing ever sends on or closes.
+func leakyRecv() {
+	ch := make(chan int)
+	go func() { // want `goroutineleak: goroutine receives from ch but the program never sends on or closes it`
+		<-ch
+	}()
+}
+
+// pairedRecv has a sender: clean.
+func pairedRecv() {
+	ch := make(chan int)
+	go func() {
+		<-ch
+	}()
+	ch <- 1
+}
+
+// escapedChan crosses a function boundary, so its full usage is not
+// visible to the census: exempt, clean.
+func escapedChan(ch chan int) {
+	go func() {
+		ch <- 1
+	}()
+}
+
+// --- class: WaitGroup protocol ---------------------------------------
+
+// neverDone waits on a goroutine that never calls Done.
+func neverDone() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `goroutineleak: goroutine never calls wg\.Done after wg\.Add; wg\.Wait blocks forever`
+		work()
+	}()
+	wg.Wait()
+}
+
+// skippableDone calls Done, but an early return can skip it.
+func skippableDone(fail bool) {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // want `goroutineleak: wg\.Done can be skipped on an early return in the goroutine`
+		if fail {
+			return
+		}
+		wg.Done()
+	}()
+	wg.Wait()
+}
+
+// deferredDone is the canonical protocol: clean.
+func deferredDone() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// addInside moves Add into the goroutine, racing it against Wait.
+func addInside() {
+	var wg sync.WaitGroup
+	go func() {
+		wg.Add(1) // want `goroutineleak: wg\.Add inside the goroutine races with wg\.Wait`
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// doneInCallee spawns a named worker whose declaration carries the
+// deferred Done; the callgraph resolves it: clean.
+func doneInCallee() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go worker(&wg)
+	wg.Wait()
+}
+
+func worker(wg *sync.WaitGroup) {
+	defer wg.Done()
+	work()
+}

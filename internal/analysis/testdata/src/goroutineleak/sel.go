@@ -1,0 +1,49 @@
+// Fixture: the server-component select-loop class. A bare
+// for { select { ... } } with no cancellation case outlives its
+// request; adding <-ctx.Done(), a default, or a terminating clause
+// makes it clean.
+package goroutineleak
+
+import "context"
+
+// pump loops forever with no way out: the goroutine survives server
+// shutdown.
+func pump(ctx context.Context, in, out chan int) {
+	go func() {
+		for {
+			select { // want `goroutineleak: select loop has no <-ctx\.Done\(\) case, no default, and no terminating clause`
+			case v := <-in:
+				out <- v
+			}
+		}
+	}()
+}
+
+// pumpCtx watches the request context: clean.
+func pumpCtx(ctx context.Context, in, out chan int) {
+	go func() {
+		for {
+			select {
+			case v := <-in:
+				out <- v
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// pumpReturn terminates through a clause body: clean.
+func pumpReturn(in, out chan int) {
+	go func() {
+		for {
+			select {
+			case v, ok := <-in:
+				if !ok {
+					return
+				}
+				out <- v
+			}
+		}
+	}()
+}

@@ -1,0 +1,86 @@
+// Fixture for the lockorder pass: a two-class acquisition cycle built
+// across two functions (one edge direct, one through a call), plus the
+// clean shapes that must stay silent — a globally consistent order,
+// two instances of one class, and an acyclic chain through a
+// package-level mutex.
+package lockorder
+
+import "sync"
+
+type S struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+// lockAB establishes the edge S.a -> S.b directly. The cycle diagnostic
+// lands on the second acquisition of its lexically-smallest-first edge.
+func lockAB(s *S) {
+	s.a.Lock()
+	s.b.Lock() // want `lockorder: lock acquisition order cycle lockorder\.S\.a -> lockorder\.S\.b -> lockorder\.S\.a`
+	s.b.Unlock()
+	s.a.Unlock()
+}
+
+// lockBA establishes S.b -> S.a interprocedurally: lockA's acquisition
+// summary flows up the callgraph into the edge set.
+func lockBA(s *S) {
+	s.b.Lock()
+	lockA(s)
+	s.b.Unlock()
+}
+
+// lockA acquires S.a on behalf of lockBA.
+func lockA(s *S) {
+	s.a.Lock()
+	s.a.Unlock()
+}
+
+// --- clean: globally consistent order, direct and through a call -----
+
+type T struct {
+	x sync.Mutex
+	y sync.Mutex
+}
+
+func lockXY(t *T) {
+	t.x.Lock()
+	t.y.Lock()
+	t.y.Unlock()
+	t.x.Unlock()
+}
+
+func lockXYViaCall(t *T) {
+	t.x.Lock()
+	lockY(t)
+	t.x.Unlock()
+}
+
+func lockY(t *T) {
+	t.y.Lock()
+	t.y.Unlock()
+}
+
+// --- clean: two instances of one class are not a self-cycle ----------
+
+// lockTwoInstances holds p.x while taking q.x. Both collapse to class
+// lockorder.T.x; the class graph excludes self-edges because it cannot
+// tell instances apart, so this must not report.
+func lockTwoInstances(p, q *T) {
+	p.x.Lock()
+	q.x.Lock()
+	q.x.Unlock()
+	p.x.Unlock()
+}
+
+// --- clean: acyclic chain through a package-level mutex --------------
+
+var registryMu sync.Mutex
+
+// register takes the global before a field lock; nothing ever takes
+// them in the other order, so the edge is acyclic.
+func register(t *T) {
+	registryMu.Lock()
+	t.x.Lock()
+	t.x.Unlock()
+	registryMu.Unlock()
+}

@@ -125,13 +125,13 @@ func parseOpSlot(slot string, m *isdl.Machine) (MicroOp, error) {
 	}
 	dst, err := parseReg(fields[1])
 	if err != nil {
-		return op, fmt.Errorf("op slot %q: %v", slot, err)
+		return op, fmt.Errorf("op slot %q: %w", slot, err)
 	}
 	op.Dst = dst
 	for _, f := range fields[2:] {
 		o, err := parseOperand(f)
 		if err != nil {
-			return op, fmt.Errorf("op slot %q: %v", slot, err)
+			return op, fmt.Errorf("op slot %q: %w", slot, err)
 		}
 		op.Srcs = append(op.Srcs, o)
 	}

@@ -22,6 +22,10 @@ type ServerCounters struct {
 	Shed atomic.Int64
 	// Timeouts counts requests that exceeded the per-request deadline.
 	Timeouts atomic.Int64
+	// Abandoned counts in-flight compiles cancelled because every
+	// waiting request gave up (timed out or disconnected) before the
+	// result arrived.
+	Abandoned atomic.Int64
 	// Inflight is the number of requests currently being processed.
 	Inflight atomic.Int64
 	// Queued is the number of requests waiting for a worker slot.
@@ -39,6 +43,7 @@ type ServerSnapshot struct {
 	Deduped          int64 `json:"deduped"`
 	Shed             int64 `json:"shed"`
 	Timeouts         int64 `json:"timeouts"`
+	Abandoned        int64 `json:"abandoned"`
 	Inflight         int64 `json:"inflight"`
 	Queued           int64 `json:"queued"`
 	MachinesInterned int64 `json:"machines_interned"`
@@ -53,6 +58,7 @@ func (c *ServerCounters) Snapshot() ServerSnapshot {
 		Deduped:          c.Deduped.Load(),
 		Shed:             c.Shed.Load(),
 		Timeouts:         c.Timeouts.Load(),
+		Abandoned:        c.Abandoned.Load(),
 		Inflight:         c.Inflight.Load(),
 		Queued:           c.Queued.Load(),
 		MachinesInterned: c.MachinesInterned.Load(),

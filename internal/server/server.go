@@ -124,13 +124,15 @@ func New(cfg Config) *Server {
 	if timeout <= 0 {
 		timeout = 30 * time.Second
 	}
-	return &Server{
+	s := &Server{
 		cfg:      cfg,
 		workers:  workers,
 		queueCap: queueCap,
 		timeout:  timeout,
 		sem:      make(chan struct{}, workers),
 	}
+	s.flight.onAbandon = func() { s.counters.Abandoned.Add(1) }
+	return s
 }
 
 // Workers returns the resolved worker-pool size.
@@ -190,8 +192,8 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 	defer cancel()
-	resp, shared, err := s.flight.do(ctx, requestKey(req), func() (*CompileResponse, error) {
-		return s.compile(req)
+	resp, shared, err := s.flight.do(ctx, requestKey(req), func(runCtx context.Context) (*CompileResponse, error) {
+		return s.compile(runCtx, req)
 	})
 	if shared {
 		s.counters.Deduped.Add(1)
@@ -218,19 +220,26 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 
 // compile runs one deduplicated compile under admission control: shed
 // when too many requests are already waiting, otherwise queue for a
-// worker slot. Compile failures are in-band (see CompileResponse); the
-// error return is reserved for admission decisions.
-func (s *Server) compile(req CompileRequest) (*CompileResponse, error) {
+// worker slot — a wait ctx interrupts, so an abandoned flight stops
+// consuming queue capacity. Compile failures are in-band (see
+// CompileResponse); the error return is reserved for admission
+// decisions.
+func (s *Server) compile(ctx context.Context, req CompileRequest) (*CompileResponse, error) {
 	if s.counters.Queued.Add(1) > int64(s.queueCap) {
 		s.counters.Queued.Add(-1)
 		return nil, errShed
 	}
-	s.sem <- struct{}{}
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		s.counters.Queued.Add(-1)
+		return nil, ctx.Err()
+	}
 	s.counters.Queued.Add(-1)
 	s.counters.Inflight.Add(1)
 	defer func() {
 		s.counters.Inflight.Add(-1)
-		<-s.sem
+		<-s.sem //lint:reason releases a token this goroutine holds in a buffered semaphore; the receive can never block
 	}()
 
 	m, err := s.machines.intern(req.Machine, &s.counters)

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
@@ -59,7 +60,7 @@ func TestSingleFlightDeterministic(t *testing.T) {
 	release := make(chan struct{})
 	started := make(chan struct{})
 	want := &CompileResponse{Assembly: "shared result"}
-	fn := func() (*CompileResponse, error) {
+	fn := func(context.Context) (*CompileResponse, error) {
 		close(started)
 		<-release
 		return want, nil
@@ -80,7 +81,7 @@ func TestSingleFlightDeterministic(t *testing.T) {
 	followerDone := make(chan outcome, 2)
 	for i := 0; i < 2; i++ {
 		go func() {
-			resp, shared, err := g.do(context.Background(), "k", func() (*CompileResponse, error) {
+			resp, shared, err := g.do(context.Background(), "k", func(context.Context) (*CompileResponse, error) {
 				t.Error("follower executed fn despite in-flight leader")
 				return nil, nil
 			})
@@ -119,11 +120,63 @@ func TestSingleFlightDeterministic(t *testing.T) {
 
 	// The call is gone; the next do() runs fresh.
 	ran := false
-	if _, shared, _ := g.do(context.Background(), "k", func() (*CompileResponse, error) {
+	if _, shared, _ := g.do(context.Background(), "k", func(context.Context) (*CompileResponse, error) {
 		ran = true
 		return nil, nil
 	}); shared || !ran {
 		t.Errorf("post-completion do: shared=%v ran=%v, want false/true", shared, ran)
+	}
+}
+
+// TestSingleFlightAbandonment proves the waiter-counted cancellation:
+// when the last waiter gives up, the execution context is cancelled,
+// the abandonment is counted, and the key is re-armed so a later
+// identical request starts a fresh flight instead of chaining to a
+// result nobody consumes.
+func TestSingleFlightAbandonment(t *testing.T) {
+	var g flightGroup
+	abandoned := 0
+	g.onAbandon = func() { abandoned++ }
+
+	started := make(chan struct{})
+	var execCtx context.Context
+	fn := func(ctx context.Context) (*CompileResponse, error) {
+		execCtx = ctx
+		close(started)
+		<-ctx.Done()
+		return nil, ctx.Err()
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	waitErr := make(chan error, 1)
+	go func() {
+		_, _, err := g.do(ctx, "k", fn)
+		waitErr <- err
+	}()
+	<-started
+	cancel() // the only waiter gives up
+
+	if err := <-waitErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoning waiter got err=%v, want context.Canceled", err)
+	}
+	select {
+	case <-execCtx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("execution context not cancelled after the last waiter left")
+	}
+	if abandoned != 1 {
+		t.Errorf("abandoned count = %d, want 1", abandoned)
+	}
+
+	// The key is re-armed immediately: a fresh do() runs its own fn.
+	ran := false
+	resp, shared, err := g.do(context.Background(), "k", func(context.Context) (*CompileResponse, error) {
+		ran = true
+		return &CompileResponse{Assembly: "fresh"}, nil
+	})
+	if err != nil || shared || !ran || resp == nil || resp.Assembly != "fresh" {
+		t.Errorf("post-abandonment do: resp=%v shared=%v ran=%v err=%v, want fresh/false/true/nil",
+			resp, shared, ran, err)
 	}
 }
 

@@ -9,11 +9,12 @@ import (
 // flightGroup deduplicates concurrent identical work: the first caller
 // for a key becomes the leader and runs fn in a detached goroutine;
 // every caller — leader's request included — waits for that one
-// execution, each bounded by its own context. The computation itself is
-// never cancelled by a waiter's timeout (compilation is CPU-bound and
-// uninterruptible anyway), so a slow client cannot poison the result
-// for faster ones; the entry is removed when fn completes, after which
-// the two-tier compile cache makes re-requests cheap.
+// execution, each bounded by its own context. The execution context is
+// detached from any single caller's deadline, so a slow client cannot
+// poison the result for faster ones — but it is not immortal: when the
+// last waiter abandons the flight, the execution context is cancelled
+// and the entry retired, so work nobody wants stops holding a queue
+// slot and a later identical request starts fresh.
 type flightGroup struct {
 	mu    sync.Mutex
 	calls map[string]*flightCall
@@ -21,34 +22,51 @@ type flightGroup struct {
 	// (leaders included); tests use it to sequence interleavings
 	// deterministically.
 	waiters atomic.Int64
+	// onAbandon, when set, is invoked each time a flight loses its last
+	// waiter and is cancelled (the server counts these).
+	onAbandon func()
 }
 
 type flightCall struct {
-	done chan struct{}
-	resp *CompileResponse
-	err  error
+	done   chan struct{}
+	cancel context.CancelFunc
+	// waiting counts callers still wanting this result; mu-guarded.
+	// When it reaches zero the flight is cancelled and retired.
+	waiting int
+	resp    *CompileResponse
+	err     error
 }
 
 // do returns fn's outcome for key, and whether this caller piggybacked
-// on an already in-flight execution. ctx bounds only the wait, never
-// the execution.
-func (g *flightGroup) do(ctx context.Context, key string, fn func() (*CompileResponse, error)) (resp *CompileResponse, shared bool, err error) {
+// on an already in-flight execution. ctx bounds only this caller's
+// wait; fn receives a context that survives individual waiters and is
+// cancelled only when every waiter has given up.
+func (g *flightGroup) do(ctx context.Context, key string, fn func(context.Context) (*CompileResponse, error)) (resp *CompileResponse, shared bool, err error) {
 	g.mu.Lock()
 	if g.calls == nil {
 		g.calls = make(map[string]*flightCall)
 	}
 	c, inflight := g.calls[key]
 	if !inflight {
-		c = &flightCall{done: make(chan struct{})}
+		// Detach from this caller's deadline but keep a cancel handle:
+		// the flight must outlive any one waiter, not all of them.
+		runCtx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+		c = &flightCall{done: make(chan struct{}), cancel: cancel}
 		g.calls[key] = c
 		go func() {
-			c.resp, c.err = fn()
+			c.resp, c.err = fn(runCtx)
 			g.mu.Lock()
-			delete(g.calls, key)
+			// Guard on identity: an abandoned flight was already
+			// retired, and the key may host a fresh call by now.
+			if g.calls[key] == c {
+				delete(g.calls, key)
+			}
 			g.mu.Unlock()
+			cancel()
 			close(c.done)
 		}()
 	}
+	c.waiting++
 	g.mu.Unlock()
 
 	g.waiters.Add(1)
@@ -57,6 +75,22 @@ func (g *flightGroup) do(ctx context.Context, key string, fn func() (*CompileRes
 	case <-c.done:
 		return c.resp, inflight, c.err
 	case <-ctx.Done():
+		g.mu.Lock()
+		c.waiting--
+		abandoned := c.waiting == 0
+		if abandoned {
+			// Last waiter out: stop the execution and retire the entry
+			// so the next identical request is not chained to a result
+			// nobody is left to consume.
+			c.cancel()
+			if g.calls[key] == c {
+				delete(g.calls, key)
+			}
+		}
+		g.mu.Unlock()
+		if abandoned && g.onAbandon != nil {
+			g.onAbandon()
+		}
 		return nil, inflight, ctx.Err()
 	}
 }
