@@ -1,5 +1,5 @@
 # Convenience targets; `make check` is the gate ci.sh runs in CI.
-.PHONY: check test build vet lint lintfix lintsmoke toolinstall staticcheck fuzz bench benchsmoke benchjson servesmoke servejson zoosmoke zoojson
+.PHONY: check test build vet lint lintfix lintsmoke toolinstall staticcheck fuzz bench benchsmoke benchjson servesmoke servejson zoosmoke zoojson editsmoke editjson
 
 check:
 	./ci.sh
@@ -79,3 +79,13 @@ zoosmoke:
 # Regenerate the machine-readable per-machine-class zoo bench matrix.
 zoojson:
 	go run ./cmd/avivbench -zoojson BENCH_zoo.json
+
+# Race-enabled short subset of the incremental-compilation differential
+# suite: delta-path output byte-identical to from-scratch compiles over
+# an edit stream (also part of ci.sh).
+editsmoke:
+	go test -race -short -run '^TestEditDifferentialCorpus$$' -count=1 .
+
+# Regenerate the machine-readable incremental-compilation report.
+editjson:
+	go run ./cmd/avivbench -editjson BENCH_edit.json

@@ -99,6 +99,12 @@ type BlockResult struct {
 	// DAG is the Split-Node DAG (node counts reproduce the paper's
 	// "#Nodes" columns).
 	DAG *sndag.DAG
+	// Covering is the raw pre-peephole covering as returned by
+	// cover.CoverBlock — the unit the persistent cache tiers serialize
+	// (cover.EncodeResult). internal/delta persists it under its
+	// context fingerprints; Solution below is the post-peephole view
+	// everything downstream consumes.
+	Covering *cover.Result
 	// Solution is the covering (instruction count = code size metric).
 	Solution *cover.Solution
 	// Allocation is the detailed register allocation.
@@ -177,6 +183,7 @@ func CompileBlock(b *ir.Block, m *isdl.Machine, opts Options) (*BlockResult, err
 	return &BlockResult{
 		Block:               b,
 		DAG:                 res.DAG,
+		Covering:            res,
 		Solution:            sol,
 		Allocation:          alloc,
 		Code:                code,
@@ -195,6 +202,31 @@ func ResolveParallelism(par int) int {
 		return runtime.GOMAXPROCS(0)
 	}
 	return par
+}
+
+// PlacementOptions resolves the AutoPlace pass into concrete
+// Cover.VarPlacement entries for one function: on machines with more
+// than one data memory the automatic bank assignment (package place) is
+// merged under any explicit entries, which win. The returned Options
+// are what the per-block pipeline actually keys and compiles against —
+// Compile and the internal/delta engine both resolve through here, so
+// placement can never drift between the full and the incremental path.
+// (place.Assign is a function of the whole ir.Func: an edit anywhere
+// can move a variable to another bank, which then shows up in every
+// affected block's options fingerprint.)
+func PlacementOptions(f *ir.Func, m *isdl.Machine, opts Options) Options {
+	if opts.AutoPlace && len(m.Memories) > 1 {
+		auto := place.Assign(f, m)
+		merged := make(map[string]string, len(auto)+len(opts.Cover.VarPlacement))
+		for k, v := range auto {
+			merged[k] = v
+		}
+		for k, v := range opts.Cover.VarPlacement {
+			merged[k] = v // explicit placement wins
+		}
+		opts.Cover.VarPlacement = merged
+	}
+	return opts
 }
 
 // poolSize resolves Options.Parallelism to a concrete worker count for a
@@ -246,17 +278,7 @@ func Compile(f *ir.Func, m *isdl.Machine, opts Options) (*CompileResult, error) 
 			return nil, fmt.Errorf("aviv: liveness cross-check failed: %w", &verify.VerifyError{Violations: vs})
 		}
 	}
-	if opts.AutoPlace && len(m.Memories) > 1 {
-		auto := place.Assign(f, m)
-		merged := make(map[string]string, len(auto)+len(opts.Cover.VarPlacement))
-		for k, v := range auto {
-			merged[k] = v
-		}
-		for k, v := range opts.Cover.VarPlacement {
-			merged[k] = v // explicit placement wins
-		}
-		opts.Cover.VarPlacement = merged
-	}
+	opts = PlacementOptions(f, m, opts)
 	par := opts.poolSize(len(f.Blocks))
 	coll := metrics.NewCollector(par)
 	results := make([]*BlockResult, len(f.Blocks))
@@ -308,7 +330,7 @@ func Compile(f *ir.Func, m *isdl.Machine, opts Options) (*CompileResult, error) 
 		out.Blocks = append(out.Blocks, br)
 		out.Program.Blocks = append(out.Program.Blocks, br.Code)
 	}
-	layoutBlocks(out.Program)
+	LayoutProgram(out.Program)
 	var verr *verify.VerifyError
 	if opts.Verify {
 		verr = verifyResult(out, liveOuts)
@@ -365,12 +387,19 @@ func verifyResult(out *CompileResult, liveOuts []map[string]bool) *verify.Verify
 	return &verify.VerifyError{Violations: all}
 }
 
-// layoutBlocks orders the program's blocks to maximize fallthroughs,
+// LayoutProgram orders the program's blocks to maximize fallthroughs,
 // converting unconditional jumps to implicit falls when the target can be
 // placed immediately after — a code-size optimization in the same spirit
 // as the paper's minimum-size objective (each eliminated jump is one
 // fewer ROM word).
-func layoutBlocks(p *asm.Program) {
+//
+// Layout is a whole-program decision: it mutates each block's Branch in
+// place depending on which block happens to follow it. Cached per-block
+// artifacts must therefore be pre-layout (internal/delta stitches
+// pristine clones and re-runs LayoutProgram globally on every compile —
+// that is how "predecessors' layout assumptions" stay out of the
+// per-block cache keys).
+func LayoutProgram(p *asm.Program) {
 	if len(p.Blocks) == 0 {
 		return
 	}

@@ -79,6 +79,14 @@ go test -race -run '^TestServerDifferentialCorpus$' -count=1 .
 echo "== zoo smoke (machine generator + differential, race) =="
 go test -race -run '^TestZooSmoke$' -count=1 .
 
+echo "== editsmoke: incremental-compilation differential (race, short) =="
+# The delta path's byte-identity gate: seeded programs x one-line edit
+# streams, stitched output vs from-scratch compile, verifier on,
+# interpreter oracle armed, worker pools 1 and 8. -short selects the
+# deterministic 12-program subset; the full 50-program sweep runs in the
+# tree-wide race stage above.
+go test -race -short -run '^TestEditDifferentialCorpus$' -count=1 .
+
 if [ "${1:-}" != "-short" ]; then
     echo "== fuzz smoke (FuzzCompileSource, 10s) =="
     go test -run '^$' -fuzz='^FuzzCompileSource$' -fuzztime=10s .

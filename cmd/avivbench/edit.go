@@ -1,0 +1,149 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"aviv"
+	"aviv/internal/bench"
+	"aviv/internal/delta"
+	"aviv/internal/isdl"
+	"aviv/internal/metrics"
+)
+
+// editReport is the machine-readable -editjson output (BENCH_edit.json):
+// the incremental-compilation study over an edit stream of one-line
+// mutations, comparing a from-scratch recompile against the block-level
+// delta path at every step.
+type editReport struct {
+	Benchmark     string  `json:"benchmark"`
+	Programs      int     `json:"programs"`
+	EditsPerProg  int     `json:"edits_per_program"`
+	BlocksPerProg int     `json:"blocks_per_program"`
+	ColdP50Ms     float64 `json:"cold_p50_ms"`
+	ColdP95Ms     float64 `json:"cold_p95_ms"`
+	EditP50Ms     float64 `json:"edit_p50_ms"`
+	EditP95Ms     float64 `json:"edit_p95_ms"`
+	SpeedupP50    float64 `json:"speedup_p50"`
+	SpeedupP95    float64 `json:"speedup_p95"`
+	// BlocksRecompiled / BlocksTotal over every edit compile: the
+	// fraction of the program the delta path actually re-covers per
+	// one-line edit.
+	BlocksTotal      int                `json:"blocks_total"`
+	BlocksRecompiled int                `json:"blocks_recompiled"`
+	RecompiledRatio  float64            `json:"recompiled_ratio"`
+	Delta            metrics.CacheStats `json:"delta"`
+}
+
+// editStudy measures the incremental path the delta engine exists for: a
+// developer edit loop. Each program is compiled once to warm a
+// per-program engine, then nEdits cumulative one-line mutations are
+// applied; every step is compiled both from scratch (cold) and through
+// the engine (edit), and the outputs are byte-compared before any
+// latency is reported. With jsonPath non-empty the report is also
+// written as JSON (BENCH_edit.json).
+func editStudy(jsonPath string, nPrograms, nEdits int) error {
+	if nPrograms < 1 {
+		nPrograms = 1
+	}
+	if nEdits < 1 {
+		nEdits = 1
+	}
+	machine, err := isdl.Parse(isdl.ExampleArchFullISDL)
+	if err != nil {
+		return err
+	}
+	opts := aviv.DefaultOptions()
+
+	var coldLat, editLat []time.Duration
+	var agg metrics.CacheStats
+	blocksPer, blocksTotal, blocksRecompiled := 0, 0, 0
+	for p := 0; p < nPrograms; p++ {
+		src := bench.MultiBlockSource(int64(p+1), 25, 12)
+		eng := delta.New(0, nil)
+		if _, err := eng.CompileSource(src, machine, 1, opts); err != nil {
+			return fmt.Errorf("program %d warmup: %w", p, err)
+		}
+		for e := 0; e < nEdits; e++ {
+			src = bench.MutateSource(src, int64(p*1000+e))
+
+			t0 := time.Now()
+			cold, err := aviv.CompileSource(src, machine, 1, opts)
+			if err != nil {
+				return fmt.Errorf("program %d edit %d cold: %w", p, e, err)
+			}
+			coldLat = append(coldLat, time.Since(t0))
+
+			t0 = time.Now()
+			inc, err := eng.CompileSource(src, machine, 1, opts)
+			if err != nil {
+				return fmt.Errorf("program %d edit %d delta: %w", p, e, err)
+			}
+			editLat = append(editLat, time.Since(t0))
+
+			if inc.Program.String() != cold.Program.String() {
+				return fmt.Errorf("program %d edit %d: delta output differs from scratch compile", p, e)
+			}
+			blocksPer = inc.Blocks
+			blocksTotal += inc.Blocks
+			blocksRecompiled += inc.Recompiled
+		}
+		st := eng.Stats()
+		agg.Entries += st.Entries
+		agg.MemHits += st.MemHits
+		agg.MemMisses += st.MemMisses
+		agg.DiskHits += st.DiskHits
+		agg.DiskMisses += st.DiskMisses
+		agg.Stitched += st.Stitched
+		agg.Recompiled += st.Recompiled
+		agg.Invalidations += st.Invalidations
+		agg.Evictions += st.Evictions
+	}
+
+	report := editReport{
+		Benchmark:        "EditMultiBlock",
+		Programs:         nPrograms,
+		EditsPerProg:     nEdits,
+		BlocksPerProg:    blocksPer,
+		ColdP50Ms:        percentileMs(coldLat, 0.50),
+		ColdP95Ms:        percentileMs(coldLat, 0.95),
+		EditP50Ms:        percentileMs(editLat, 0.50),
+		EditP95Ms:        percentileMs(editLat, 0.95),
+		BlocksTotal:      blocksTotal,
+		BlocksRecompiled: blocksRecompiled,
+		Delta:            agg,
+	}
+	if report.EditP50Ms > 0 {
+		report.SpeedupP50 = report.ColdP50Ms / report.EditP50Ms
+	}
+	if report.EditP95Ms > 0 {
+		report.SpeedupP95 = report.ColdP95Ms / report.EditP95Ms
+	}
+	if blocksTotal > 0 {
+		report.RecompiledRatio = float64(blocksRecompiled) / float64(blocksTotal)
+	}
+
+	fmt.Printf("==== Incremental compile study (%d programs x %d blocks, %d one-line edits each) ====\n",
+		nPrograms, blocksPer, nEdits)
+	fmt.Printf("cold full recompile: p50 %8.2f ms   p95 %8.2f ms\n", report.ColdP50Ms, report.ColdP95Ms)
+	fmt.Printf("delta edit compile:  p50 %8.2f ms   p95 %8.2f ms\n", report.EditP50Ms, report.EditP95Ms)
+	fmt.Printf("speedup: %.1fx at p50, %.1fx at p95; %d/%d blocks recompiled (ratio %.3f)\n",
+		report.SpeedupP50, report.SpeedupP95, blocksRecompiled, blocksTotal, report.RecompiledRatio)
+	fmt.Printf("%s\n", agg.String())
+	fmt.Println("(every delta output verified byte-identical to the from-scratch compile)")
+
+	if jsonPath != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("report written to %s\n", jsonPath)
+	}
+	fmt.Println()
+	return nil
+}

@@ -10,6 +10,7 @@
 //	avivbench -parscale           parallel block-compilation speedup study
 //	avivbench -stats -parallel 4  compile-metrics report at a pool size
 //	avivbench -zoo                per-machine-class bench matrix over the machine zoo
+//	avivbench -edit               incremental-compilation study (cold vs block-delta path)
 //	avivbench -all                everything above
 package main
 
@@ -59,6 +60,10 @@ func main() {
 	serveJSON := flag.String("servejson", "", "run the compile-server study and write a JSON report to this file (implies -serve)")
 	servePrograms := flag.Int("serveprograms", 6, "distinct programs in the compile-server study")
 	serveOps := flag.Int("serveops", 12, "straight-line ops per block in the compile-server study workload")
+	edit := flag.Bool("edit", false, "run the incremental-compilation study (edit stream of one-line mutations, cold vs delta-path latency, blocks-recompiled ratio)")
+	editJSON := flag.String("editjson", "", "run the incremental-compilation study and write a JSON report to this file (implies -edit)")
+	editPrograms := flag.Int("editprograms", 6, "distinct programs in the incremental-compilation study")
+	editEdits := flag.Int("editedits", 8, "one-line edits per program in the incremental-compilation study")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the selected runs to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
 	flag.Parse()
@@ -184,6 +189,12 @@ func main() {
 	if *serve || *serveJSON != "" {
 		ran = true
 		if err := serveStudy(*serveJSON, *servePrograms, *serveOps); err != nil {
+			fail(err)
+		}
+	}
+	if *edit || *editJSON != "" {
+		ran = true
+		if err := editStudy(*editJSON, *editPrograms, *editEdits); err != nil {
 			fail(err)
 		}
 	}

@@ -13,6 +13,7 @@
 //	avivcc -stats ...                                     # per-block statistics
 //	avivcc -analyze prog.c                                # dataflow diagnostics (no machine needed)
 //	avivcc -march machine.isdl -cache .avivcache prog.c   # persistent compile cache
+//	avivcc -march machine.isdl -delta -cache .avivcache prog.c # incremental block-delta compile
 //	avivcc -march machine.isdl -server http://host:8377 prog.c # compile via avivd
 package main
 
@@ -33,6 +34,7 @@ import (
 	"aviv/internal/asm"
 	"aviv/internal/cover"
 	"aviv/internal/dataflow/diag"
+	"aviv/internal/delta"
 	"aviv/internal/diskcache"
 	"aviv/internal/isdl"
 	"aviv/internal/lang"
@@ -57,6 +59,7 @@ func main() {
 	verifyFlag := flag.Bool("verify", false, "run the static translation validator on the compiled output (fails the compile on any violation)")
 	analyze := flag.Bool("analyze", false, "run the global dataflow diagnostics on the lowered IR and print findings (no machine description needed)")
 	cacheDir := flag.String("cache", "", "persistent compile-cache directory (created if missing; served coverings are re-verified, so stale entries cannot change output)")
+	deltaFlag := flag.Bool("delta", false, "compile via the block-level incremental (delta) engine; pair with -cache so per-block artifacts persist and an edited recompile re-covers only changed blocks")
 	serverURL := flag.String("server", "", "compile via a running avivd at this base URL (requires -march; falls back to a local compile if the server is unreachable or overloaded)")
 	flag.Parse()
 
@@ -192,38 +195,49 @@ func main() {
 		}
 		opts.Cover.VarPlacement = placement
 	}
-	res, err := aviv.CompileSource(string(src), machine, *unroll, opts)
-	if err != nil {
-		die(err)
-	}
-
-	if *stats {
-		fmt.Printf("; machine %s, code size %d instructions (incl. control flow)\n",
-			machine.Name, res.CodeSize())
-		for _, br := range res.Blocks {
-			fmt.Printf("; block %-8s DAG %3d nodes -> SN-DAG %4d nodes, %2d instrs, %d spills, %d assignments explored, peephole saved %d\n",
-				br.Block.Name, len(br.Block.Nodes), br.DAG.Counts.Total(),
-				br.Solution.Cost(), br.Solution.SpillCount, br.AssignmentsExplored, br.PeepholeSaved)
+	var prog *asm.Program
+	if *deltaFlag {
+		// The delta engine pays off across process lifetimes only through
+		// the persistent tier, so -cache is the natural companion: the
+		// first compile seeds per-block artifacts, an edited recompile
+		// stitches every block whose context fingerprint is unchanged.
+		eng := delta.New(0, opts.DiskCache)
+		dres, err := eng.CompileSource(string(src), machine, *unroll, opts)
+		if err != nil {
+			die(err)
 		}
-		for _, line := range strings.Split(strings.TrimRight(res.Metrics.String(), "\n"), "\n") {
-			fmt.Printf("; %s\n", line)
+		prog = dres.Program
+		if *stats {
+			fmt.Printf("; machine %s, code size %d instructions (incl. control flow)\n",
+				machine.Name, dres.CodeSize())
+			fmt.Printf("; %s\n", eng.Stats())
+			printCacheStats(opts)
 		}
-		if opts.Cache != nil {
-			cs := opts.Cache.Stats()
-			fmt.Printf("; memcache: %d entries, %d hits, %d misses, %d evictions\n",
-				cs.Entries, cs.Hits, cs.Misses, cs.Evictions)
+	} else {
+		res, err := aviv.CompileSource(string(src), machine, *unroll, opts)
+		if err != nil {
+			die(err)
 		}
-		if dc, ok := opts.DiskCache.(*diskcache.Cache); ok {
-			ds := dc.Stats()
-			fmt.Printf("; diskcache %s: %d hits, %d misses, %d writes, %d evictions, %d corrupt, %d bytes\n",
-				dc.Dir(), ds.Hits, ds.Misses, ds.Writes, ds.Evictions, ds.Corrupt, ds.Bytes)
+		prog = res.Program
+		if *stats {
+			fmt.Printf("; machine %s, code size %d instructions (incl. control flow)\n",
+				machine.Name, res.CodeSize())
+			for _, br := range res.Blocks {
+				fmt.Printf("; block %-8s DAG %3d nodes -> SN-DAG %4d nodes, %2d instrs, %d spills, %d assignments explored, peephole saved %d\n",
+					br.Block.Name, len(br.Block.Nodes), br.DAG.Counts.Total(),
+					br.Solution.Cost(), br.Solution.SpillCount, br.AssignmentsExplored, br.PeepholeSaved)
+			}
+			for _, line := range strings.Split(strings.TrimRight(res.Metrics.String(), "\n"), "\n") {
+				fmt.Printf("; %s\n", line)
+			}
+			printCacheStats(opts)
 		}
 	}
 	if *emitAsm {
-		fmt.Print(res.Program.String())
+		fmt.Print(prog.String())
 	}
 	if *out != "" {
-		if err := os.WriteFile(*out, asm.Encode(res.Program), 0o644); err != nil {
+		if err := os.WriteFile(*out, asm.Encode(prog), 0o644); err != nil {
 			die(err)
 		}
 		fmt.Fprintf(os.Stderr, "avivcc: wrote %s\n", *out)
@@ -233,7 +247,7 @@ func main() {
 		if err != nil {
 			die(err)
 		}
-		machineSim := sim.New(res.Program, mem)
+		machineSim := sim.New(prog, mem)
 		if *trace {
 			machineSim.TraceFn = func(s string) { fmt.Fprintln(os.Stderr, s) }
 		}
@@ -252,6 +266,21 @@ func main() {
 		for _, k := range keys {
 			fmt.Printf("; mem[%s] = %d\n", k, final[k])
 		}
+	}
+}
+
+// printCacheStats reports the cover-cache tiers' counters, shared by the
+// classic and delta -stats paths.
+func printCacheStats(opts aviv.Options) {
+	if opts.Cache != nil {
+		cs := opts.Cache.Stats()
+		fmt.Printf("; memcache: %d entries, %d hits, %d misses, %d evictions\n",
+			cs.Entries, cs.Hits, cs.Misses, cs.Evictions)
+	}
+	if dc, ok := opts.DiskCache.(*diskcache.Cache); ok {
+		ds := dc.Stats()
+		fmt.Printf("; diskcache %s: %d hits, %d misses, %d writes, %d evictions, %d corrupt, %d bytes\n",
+			dc.Dir(), ds.Hits, ds.Misses, ds.Writes, ds.Evictions, ds.Corrupt, ds.Bytes)
 	}
 }
 

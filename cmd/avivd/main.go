@@ -8,6 +8,7 @@
 //
 //	avivd [-listen :8377] [-cache-dir .avivcache] [-cache-max-mb 512]
 //	      [-mem-entries 4096] [-parallel N] [-queue N] [-timeout 30s]
+//	      [-delta=true] [-delta-entries 4096]
 //
 // Endpoints:
 //
@@ -45,6 +46,8 @@ func main() {
 	parallel := flag.Int("parallel", 0, "worker-pool size (<= 0 selects GOMAXPROCS)")
 	queue := flag.Int("queue", 0, "queue bound before load shedding (<= 0 selects 4x workers)")
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request compile deadline")
+	deltaFlag := flag.Bool("delta", true, "serve compiles through the block-level incremental (delta) engine: blocks whose context fingerprint is unchanged since an earlier request stitch from cache")
+	deltaEntries := flag.Int("delta-entries", 4096, "delta-engine in-memory artifact entry cap (<= 0 selects the default)")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "avivd: unexpected arguments %v\n", flag.Args())
@@ -66,12 +69,14 @@ func main() {
 	}
 
 	srv := server.New(server.Config{
-		Options:    opts,
-		QueueLimit: *queue,
-		Timeout:    *timeout,
+		Options:      opts,
+		QueueLimit:   *queue,
+		Timeout:      *timeout,
+		Delta:        *deltaFlag,
+		DeltaEntries: *deltaEntries,
 	})
-	log.Printf("avivd: listening on %s (%d workers, queue %s, timeout %v)",
-		*listen, srv.Workers(), queueDesc(*queue, srv.Workers()), *timeout)
+	log.Printf("avivd: listening on %s (%d workers, queue %s, timeout %v, delta=%v)",
+		*listen, srv.Workers(), queueDesc(*queue, srv.Workers()), *timeout, *deltaFlag)
 	httpSrv := &http.Server{
 		Addr:              *listen,
 		Handler:           srv.Handler(),

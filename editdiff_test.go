@@ -1,0 +1,109 @@
+// The edit differential suite: the delta engine's byte-identity
+// contract, proved over a corpus of seeded programs and edit streams.
+// It lives in the external test package because internal/delta imports
+// aviv — an in-package test importing it back would be an import cycle.
+package aviv_test
+
+import (
+	"fmt"
+	"testing"
+
+	"aviv"
+	"aviv/internal/bench"
+	"aviv/internal/delta"
+	"aviv/internal/diskcache"
+	"aviv/internal/isdl"
+)
+
+// editCorpusSize configures the differential sweep: 50 programs x 5
+// cumulative one-line edits in full mode, a deterministic 12 x 3 subset
+// under -short (the ci.sh editsmoke stage).
+func editCorpusSize(t *testing.T) (programs, edits int) {
+	if testing.Short() {
+		return 12, 3
+	}
+	return 50, 5
+}
+
+// TestEditDifferentialCorpus is the delta path's ground-truth suite:
+// for every program and every edit in its stream, the stitched compile
+// must be byte-identical to a from-scratch compile of the same source —
+// with the static validator on, the interpreter oracle armed, at worker
+// pool sizes 1 and 8, and through both the memory tier and a persistent
+// disk tier shared by a restarted engine.
+func TestEditDifferentialCorpus(t *testing.T) {
+	programs, edits := editCorpusSize(t)
+	machine := isdl.ExampleArchFull(4)
+	baseOpts := aviv.DefaultOptions()
+	baseOpts.Verify = true
+	oracle := map[string]int64{"a": 11, "b": 7, "c": 5, "d": 3}
+
+	var totalStitched, totalRecompiled int
+	for p := 0; p < programs; p++ {
+		p := p
+		// Alternate the engine's worker pool between serial and 8-wide:
+		// half-warm stitching must be order-independent at any setting.
+		par := 1
+		if p%2 == 1 {
+			par = 8
+		}
+		t.Run(fmt.Sprintf("prog%d_par%d", p, par), func(t *testing.T) {
+			// Small, varied programs: 8-11 requested blocks, 3-6 ops.
+			src := bench.MultiBlockSource(int64(p+1), 8+p%4, 3+p%4)
+			opts := baseOpts
+			opts.Parallelism = par
+
+			disk, err := diskcache.Open(t.TempDir(), 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			eng := delta.New(0, disk)
+			eng.Oracle = oracle
+			if _, err := eng.CompileSource(src, machine, 1, opts); err != nil {
+				t.Fatalf("warmup compile failed: %v", err)
+			}
+			for e := 0; e < edits; e++ {
+				src = bench.MutateSource(src, int64(p*100+e))
+				scratch, err := aviv.CompileSource(src, machine, 1, opts)
+				if err != nil {
+					t.Fatalf("edit %d: scratch compile failed: %v", e, err)
+				}
+				res, err := eng.CompileSource(src, machine, 1, opts)
+				if err != nil {
+					t.Fatalf("edit %d: delta compile failed: %v", e, err)
+				}
+				if got, want := res.Program.String(), scratch.Program.String(); got != want {
+					t.Fatalf("edit %d: delta output differs from scratch:\n%s\nvs\n%s", e, got, want)
+				}
+				totalStitched += res.Stitched
+				totalRecompiled += res.Recompiled
+			}
+			// Restart: a fresh engine sharing only the disk directory must
+			// reproduce the final program by stitching persisted artifacts.
+			restarted := delta.New(0, disk)
+			restarted.Oracle = oracle
+			res, err := restarted.CompileSource(src, machine, 1, opts)
+			if err != nil {
+				t.Fatalf("restarted compile failed: %v", err)
+			}
+			final, err := aviv.CompileSource(src, machine, 1, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := res.Program.String(), final.Program.String(); got != want {
+				t.Fatalf("restarted delta output differs from scratch:\n%s\nvs\n%s", got, want)
+			}
+			if res.DiskStitched == 0 {
+				t.Fatalf("restarted engine stitched nothing from disk (%d blocks)", res.Blocks)
+			}
+		})
+	}
+	// Aggregate sanity: across the whole corpus the delta path must do
+	// what it is for — most blocks stitch, only edit-reached ones
+	// recompile. (Per-edit counts vary with where the mutation lands.)
+	if totalStitched <= totalRecompiled {
+		t.Fatalf("edit corpus stitched %d blocks but recompiled %d; delta path is not localizing edits",
+			totalStitched, totalRecompiled)
+	}
+	t.Logf("edit corpus: %d stitched, %d recompiled", totalStitched, totalRecompiled)
+}

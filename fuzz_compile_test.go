@@ -1,13 +1,20 @@
-package aviv
+// The whole-pipeline fuzz harness lives in the external test package so
+// it can drive the delta engine (internal/delta imports aviv; an
+// in-package test importing it back would be an import cycle).
+package aviv_test
 
 import (
 	"errors"
 	"strings"
+	"sync"
 	"testing"
 
+	"aviv"
 	"aviv/internal/asm"
+	"aviv/internal/bench"
 	"aviv/internal/dataflow"
 	"aviv/internal/dataflow/diag"
+	"aviv/internal/delta"
 	"aviv/internal/ir"
 	"aviv/internal/isdl"
 	"aviv/internal/lang"
@@ -16,6 +23,14 @@ import (
 	"aviv/internal/zoo"
 )
 
+// fuzzZooOnce regenerates the shipped zoo (seed 1, 27 machines — the
+// same constants zoo_diff_test.go pins) once per process. It is a
+// separate once from the in-package zooOnce only because this file is
+// external.
+var fuzzZooOnce = sync.OnceValues(func() ([]*zoo.Entry, error) {
+	return zoo.Generate(1, 27)
+})
+
 // fuzzMachinePool returns the machines FuzzCompileSource targets: the
 // paper's example VLIW plus one zoo machine per class (the first cycle
 // of the shipped zoo), so the fuzzer explores machine diversity, not
@@ -23,7 +38,7 @@ import (
 // zoo generation ever fails — the fuzz target must not Fatal in F.
 func fuzzMachinePool() []*isdl.Machine {
 	pool := []*isdl.Machine{isdl.ExampleArchFull(4)}
-	if entries, err := zooOnce(); err == nil {
+	if entries, err := fuzzZooOnce(); err == nil {
 		for _, e := range entries[:len(zoo.Classes())] {
 			pool = append(pool, e.M)
 		}
@@ -34,9 +49,11 @@ func fuzzMachinePool() []*isdl.Machine {
 // FuzzCompileSource drives the whole pipeline from arbitrary source
 // text, on a fuzzer-chosen machine from the zoo-backed pool. Invariants:
 // the compiler never panics; whatever it accepts must round-trip through
-// the binary object format; and if the reference interpreter finishes
-// the program within budget, the simulated program must finish too and
-// leave the same data memory behind.
+// the binary object format; if the reference interpreter finishes the
+// program within budget, the simulated program must finish too and leave
+// the same data memory behind; and a one-line edit compiled through the
+// block-level delta path must agree byte for byte with a from-scratch
+// compile of the edited program.
 func FuzzCompileSource(f *testing.F) {
 	seeds := []string{
 		"x = a + b;",
@@ -73,9 +90,9 @@ func FuzzCompileSource(f *testing.F) {
 				}
 			}
 		}
-		opts := DefaultOptions()
+		opts := aviv.DefaultOptions()
 		opts.Verify = true
-		res, err := CompileSource(src, m, 1, opts)
+		res, err := aviv.CompileSource(src, m, 1, opts)
 		if err != nil {
 			// Rejection (parse error, unsupported op, ...) is fine — but a
 			// translation-validation failure means the compiler produced
@@ -95,16 +112,36 @@ func FuzzCompileSource(f *testing.F) {
 		// pruning — must be byte-identical under a parallel worker pool.
 		par := opts
 		par.Parallelism = 8
-		res8, err := CompileSource(src, m, 1, par)
+		res8, err := aviv.CompileSource(src, m, 1, par)
 		if err != nil {
 			t.Fatalf("parallel compile failed after serial succeeded for %q: %v", src, err)
 		}
 		if res8.Program.String() != res.Program.String() {
 			t.Fatalf("parallel output differs for %q:\n%s\nvs\n%s", src, res.Program, res8.Program)
 		}
+		// The edit dimension: mutate the source, compile the mutant
+		// through a delta engine warmed on the original (so unchanged
+		// blocks actually stitch), and cross-check against a from-scratch
+		// compile of the mutant. Acceptance must agree, and on success the
+		// outputs must be byte-identical.
+		if edited := bench.MutateSource(src, int64(zooPick)); edited != src {
+			eng := delta.New(0, nil)
+			if _, werr := eng.CompileSource(src, m, 1, opts); werr != nil {
+				t.Fatalf("delta engine rejected %q after CompileSource accepted it: %v", src, werr)
+			}
+			dres, derr := eng.CompileSource(edited, m, 1, opts)
+			sres, serr := aviv.CompileSource(edited, m, 1, opts)
+			if (derr == nil) != (serr == nil) {
+				t.Fatalf("delta/scratch acceptance disagree for edit of %q: delta %v, scratch %v", src, derr, serr)
+			}
+			if derr == nil && dres.Program.String() != sres.Program.String() {
+				t.Fatalf("delta output differs from scratch for edit of %q:\n%s\nvs\n%s",
+					src, dres.Program, sres.Program)
+			}
+		}
 		// Reference semantics with a finite budget: programs the
 		// interpreter cannot finish (runaway loops) are out of scope.
-		f2, err := ParseAndLower(src, 1)
+		f2, err := aviv.ParseAndLower(src, 1)
 		if err != nil {
 			t.Fatalf("ParseAndLower failed after CompileSource succeeded for %q: %v", src, err)
 		}

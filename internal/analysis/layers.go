@@ -57,17 +57,22 @@ var layerOf = map[string]int{
 	"internal/zoo":       7,
 	"internal/diskcache": 7,
 
-	// Layer 8 — the compile service and the static-analysis suite
-	// itself (which must stay out of the compiler proper).
-	"internal/server":   8,
+	// Layer 8 — engines over the facade, and the static-analysis suite
+	// itself (which must stay out of the compiler proper). The delta
+	// engine drives the whole per-block pipeline through aviv, so it
+	// sits above the facade but below the service that embeds it.
+	"internal/delta":    8,
 	"internal/analysis": 8,
 
-	// Layer 9 — binaries, examples, and test tooling: import anything,
+	// Layer 9 — the compile service.
+	"internal/server": 9,
+
+	// Layer 10 — binaries, examples, and test tooling: import anything,
 	// imported by nothing (the analysistest harness is imported only
 	// from _test files, which the layering pass does not load).
-	"cmd":                            9,
-	"examples":                       9,
-	"internal/analysis/analysistest": 9,
+	"cmd":                            10,
+	"examples":                       10,
+	"internal/analysis/analysistest": 10,
 }
 
 // allowedImports is the declared architecture: every legal
@@ -112,7 +117,14 @@ var allowedImports = map[string][]string{
 		"internal/sndag", "internal/verify",
 	},
 
-	"internal/server": {"aviv", "internal/cover", "internal/diskcache", "internal/isdl", "internal/metrics"},
+	"internal/delta": {
+		"aviv", "internal/asm", "internal/cover", "internal/dataflow",
+		"internal/ir", "internal/isdl", "internal/metrics",
+		"internal/peephole", "internal/regalloc", "internal/sim",
+		"internal/sndag", "internal/verify",
+	},
+
+	"internal/server": {"aviv", "internal/cover", "internal/delta", "internal/diskcache", "internal/isdl", "internal/metrics"},
 
 	"internal/analysis":              {},
 	"internal/analysis/analysistest": {"internal/analysis"},

@@ -5,7 +5,7 @@
 package ir
 
 import (
-	"aviv/internal/server" // want `forbidden import edge internal/ir -> internal/server \(layer 0 -> layer 8\).*upward`
+	"aviv/internal/server" // want `forbidden import edge internal/ir -> internal/server \(layer 0 -> layer 9\).*upward`
 
 	"aviv/internal/cover" // want `forbidden import edge internal/ir -> internal/cover \(layer 0 -> layer 3\)`
 )

@@ -1,0 +1,67 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMutateSourceDeterministicOneLine pins the edit model's contract:
+// same (src, seed) → same mutant, exactly one line differs, and the
+// chosen line genuinely changed.
+func TestMutateSourceDeterministicOneLine(t *testing.T) {
+	src := MultiBlockSource(7, 25, 12)
+	for seed := int64(0); seed < 20; seed++ {
+		a := MutateSource(src, seed)
+		if b := MutateSource(src, seed); a != b {
+			t.Fatalf("seed %d: MutateSource is not deterministic", seed)
+		}
+		if a == src {
+			t.Fatalf("seed %d: mutant identical to source", seed)
+		}
+		orig, mut := strings.Split(src, "\n"), strings.Split(a, "\n")
+		if len(orig) != len(mut) {
+			t.Fatalf("seed %d: mutant has %d lines, source has %d", seed, len(mut), len(orig))
+		}
+		diff := 0
+		for i := range orig {
+			if orig[i] != mut[i] {
+				diff++
+				if !isAssignLine(orig[i]) && !isIfLine(orig[i]) {
+					t.Fatalf("seed %d: mutated a non-candidate line %q", seed, orig[i])
+				}
+			}
+		}
+		if diff != 1 {
+			t.Fatalf("seed %d: %d lines differ, want exactly 1", seed, diff)
+		}
+	}
+}
+
+// TestMutateSourceSpreadsAcrossLines: different seeds must not pile onto
+// one line, or the edit study would measure a single block forever.
+func TestMutateSourceSpreadsAcrossLines(t *testing.T) {
+	src := MultiBlockSource(3, 25, 12)
+	orig := strings.Split(src, "\n")
+	touched := map[int]bool{}
+	for seed := int64(0); seed < 40; seed++ {
+		mut := strings.Split(MutateSource(src, seed), "\n")
+		for i := range orig {
+			if orig[i] != mut[i] {
+				touched[i] = true
+			}
+		}
+	}
+	if len(touched) < 5 {
+		t.Fatalf("40 seeds touched only %d distinct lines", len(touched))
+	}
+}
+
+// TestMutateSourceNoCandidates: inputs with no editable line come back
+// unchanged rather than corrupted.
+func TestMutateSourceNoCandidates(t *testing.T) {
+	for _, src := range []string{"", "out = a;\n", "x = 1;\n// comment\n"} {
+		if got := MutateSource(src, 9); got != src {
+			t.Fatalf("MutateSource(%q) = %q, want unchanged", src, got)
+		}
+	}
+}

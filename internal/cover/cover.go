@@ -146,6 +146,14 @@ func CoverBlock(block *ir.Block, m *isdl.Machine, opts Options) (*Result, error)
 				cp.CacheHit = true
 				cp.DiskHit = true
 				return &cp, nil
+			} else if del, ok := store.(DeletableStore); ok {
+				// The entry read back clean (the storage checksum held) but
+				// no longer decodes — codec version skew, or a block whose
+				// re-derived DAG drifted. Left in place it would be
+				// re-decoded and re-rejected on every future lookup while
+				// still counting as a fresh mtime for the store's LRU;
+				// delete it so the slot is rewritten by the Put below.
+				del.Delete(key.storeKey())
 			}
 		}
 	}

@@ -1,0 +1,47 @@
+package cover
+
+import (
+	"crypto/sha256"
+
+	"aviv/internal/ir"
+	"aviv/internal/sndag"
+)
+
+// BlockKey returns the persistent-tier content address of one covering
+// request — the same key CoverBlock uses for Options.Store — given a
+// precomputed machine fingerprint (m.Fingerprint(), which callers that
+// key many blocks against one machine should memoize). The key covers
+// the block fingerprint, the machine fingerprint, and every Options
+// field that can change the covering (including LiveOut and
+// VarPlacement; see optionsFingerprint).
+//
+// internal/delta folds this key into its context fingerprints, so a
+// block artifact can never be reused across a change that would have
+// altered the covering.
+func BlockKey(block *ir.Block, machineFP [sha256.Size]byte, opts Options) [sha256.Size]byte {
+	return cacheKey{block: block.Fingerprint(), machine: machineFP, options: optionsFingerprint(opts)}.storeKey()
+}
+
+// EncodeResult serializes a covering for a persistent tier, declining
+// (ok=false) when the result is not representable. Exported for
+// internal/delta, which persists per-block coverings under its own
+// context keys; the format is the same versioned codec CoverBlock uses.
+func EncodeResult(res *Result) (data []byte, ok bool) { return encodeResult(res) }
+
+// DecodeResult rebuilds a covering from its serialized form against a
+// freshly derived Split-Node DAG of the covered block. Any
+// inconsistency — version skew, truncation, out-of-range reference, or
+// a decoded solution that fails Verify — returns an error, which
+// callers must treat as a cache miss.
+func DecodeResult(data []byte, dag *sndag.DAG) (*Result, error) { return decodeResult(data, dag) }
+
+// DeletableStore is the optional extension of EntryStore for tiers that
+// can drop entries in place. Callers use it to turn an entry that reads
+// back fine but no longer decodes (codec version skew surviving the
+// storage checksum) into a deletion-as-miss instead of a permanent
+// re-decode-and-fail on every lookup.
+type DeletableStore interface {
+	EntryStore
+	// Delete removes the entry for key, if present. Best-effort.
+	Delete(key [sha256.Size]byte)
+}

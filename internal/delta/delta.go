@@ -1,0 +1,572 @@
+// Package delta is the incremental compilation path: a function-level
+// engine that fingerprints every basic block *together with its
+// dataflow context* and re-runs the covering search only for blocks
+// whose context fingerprint changed since a previous compile, stitching
+// the rest from cached per-block artifacts.
+//
+// The context fingerprint of a block is
+//
+//	sha256(domain | cover.BlockKey(block, machineFP, coverOpts) |
+//	       sorted live-in vars | peephole flag)
+//
+// where cover.BlockKey already covers the block's own content
+// fingerprint, the machine fingerprint, and every covering option
+// including the sorted live-out set and the resolved variable
+// placement. An artifact is therefore invalidated by exactly the things
+// that could change its code: the block's instructions or terminator,
+// the machine description, the covering options, the live-out set (it
+// drives store pruning), the live-in set, the bank placement of any
+// variable the block touches (aviv.PlacementOptions resolves placement
+// over the whole function before keying), and the peephole setting.
+// Predecessors' layout assumptions are deliberately *not* in the key:
+// artifacts are cached pre-layout and aviv.LayoutProgram re-runs
+// globally on every compile, so branch/fallthrough decisions are always
+// derived fresh from the current whole program.
+//
+// Two artifact tiers back the engine. The in-memory tier holds finished
+// artifacts — the post-peephole covering plus the emitted (pre-layout)
+// assembly block — so a memory stitch skips covering, peephole,
+// register allocation, and emission. The optional persistent tier
+// (cover.EntryStore, typically internal/diskcache) holds the
+// pre-peephole covering serialized with the cover codec under the same
+// context key; a disk stitch re-runs the cheap tail passes but skips
+// the covering search, and survives process restarts. Entries that read
+// back clean but no longer decode are deleted in place
+// (cover.DeletableStore) and recompiled — deletion-as-miss.
+//
+// The engine's contract is the repository's: stitched output is
+// byte-identical to a from-scratch aviv.Compile of the same function at
+// any pool size. Options.Verify re-validates every stitched block
+// against the *current* IR (verify.BlockCode + an independent
+// re-derivation of the store prune), and the optional interpreter
+// oracle cross-checks the stitched program's memory effect against
+// ir.EvalFunc. The differential suites (editdiff_test.go, the edit
+// dimension of FuzzCompileSource) hold the engine to that contract.
+package delta
+
+import (
+	"container/list"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"aviv"
+	"aviv/internal/asm"
+	"aviv/internal/cover"
+	"aviv/internal/dataflow"
+	"aviv/internal/ir"
+	"aviv/internal/isdl"
+	"aviv/internal/metrics"
+	"aviv/internal/peephole"
+	"aviv/internal/regalloc"
+	"aviv/internal/sim"
+	"aviv/internal/sndag"
+	"aviv/internal/verify"
+)
+
+// contextDomain versions the context-fingerprint derivation itself.
+// Bump it whenever the key recipe changes so persistent entries from
+// older engines miss instead of colliding.
+const contextDomain = "aviv-delta-ctx-v1"
+
+// artifact is one cached per-block compilation product, pinned to its
+// context fingerprint. Everything in it is immutable after insertion:
+// stitching clones Code before the program-level layout pass may touch
+// a Branch, and Sol is only read (verification, stats).
+type artifact struct {
+	key [sha256.Size]byte
+	// Sol is the post-peephole covering; Sol.Block is the block the
+	// covering actually consumed (the liveness-pruned clone when pruning
+	// happened), which verification needs.
+	sol *cover.Solution
+	// code is the emitted assembly block, pre-layout (Branch exactly as
+	// emission produced it).
+	code *asm.Block
+	// Per-block stats carried for -stats style reporting.
+	dagNodes     int
+	peepholeSave int
+	prunedStores int
+}
+
+// Engine is the incremental compiler. One engine serves any number of
+// functions, machines, and option presets concurrently — machine and
+// options fingerprints are part of every context key — so a server can
+// share a single engine across all requests. Create with New.
+type Engine struct {
+	store      cover.EntryStore
+	maxEntries int
+
+	mu      sync.Mutex
+	entries map[[sha256.Size]byte]*list.Element
+	order   *list.List // front = most recently used
+	machFPs map[*isdl.Machine][sha256.Size]byte
+
+	memHits       atomic.Int64
+	memMisses     atomic.Int64
+	diskHits      atomic.Int64
+	diskMisses    atomic.Int64
+	stitched      atomic.Int64
+	recompiled    atomic.Int64
+	invalidations atomic.Int64
+	evictions     atomic.Int64
+
+	// Oracle, when non-nil, is an initial data memory: after every
+	// compile whose reference interpretation terminates within
+	// OracleBudget steps, the stitched program is simulated on a copy
+	// and every cell the interpreter predicts is compared. A
+	// disagreement fails the compile — a stitch may never change
+	// observable semantics.
+	Oracle map[string]int64
+	// OracleBudget bounds the interpreter (steps) and simulator
+	// (cycles, 2x) runs; <= 0 selects 200000.
+	OracleBudget int
+}
+
+// New returns an engine whose in-memory tier holds at most maxEntries
+// block artifacts (<= 0: unbounded), evicting least recently used
+// first. store, when non-nil, is the persistent tier below it — pass
+// the same *diskcache.Cache the cover tiers use, or any
+// cover.EntryStore; keys are domain-separated from the cover tier's, so
+// sharing a directory is safe.
+func New(maxEntries int, store cover.EntryStore) *Engine {
+	return &Engine{
+		store:      store,
+		maxEntries: maxEntries,
+		entries:    make(map[[sha256.Size]byte]*list.Element),
+		order:      list.New(),
+		machFPs:    make(map[*isdl.Machine][sha256.Size]byte),
+	}
+}
+
+// Stats returns a snapshot of the per-tier block counters.
+func (e *Engine) Stats() metrics.CacheStats {
+	e.mu.Lock()
+	entries := int64(len(e.entries))
+	e.mu.Unlock()
+	return metrics.CacheStats{
+		Entries:       entries,
+		MemHits:       e.memHits.Load(),
+		MemMisses:     e.memMisses.Load(),
+		DiskHits:      e.diskHits.Load(),
+		DiskMisses:    e.diskMisses.Load(),
+		Stitched:      e.stitched.Load(),
+		Recompiled:    e.recompiled.Load(),
+		Invalidations: e.invalidations.Load(),
+		Evictions:     e.evictions.Load(),
+	}
+}
+
+// Result is one incremental compile. Program is byte-identical to the
+// aviv.CompileResult.Program of a from-scratch compile with the same
+// inputs.
+type Result struct {
+	Func    *ir.Func
+	Machine *isdl.Machine
+	Program *asm.Program
+	// Blocks is the number of basic blocks compiled.
+	Blocks int
+	// Stitched counts blocks served from the in-memory artifact tier;
+	// DiskStitched counts blocks rebuilt from the persistent covering
+	// tier (covering search skipped, tail passes re-run); Recompiled
+	// counts blocks that ran the full per-block pipeline.
+	// Stitched + DiskStitched + Recompiled == Blocks.
+	Stitched     int
+	DiskStitched int
+	Recompiled   int
+	// CoverCacheHits / CoverDiskHits count, among the Recompiled blocks,
+	// those whose covering still came from the cover-level cache tiers
+	// (aviv.Options.Cache / DiskCache) rather than a fresh search.
+	CoverCacheHits int
+	CoverDiskHits  int
+}
+
+// CodeSize returns the total program code size in instructions.
+func (r *Result) CodeSize() int { return r.Program.CodeSize() }
+
+// machineFingerprint memoizes m.Fingerprint() per machine pointer, like
+// cover.Cache does, so a 25-block compile hashes the machine once.
+func (e *Engine) machineFingerprint(m *isdl.Machine) [sha256.Size]byte {
+	e.mu.Lock()
+	fp, ok := e.machFPs[m]
+	e.mu.Unlock()
+	if ok {
+		return fp
+	}
+	fp = m.Fingerprint()
+	e.mu.Lock()
+	e.machFPs[m] = fp
+	e.mu.Unlock()
+	return fp
+}
+
+// contextKey derives a block's context fingerprint from its cover-level
+// content key, the sorted live-in variable list, and the peephole flag.
+func contextKey(base [sha256.Size]byte, liveIn []string, peephole bool) [sha256.Size]byte {
+	h := sha256.New()
+	h.Write([]byte(contextDomain))
+	h.Write(base[:])
+	var n [8]byte
+	binary.BigEndian.PutUint64(n[:], uint64(len(liveIn)))
+	h.Write(n[:])
+	for _, v := range liveIn {
+		binary.BigEndian.PutUint64(n[:], uint64(len(v)))
+		h.Write(n[:])
+		h.Write([]byte(v))
+	}
+	if peephole {
+		h.Write([]byte{1})
+	} else {
+		h.Write([]byte{0})
+	}
+	var sum [sha256.Size]byte
+	h.Sum(sum[:0])
+	return sum
+}
+
+// lookup returns the memory-tier artifact for key, touching it for LRU.
+func (e *Engine) lookup(key [sha256.Size]byte) *artifact {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	el, ok := e.entries[key]
+	if !ok {
+		e.memMisses.Add(1)
+		return nil
+	}
+	e.memHits.Add(1)
+	e.order.MoveToFront(el)
+	return el.Value.(*artifact)
+}
+
+// insert stores art in the memory tier. If another worker inserted the
+// key first, the existing artifact wins (keeps pointers stable) and is
+// returned.
+func (e *Engine) insert(art *artifact) *artifact {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if el, ok := e.entries[art.key]; ok {
+		e.order.MoveToFront(el)
+		return el.Value.(*artifact)
+	}
+	e.entries[art.key] = e.order.PushFront(art)
+	for e.maxEntries > 0 && len(e.entries) > e.maxEntries {
+		oldest := e.order.Back()
+		if oldest == nil {
+			break
+		}
+		old := oldest.Value.(*artifact)
+		e.order.Remove(oldest)
+		delete(e.entries, old.key)
+		e.evictions.Add(1)
+	}
+	return art
+}
+
+// invalidate drops a persistent entry that failed to decode or rebuild.
+func (e *Engine) invalidate(key [sha256.Size]byte) {
+	e.invalidations.Add(1)
+	if del, ok := e.store.(cover.DeletableStore); ok {
+		del.Delete(key)
+	}
+}
+
+// outcome of one block within a single Compile.
+type outcome uint8
+
+const (
+	outcomeRecompiled outcome = iota
+	outcomeMemStitch
+	outcomeDiskStitch
+)
+
+// Compile incrementally compiles f for m. The options are per-call —
+// Verify, Peephole, the covering preset, the cover-level cache tiers,
+// and Parallelism all behave exactly as in aviv.Compile — and the
+// emitted program is byte-identical to aviv.Compile(f, m, opts) at any
+// parallelism and any cache state. Cover.Trace is ignored (the trace
+// contract is a full covering log, which a stitch by design does not
+// produce).
+func (e *Engine) Compile(f *ir.Func, m *isdl.Machine, opts aviv.Options) (*Result, error) {
+	if err := f.Verify(); err != nil {
+		return nil, fmt.Errorf("delta: %w", err)
+	}
+	if opts.Verify {
+		if verr := verify.Func(f); verr != nil {
+			return nil, fmt.Errorf("delta: source IR rejected by verifier: %w", verr)
+		}
+	}
+	live := dataflow.Liveness(f)
+	liveOuts := live.OutSets()
+	if opts.Verify {
+		if vs := verify.CheckLiveness(f, liveOuts); len(vs) > 0 {
+			return nil, fmt.Errorf("delta: liveness cross-check failed: %w", &verify.VerifyError{Violations: vs})
+		}
+	}
+	opts = aviv.PlacementOptions(f, m, opts)
+	opts.Cover.Trace = nil
+	mfp := e.machineFingerprint(m)
+
+	n := len(f.Blocks)
+	blockOpts := func(i int) cover.Options {
+		o := opts.Cover
+		o.LiveOut = liveOuts[i]
+		return o
+	}
+	keys := make([][sha256.Size]byte, n)
+	for i, b := range f.Blocks {
+		// Block names are unique within a function and hashed into the
+		// block fingerprint, so the keys of one compile never collide;
+		// iteration is in source block order, not map order.
+		var liveIn []string
+		for _, v := range live.Vars {
+			if live.LiveInOf(i, v) {
+				liveIn = append(liveIn, v)
+			}
+		}
+		keys[i] = contextKey(cover.BlockKey(b, mfp, blockOpts(i)), liveIn, opts.Peephole)
+	}
+
+	arts := make([]*artifact, n)
+	outcomes := make([]outcome, n)
+	coverHits := make([]bool, n)
+	coverDiskHits := make([]bool, n)
+	errs := make([]error, n)
+	compileOne := func(i int) {
+		key := keys[i]
+		if art := e.lookup(key); art != nil {
+			arts[i], outcomes[i] = art, outcomeMemStitch
+			return
+		}
+		if e.store != nil {
+			if data, ok := e.store.Get(key); ok {
+				if art, err := e.rebuild(data, key, f.Blocks[i], m, blockOpts(i), opts.Peephole); err == nil {
+					arts[i], outcomes[i] = e.insert(art), outcomeDiskStitch
+					e.diskHits.Add(1)
+					return
+				}
+				// Readable but not rebuildable: delete so the next compile
+				// writes a fresh entry, and fall through to a recompile.
+				e.invalidate(key)
+			}
+			e.diskMisses.Add(1)
+		}
+		o := opts
+		o.Cover.LiveOut = liveOuts[i]
+		br, err := aviv.CompileBlock(f.Blocks[i], m, o)
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		coverHits[i], coverDiskHits[i] = br.Metrics.CacheHit, br.Metrics.DiskHit
+		code := *br.Code // pristine pre-layout clone; br.Code joins no program here
+		art := &artifact{
+			key:          key,
+			sol:          br.Solution,
+			code:         &code,
+			dagNodes:     br.DAG.Counts.Total(),
+			peepholeSave: br.PeepholeSaved,
+			prunedStores: br.Covering.PrunedStores,
+		}
+		arts[i], outcomes[i] = e.insert(art), outcomeRecompiled
+		if e.store != nil {
+			if data, ok := cover.EncodeResult(br.Covering); ok {
+				e.store.Put(key, data)
+			}
+		}
+	}
+
+	par := aviv.ResolveParallelism(opts.Parallelism)
+	if par > n {
+		par = n
+	}
+	if par <= 1 {
+		for i := range f.Blocks {
+			compileOne(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < par; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					compileOne(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &Result{Func: f, Machine: m, Blocks: n, Program: &asm.Program{Machine: m}}
+	clones := make([]*asm.Block, n)
+	for i, art := range arts {
+		// Each compile lays out its own clones: layout mutates Branch per
+		// program, and the cached block must stay pristine.
+		b := *art.code
+		clones[i] = &b
+		res.Program.Blocks = append(res.Program.Blocks, clones[i])
+		switch outcomes[i] {
+		case outcomeMemStitch:
+			res.Stitched++
+		case outcomeDiskStitch:
+			res.DiskStitched++
+		default:
+			res.Recompiled++
+			if coverHits[i] {
+				res.CoverCacheHits++
+			}
+			if coverDiskHits[i] {
+				res.CoverDiskHits++
+			}
+		}
+	}
+	e.stitched.Add(int64(res.Stitched + res.DiskStitched))
+	e.recompiled.Add(int64(res.Recompiled))
+	aviv.LayoutProgram(res.Program)
+
+	if opts.Verify {
+		if verr := e.verifyStitched(f, m, arts, clones, liveOuts, res.Program); verr != nil {
+			return nil, fmt.Errorf("delta: translation validation failed: %w", verr)
+		}
+	}
+	if e.Oracle != nil {
+		if err := e.checkOracle(f, res.Program); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// verifyStitched re-validates every block of the stitched program
+// against the *current* IR, exactly as aviv.Compile does for a fresh
+// one: the emitted code against the block the covering consumed, the
+// store prune re-derived independently when the consumed block differs
+// from the current one, and the laid-out control flow against the
+// function. For a stitched block the consumed block came from an
+// earlier compile; its fingerprint equality with the current block is
+// what the context key guarantees, and CheckPrune is structural, so the
+// validation holds stitches to the same bar as fresh compiles.
+func (e *Engine) verifyStitched(f *ir.Func, m *isdl.Machine, arts []*artifact, clones []*asm.Block, liveOuts []map[string]bool, prog *asm.Program) *verify.VerifyError {
+	var all []verify.Violation
+	for i, art := range arts {
+		covered := art.sol.Block
+		vs := verify.BlockCode(clones[i], m, covered)
+		if covered.Fingerprint() != f.Blocks[i].Fingerprint() {
+			vs = append(vs, verify.CheckPrune(f.Blocks[i], covered, liveOuts[i])...)
+		}
+		all = append(all, vs...)
+	}
+	all = append(all, verify.Layout(prog, f)...)
+	if len(all) == 0 {
+		return nil
+	}
+	return &verify.VerifyError{Violations: all}
+}
+
+// checkOracle compares the stitched program's memory effect against the
+// reference interpreter on Engine.Oracle. Programs the interpreter
+// cannot finish within budget are skipped (runaway loops are out of the
+// oracle's scope, exactly as in the fuzz harness).
+func (e *Engine) checkOracle(f *ir.Func, prog *asm.Program) error {
+	budget := e.OracleBudget
+	if budget <= 0 {
+		budget = 200000
+	}
+	want := make(map[string]int64, len(e.Oracle))
+	mem := make(map[string]int64, len(e.Oracle))
+	for k, v := range e.Oracle {
+		want[k] = v
+		mem[k] = v
+	}
+	if ir.EvalFunc(f, want, budget) != nil {
+		return nil
+	}
+	got, _, err := sim.RunProgram(prog, mem, 2*budget)
+	if err != nil {
+		return fmt.Errorf("delta: oracle simulation trapped on stitched program for %s: %w", f.Name, err)
+	}
+	for _, v := range sortedVars(want) {
+		if got[v] != want[v] {
+			return fmt.Errorf("delta: oracle disagreement on stitched program for %s: mem[%s] = %d, interpreter says %d",
+				f.Name, v, got[v], want[v])
+		}
+	}
+	return nil
+}
+
+func sortedVars(m map[string]int64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// rebuild reconstructs a finished artifact from a persisted pre-peephole
+// covering: re-derive the pruned block and its Split-Node DAG (both
+// deterministic functions of the key's components), decode the covering
+// against them, then re-run the cheap tail passes — peephole, register
+// allocation, emission — exactly as aviv.CompileBlock would have.
+func (e *Engine) rebuild(data []byte, key [sha256.Size]byte, b *ir.Block, m *isdl.Machine, o cover.Options, peep bool) (*artifact, error) {
+	covered := b
+	pruned := 0
+	if o.LiveOut != nil {
+		covered, pruned = dataflow.PruneBlock(b, o.LiveOut)
+	}
+	dag, err := sndag.Build(covered, m)
+	if err != nil {
+		return nil, err
+	}
+	res, err := cover.DecodeResult(data, dag)
+	if err != nil {
+		return nil, err
+	}
+	sol := res.Best
+	saved := 0
+	if peep {
+		before := sol.Cost()
+		sol = peephole.Optimize(sol)
+		saved = before - sol.Cost()
+	}
+	alloc, err := regalloc.Allocate(sol)
+	if err != nil {
+		return nil, err
+	}
+	code, err := asm.EmitBlock(sol, alloc)
+	if err != nil {
+		return nil, err
+	}
+	return &artifact{
+		key:          key,
+		sol:          sol,
+		code:         code,
+		dagNodes:     dag.Counts.Total(),
+		peepholeSave: saved,
+		prunedStores: pruned,
+	}, nil
+}
+
+// CompileSource is the front-end wrapper: parse, optional unroll,
+// lower, machine-independent optimization, then Compile. It mirrors
+// aviv.CompileSource so servers and tools can switch paths without
+// changing semantics.
+func (e *Engine) CompileSource(src string, m *isdl.Machine, unrollFactor int, opts aviv.Options) (*Result, error) {
+	f, err := aviv.ParseAndLower(src, unrollFactor)
+	if err != nil {
+		return nil, err
+	}
+	return e.Compile(f, m, opts)
+}

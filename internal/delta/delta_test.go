@@ -1,0 +1,237 @@
+package delta
+
+import (
+	"crypto/sha256"
+	"sync"
+	"testing"
+
+	"aviv"
+	"aviv/internal/bench"
+	"aviv/internal/diskcache"
+	"aviv/internal/isdl"
+)
+
+func exampleMachine() *isdl.Machine { return isdl.ExampleArchFull(4) }
+
+func verifyOpts() aviv.Options {
+	opts := aviv.DefaultOptions()
+	opts.Verify = true
+	return opts
+}
+
+// scratch compiles src from scratch with no caches, as the reference.
+func scratch(t *testing.T, src string, m *isdl.Machine, opts aviv.Options) string {
+	t.Helper()
+	res, err := aviv.CompileSource(src, m, 1, opts)
+	if err != nil {
+		t.Fatalf("scratch compile failed: %v", err)
+	}
+	return res.Program.String()
+}
+
+// TestDeltaByteIdenticalAndStitched pins the engine's core contract: a
+// first compile matches a from-scratch compile byte for byte, and a
+// second compile of the same program stitches every block from memory
+// and still matches.
+func TestDeltaByteIdenticalAndStitched(t *testing.T) {
+	m := exampleMachine()
+	opts := verifyOpts()
+	src := bench.MultiBlockSource(7, 12, 6)
+	want := scratch(t, src, m, opts)
+
+	e := New(0, nil)
+	e.Oracle = map[string]int64{"a": 11, "b": 7, "c": 5, "d": 3}
+	first, err := e.CompileSource(src, m, 1, opts)
+	if err != nil {
+		t.Fatalf("delta compile failed: %v", err)
+	}
+	if got := first.Program.String(); got != want {
+		t.Fatalf("delta output differs from scratch:\n%s\nvs\n%s", got, want)
+	}
+	if first.Recompiled != first.Blocks || first.Stitched != 0 {
+		t.Fatalf("cold compile: recompiled %d / stitched %d of %d blocks, want all recompiled",
+			first.Recompiled, first.Stitched, first.Blocks)
+	}
+	second, err := e.CompileSource(src, m, 1, opts)
+	if err != nil {
+		t.Fatalf("warm delta compile failed: %v", err)
+	}
+	if got := second.Program.String(); got != want {
+		t.Fatalf("stitched output differs from scratch:\n%s\nvs\n%s", got, want)
+	}
+	if second.Stitched != second.Blocks || second.Recompiled != 0 {
+		t.Fatalf("warm compile: stitched %d / recompiled %d of %d blocks, want all stitched",
+			second.Stitched, second.Recompiled, second.Blocks)
+	}
+	st := e.Stats()
+	if st.MemHits != int64(second.Stitched) || st.Recompiled != int64(first.Recompiled) {
+		t.Fatalf("stats disagree with results: %+v", st)
+	}
+}
+
+// TestDeltaEditRecompilesOnlyChangedBlocks pins the point of the whole
+// path: after a one-line edit, most blocks stitch and the output still
+// matches a from-scratch compile of the edited program.
+func TestDeltaEditRecompilesOnlyChangedBlocks(t *testing.T) {
+	m := exampleMachine()
+	opts := verifyOpts()
+	src := bench.MultiBlockSource(3, 15, 6)
+	e := New(0, nil)
+	e.Oracle = map[string]int64{"a": 11, "b": 7, "c": 5, "d": 3}
+	if _, err := e.CompileSource(src, m, 1, opts); err != nil {
+		t.Fatalf("warmup compile failed: %v", err)
+	}
+	edited := bench.MutateSource(src, 42)
+	if edited == src {
+		t.Fatalf("MutateSource returned the source unchanged")
+	}
+	res, err := e.CompileSource(edited, m, 1, opts)
+	if err != nil {
+		t.Fatalf("edit compile failed: %v", err)
+	}
+	if got, want := res.Program.String(), scratch(t, edited, m, opts); got != want {
+		t.Fatalf("edited delta output differs from scratch:\n%s\nvs\n%s", got, want)
+	}
+	if res.Stitched == 0 {
+		t.Fatalf("one-line edit stitched no blocks at all (%d blocks, %d recompiled)", res.Blocks, res.Recompiled)
+	}
+	if res.Recompiled == 0 {
+		t.Fatalf("one-line edit recompiled nothing — the edit did not reach the IR?")
+	}
+	if res.Recompiled >= res.Stitched {
+		t.Fatalf("one-line edit recompiled %d of %d blocks (stitched %d); delta path is not localizing the edit",
+			res.Recompiled, res.Blocks, res.Stitched)
+	}
+}
+
+// TestDeltaDiskTier proves artifacts survive engine restarts through the
+// persistent tier: a fresh engine sharing only the disk store stitches
+// every block without re-running the covering search.
+func TestDeltaDiskTier(t *testing.T) {
+	m := exampleMachine()
+	opts := verifyOpts()
+	src := bench.MultiBlockSource(11, 12, 6)
+	disk, err := diskcache.Open(t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm := New(0, disk)
+	if _, err := warm.CompileSource(src, m, 1, opts); err != nil {
+		t.Fatalf("warmup compile failed: %v", err)
+	}
+	restarted := New(0, disk)
+	res, err := restarted.CompileSource(src, m, 1, opts)
+	if err != nil {
+		t.Fatalf("restarted compile failed: %v", err)
+	}
+	if res.DiskStitched != res.Blocks || res.Recompiled != 0 {
+		t.Fatalf("restart: disk-stitched %d / recompiled %d of %d blocks, want all from disk",
+			res.DiskStitched, res.Recompiled, res.Blocks)
+	}
+	if got, want := res.Program.String(), scratch(t, src, m, opts); got != want {
+		t.Fatalf("disk-stitched output differs from scratch:\n%s\nvs\n%s", got, want)
+	}
+}
+
+// corruptStore serves an undecodable (but well-framed, from the store's
+// point of view) payload for every key, and records deletions. It
+// stands in for codec version skew: bytes that read back clean but no
+// longer decode.
+type corruptStore struct {
+	mu      sync.Mutex
+	deletes int
+	puts    int
+}
+
+func (s *corruptStore) Get(key [sha256.Size]byte) ([]byte, bool) {
+	return []byte("not a covering"), true
+}
+func (s *corruptStore) Put(key [sha256.Size]byte, data []byte) {
+	s.mu.Lock()
+	s.puts++
+	s.mu.Unlock()
+}
+func (s *corruptStore) Delete(key [sha256.Size]byte) {
+	s.mu.Lock()
+	s.deletes++
+	s.mu.Unlock()
+}
+
+// TestDeltaInvalidation: entries that fail to decode are deleted
+// (deletion-as-miss), counted, and the blocks recompiled — output
+// unchanged.
+func TestDeltaInvalidation(t *testing.T) {
+	m := exampleMachine()
+	opts := verifyOpts()
+	src := bench.MultiBlockSource(5, 9, 5)
+	store := &corruptStore{}
+	e := New(0, store)
+	res, err := e.CompileSource(src, m, 1, opts)
+	if err != nil {
+		t.Fatalf("compile over corrupt store failed: %v", err)
+	}
+	if res.Recompiled != res.Blocks {
+		t.Fatalf("recompiled %d of %d blocks despite undecodable store entries", res.Recompiled, res.Blocks)
+	}
+	if got, want := res.Program.String(), scratch(t, src, m, opts); got != want {
+		t.Fatalf("output differs under corrupt store:\n%s\nvs\n%s", got, want)
+	}
+	st := e.Stats()
+	if st.Invalidations != int64(res.Blocks) {
+		t.Fatalf("invalidations = %d, want %d", st.Invalidations, res.Blocks)
+	}
+	store.mu.Lock()
+	defer store.mu.Unlock()
+	if store.deletes != res.Blocks {
+		t.Fatalf("store deletions = %d, want %d", store.deletes, res.Blocks)
+	}
+	if store.puts == 0 {
+		t.Fatalf("no fresh entries written after invalidation")
+	}
+}
+
+// TestDeltaParallelismByteIdentical: the engine pool, like the compile
+// pool, may never change output — including half-warm states where some
+// blocks stitch and others recompile concurrently.
+func TestDeltaParallelismByteIdentical(t *testing.T) {
+	m := exampleMachine()
+	opts := verifyOpts()
+	base := bench.MultiBlockSource(9, 15, 6)
+	edited := bench.MutateSource(base, 1)
+	for _, par := range []int{1, 8} {
+		e := New(0, nil)
+		o := opts
+		o.Parallelism = par
+		for _, src := range []string{base, edited} {
+			res, err := e.CompileSource(src, m, 1, o)
+			if err != nil {
+				t.Fatalf("par %d compile failed: %v", par, err)
+			}
+			want := scratch(t, src, m, opts)
+			if got := res.Program.String(); got != want {
+				t.Fatalf("par %d output differs from scratch:\n%s\nvs\n%s", par, got, want)
+			}
+		}
+	}
+}
+
+// TestDeltaBoundedEviction: the memory tier respects its entry cap.
+func TestDeltaBoundedEviction(t *testing.T) {
+	m := exampleMachine()
+	opts := verifyOpts()
+	e := New(4, nil)
+	res, err := e.CompileSource(bench.MultiBlockSource(2, 15, 5), m, 1, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Blocks <= 4 {
+		t.Fatalf("workload too small to exercise eviction: %d blocks", res.Blocks)
+	}
+	st := e.Stats()
+	if st.Entries != 4 {
+		t.Fatalf("entries = %d, want cap 4", st.Entries)
+	}
+	if st.Evictions != int64(res.Blocks)-4 {
+		t.Fatalf("evictions = %d, want %d", st.Evictions, res.Blocks-4)
+	}
+}

@@ -60,6 +60,10 @@ type Stats struct {
 	// Corrupt counts entries rejected by framing or checksum checks
 	// (each also counted as a miss).
 	Corrupt int64 `json:"corrupt"`
+	// Deletes counts entries removed through Delete — callers invalidating
+	// entries that read back clean but no longer decode (codec version
+	// skew), so the slot is rewritten instead of failing on every lookup.
+	Deletes int64 `json:"deletes"`
 	// WriteErrors counts best-effort writes that failed (disk full,
 	// permissions); each is swallowed and the entry simply not cached.
 	WriteErrors int64 `json:"write_errors"`
@@ -82,6 +86,7 @@ type Cache struct {
 	writes    int64
 	evictions int64
 	corrupt   int64
+	deletes   int64
 	writeErrs int64
 }
 
@@ -135,6 +140,7 @@ func (c *Cache) Stats() Stats {
 		Writes:      c.writes,
 		Evictions:   c.evictions,
 		Corrupt:     c.corrupt,
+		Deletes:     c.deletes,
 		WriteErrors: c.writeErrs,
 		Bytes:       c.bytes,
 	}
@@ -217,6 +223,16 @@ func readEntry(path string) ([]byte, error) {
 // identical content for a given key anyway.
 func (c *Cache) Put(key [sha256.Size]byte, payload []byte) {
 	path := c.path(key)
+	// An overwrite replaces the old entry's payload on disk; account the
+	// difference, not the sum, or repeated rewrites of hot keys inflate
+	// c.bytes until eviction runs on a phantom volume. Best-effort (a
+	// concurrent writer may race the stat); evict re-measures anyway.
+	var replaced int64
+	if info, err := os.Stat(path); err == nil {
+		if sz := info.Size() - headerSize; sz > 0 {
+			replaced = sz
+		}
+	}
 	if err := c.writeEntry(path, payload); err != nil {
 		c.mu.Lock()
 		c.writeErrs++
@@ -225,12 +241,37 @@ func (c *Cache) Put(key [sha256.Size]byte, payload []byte) {
 	}
 	c.mu.Lock()
 	c.writes++
-	c.bytes += int64(len(payload))
+	c.bytes += int64(len(payload)) - replaced
 	needEvict := c.maxBytes > 0 && c.bytes > c.maxBytes
 	c.mu.Unlock()
 	if needEvict {
 		c.evict()
 	}
+}
+
+// Delete removes the entry for key, if present, and counts the
+// deletion. It is the invalidation path for entries whose payload is
+// intact on disk (the checksum holds, so Get keeps serving it) but can
+// no longer be decoded by the caller — without deletion such an entry
+// would fail decode on every future lookup while its freshly touched
+// mtime keeps it at the young end of the eviction order, crowding out
+// entries that still work. Implements cover.DeletableStore.
+func (c *Cache) Delete(key [sha256.Size]byte) {
+	path := c.path(key)
+	info, err := os.Stat(path)
+	if err != nil {
+		return
+	}
+	sz := info.Size() - headerSize
+	if os.Remove(path) != nil {
+		return
+	}
+	c.mu.Lock()
+	if sz > 0 {
+		c.bytes -= sz
+	}
+	c.deletes++
+	c.mu.Unlock()
 }
 
 func (c *Cache) writeEntry(path string, payload []byte) error {
@@ -333,9 +374,15 @@ func (c *Cache) evict() {
 			break
 		}
 		if os.Remove(e.path) == nil {
-			total -= e.size
+			// A foreign or truncated file can report a negative payload
+			// size; clamp so removing it never *grows* the accounting.
+			sz := e.size
+			if sz < 0 {
+				sz = 0
+			}
+			total -= sz
 			c.mu.Lock()
-			c.bytes -= e.size
+			c.bytes -= sz
 			c.evictions++
 			c.mu.Unlock()
 		}

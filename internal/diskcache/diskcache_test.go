@@ -4,9 +4,11 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"fmt"
+	"io/fs"
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -284,5 +286,209 @@ func TestOpenMeasuresExistingAndSweepsTmp(t *testing.T) {
 	}
 	if got, ok := c2.Get(keyOf("persist")); !ok || !bytes.Equal(got, payload) {
 		t.Error("entry did not survive reopen")
+	}
+}
+
+// diskUsage sums the payload bytes of every entry file under the cache
+// root — the ground truth the accounting must track.
+func diskUsage(t *testing.T, c *Cache) int64 {
+	t.Helper()
+	var total int64
+	err := filepath.WalkDir(c.Dir(), func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || strings.HasSuffix(path, ".tmp") {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		if sz := info.Size() - headerSize; sz > 0 {
+			total += sz
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return total
+}
+
+// TestDeleteInvalidatesEntry pins the deletion-as-miss path the delta
+// engine uses for entries that read back clean but no longer decode.
+func TestDeleteInvalidatesEntry(t *testing.T) {
+	c := openTemp(t, 0)
+	key := keyOf("stale-covering")
+	c.Put(key, bytes.Repeat([]byte{7}, 300))
+	c.Delete(key)
+	if _, ok := c.Get(key); ok {
+		t.Fatal("deleted entry still served")
+	}
+	st := c.Stats()
+	if st.Deletes != 1 {
+		t.Errorf("deletes = %d, want 1", st.Deletes)
+	}
+	if st.Bytes != 0 {
+		t.Errorf("bytes = %d after deleting the only entry, want 0", st.Bytes)
+	}
+	// Deleting an absent key is a silent no-op.
+	c.Delete(keyOf("never-written"))
+	if st := c.Stats(); st.Deletes != 1 {
+		t.Errorf("no-op delete counted: deletes = %d, want 1", st.Deletes)
+	}
+	// The slot is immediately rewritable.
+	c.Put(key, []byte("fresh"))
+	if got, ok := c.Get(key); !ok || !bytes.Equal(got, []byte("fresh")) {
+		t.Fatal("re-Put after Delete did not restore service")
+	}
+}
+
+// TestPutOverwriteAccounting: rewriting a key must account the byte
+// delta, not the sum — otherwise per-block entries rewritten on every
+// invalidation inflate the accounted volume until eviction runs against
+// a phantom total.
+func TestPutOverwriteAccounting(t *testing.T) {
+	c := openTemp(t, 0)
+	key := keyOf("rewritten-block")
+	c.Put(key, bytes.Repeat([]byte{1}, 1000))
+	c.Put(key, bytes.Repeat([]byte{2}, 400))
+	if st := c.Stats(); st.Bytes != 400 {
+		t.Fatalf("bytes = %d after shrinking overwrite, want 400", st.Bytes)
+	}
+	c.Put(key, bytes.Repeat([]byte{3}, 1000))
+	if st := c.Stats(); st.Bytes != 1000 {
+		t.Fatalf("bytes = %d after growing overwrite, want 1000", st.Bytes)
+	}
+	c.Put(keyOf("other"), bytes.Repeat([]byte{4}, 50))
+	c.Delete(key)
+	st := c.Stats()
+	if want := diskUsage(t, c); st.Bytes != want {
+		t.Fatalf("accounted %d bytes, disk holds %d", st.Bytes, want)
+	}
+}
+
+// TestTouchOnHitProtectsHotEntries: Get refreshes an entry's mtime, so a
+// per-block entry that keeps stitching survives eviction even when it
+// was written long before colder entries.
+func TestTouchOnHitProtectsHotEntries(t *testing.T) {
+	dir := t.TempDir()
+	payload := bytes.Repeat([]byte{0xCD}, 1000)
+	c, err := Open(dir, 3500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := time.Now().Add(-time.Hour)
+	for i := 0; i < 3; i++ {
+		key := keyOf(fmt.Sprintf("block-%d", i))
+		c.Put(key, payload)
+		mod := base.Add(time.Duration(i) * time.Minute)
+		if err := os.Chtimes(c.path(key), mod, mod); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The oldest-written entry is the hot one: a hit re-touches it.
+	if _, ok := c.Get(keyOf("block-0")); !ok {
+		t.Fatal("hot entry missing before eviction")
+	}
+	// Two more writes push the volume past the bound; eviction must take
+	// the stale block-1/block-2, not the freshly touched block-0.
+	c.Put(keyOf("block-3"), payload)
+	c.Put(keyOf("block-4"), payload)
+	if _, ok := c.Get(keyOf("block-0")); !ok {
+		t.Fatal("touched entry was evicted despite being hottest")
+	}
+	if _, ok := c.Get(keyOf("block-1")); ok {
+		t.Fatal("stale entry survived while the bound was exceeded")
+	}
+	if st := c.Stats(); st.Bytes > 3500 {
+		t.Errorf("bytes = %d, want <= 3500 after eviction", st.Bytes)
+	}
+}
+
+// TestTwoProcessDeltaStress extends the multi-process stress to the
+// delta tier's access pattern: concurrent Put/Get/Delete over per-block
+// keys from two OS processes sharing one directory. Every observed
+// payload must be intact, and the directory must end re-servable.
+func TestTwoProcessDeltaStress(t *testing.T) {
+	if os.Getenv("DISKCACHE_DELTA_DIR") != "" {
+		t.Skip("helper mode runs via TestDiskCacheDeltaHelperProcess")
+	}
+	dir := t.TempDir()
+	const procs = 2
+	var procErr [procs]error
+	var out [procs][]byte
+	var wg sync.WaitGroup
+	for p := 0; p < procs; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			cmd := exec.Command(os.Args[0], "-test.run", "^TestDiskCacheDeltaHelperProcess$", "-test.v")
+			cmd.Env = append(os.Environ(),
+				"DISKCACHE_DELTA_DIR="+dir,
+				fmt.Sprintf("DISKCACHE_DELTA_SEED=%d", p))
+			out[p], procErr[p] = cmd.CombinedOutput()
+		}(p)
+	}
+	wg.Wait()
+	for p := 0; p < procs; p++ {
+		if procErr[p] != nil {
+			t.Fatalf("helper process %d failed: %v\n%s", p, procErr[p], out[p])
+		}
+	}
+	c, err := Open(dir, 0)
+	if err != nil {
+		t.Fatalf("reopening shared dir: %v", err)
+	}
+	// Deletions may have removed any key; what remains must be intact,
+	// and every slot must be rewritable.
+	for k := 0; k < 8; k++ {
+		key := keyOf(fmt.Sprintf("blockkey-%d", k))
+		if got, ok := c.Get(key); ok {
+			if want := bytes.Repeat([]byte{byte(k)}, 96+k); !bytes.Equal(got, want) {
+				t.Fatalf("block key %d has wrong payload after stress", k)
+			}
+		}
+		c.Put(key, bytes.Repeat([]byte{byte(k)}, 96+k))
+		if _, ok := c.Get(key); !ok {
+			t.Fatalf("block key %d not servable after re-Put", k)
+		}
+	}
+	if st := c.Stats(); st.Corrupt != 0 {
+		t.Errorf("delta stress left %d corrupt reads", st.Corrupt)
+	}
+	if want := diskUsage(t, c); c.Stats().Bytes != want {
+		t.Errorf("accounted %d bytes, disk holds %d", c.Stats().Bytes, want)
+	}
+}
+
+// TestDiskCacheDeltaHelperProcess is the body run inside the
+// subprocesses of TestTwoProcessDeltaStress; it skips unless launched
+// by it.
+func TestDiskCacheDeltaHelperProcess(t *testing.T) {
+	dir := os.Getenv("DISKCACHE_DELTA_DIR")
+	if dir == "" {
+		t.Skip("not in helper mode")
+	}
+	seed := os.Getenv("DISKCACHE_DELTA_SEED")
+	c, err := Open(dir, 0)
+	if err != nil {
+		t.Fatalf("helper Open: %v", err)
+	}
+	for iter := 0; iter < 50; iter++ {
+		for k := 0; k < 8; k++ {
+			key := keyOf(fmt.Sprintf("blockkey-%d", k))
+			want := bytes.Repeat([]byte{byte(k)}, 96+k)
+			if got, ok := c.Get(key); ok && !bytes.Equal(got, want) {
+				t.Fatalf("helper observed wrong payload for block key %d", k)
+			}
+			c.Put(key, want)
+			// Each process invalidates a different key slice, mimicking two
+			// delta engines racing deletion-as-miss against re-population.
+			if (k+iter)%4 == 0 && (seed == "0") == (k%2 == 0) {
+				c.Delete(key)
+			}
+		}
+	}
+	if st := c.Stats(); st.Corrupt != 0 {
+		t.Fatalf("helper observed %d corrupt reads", st.Corrupt)
 	}
 }

@@ -1,0 +1,60 @@
+package metrics
+
+import "fmt"
+
+// CacheStats is a point-in-time snapshot of the incremental (delta)
+// compile path's block-artifact cache, per tier. The memory tier holds
+// finished per-block artifacts (post-peephole covering + emitted code);
+// the disk tier holds serialized coverings under the same context
+// fingerprints. Stitched = MemHits + DiskHits and
+// Stitched + Recompiled = blocks compiled through the engine, so the
+// blocks-recompiled ratio of an edit stream is Recompiled / (Stitched +
+// Recompiled).
+//
+// The struct is shared monitoring vocabulary: internal/delta produces
+// it, avivcc -stats prints String(), and avivd /stats embeds it as the
+// "delta" section — the JSON field names below are that endpoint's
+// contract (pinned by tests in internal/metrics and internal/server).
+type CacheStats struct {
+	// Entries is the current artifact count in the memory tier.
+	Entries int64 `json:"entries"`
+	// MemHits / MemMisses count block lookups against the in-memory
+	// artifact tier.
+	MemHits   int64 `json:"mem_hits"`
+	MemMisses int64 `json:"mem_misses"`
+	// DiskHits / DiskMisses count lookups that fell through to the
+	// persistent tier (only misses of the memory tier get this far; an
+	// engine with no store counts neither).
+	DiskHits   int64 `json:"disk_hits"`
+	DiskMisses int64 `json:"disk_misses"`
+	// Stitched counts blocks served from either tier without re-running
+	// the covering search.
+	Stitched int64 `json:"stitched"`
+	// Recompiled counts blocks that went through the full per-block
+	// pipeline because no tier had their context fingerprint.
+	Recompiled int64 `json:"recompiled"`
+	// Invalidations counts persistent entries that read back clean but
+	// failed to decode or rebuild, and were deleted (deletion-as-miss).
+	Invalidations int64 `json:"invalidations"`
+	// Evictions counts memory-tier artifacts dropped to respect the
+	// entry cap.
+	Evictions int64 `json:"evictions"`
+}
+
+// StitchRate returns stitched / (stitched + recompiled), or 0 before
+// any block was compiled.
+func (s CacheStats) StitchRate() float64 {
+	if s.Stitched+s.Recompiled == 0 {
+		return 0
+	}
+	return float64(s.Stitched) / float64(s.Stitched+s.Recompiled)
+}
+
+// String formats the single "delta:" line of the -stats reports.
+func (s CacheStats) String() string {
+	return fmt.Sprintf(
+		"delta: %d stitched (%d mem, %d disk), %d recompiled, %.0f%% stitch rate; mem %d/%d hit/miss, disk %d/%d hit/miss, %d invalidated, %d evicted, %d entries",
+		s.Stitched, s.MemHits, s.DiskHits, s.Recompiled, 100*s.StitchRate(),
+		s.MemHits, s.MemMisses, s.DiskHits, s.DiskMisses,
+		s.Invalidations, s.Evictions, s.Entries)
+}

@@ -33,6 +33,16 @@ type ServerCounters struct {
 	// MachinesInterned counts distinct machine descriptions parsed and
 	// cached by the interner.
 	MachinesInterned atomic.Int64
+	// BlocksStitched counts basic blocks served from the delta engine's
+	// artifact tiers across all requests (0 when the server runs without
+	// the incremental path).
+	BlocksStitched atomic.Int64
+	// BlocksRecompiled counts basic blocks the delta engine had to push
+	// through the full per-block pipeline.
+	BlocksRecompiled atomic.Int64
+	// DeltaInvalidations counts persistent block entries the delta
+	// engine deleted because they no longer decoded (deletion-as-miss).
+	DeltaInvalidations atomic.Int64
 }
 
 // ServerSnapshot is the JSON shape of ServerCounters for /stats.
@@ -47,21 +57,29 @@ type ServerSnapshot struct {
 	Inflight         int64 `json:"inflight"`
 	Queued           int64 `json:"queued"`
 	MachinesInterned int64 `json:"machines_interned"`
+	// The three delta counters stay 0 (but present, for a stable shape)
+	// when the server runs without the incremental compile path.
+	BlocksStitched     int64 `json:"blocks_stitched"`
+	BlocksRecompiled   int64 `json:"blocks_recompiled"`
+	DeltaInvalidations int64 `json:"delta_invalidations"`
 }
 
 // Snapshot reads every counter atomically.
 func (c *ServerCounters) Snapshot() ServerSnapshot {
 	return ServerSnapshot{
-		Requests:         c.Requests.Load(),
-		Completed:        c.Completed.Load(),
-		Errors:           c.Errors.Load(),
-		Deduped:          c.Deduped.Load(),
-		Shed:             c.Shed.Load(),
-		Timeouts:         c.Timeouts.Load(),
-		Abandoned:        c.Abandoned.Load(),
-		Inflight:         c.Inflight.Load(),
-		Queued:           c.Queued.Load(),
-		MachinesInterned: c.MachinesInterned.Load(),
+		Requests:           c.Requests.Load(),
+		Completed:          c.Completed.Load(),
+		Errors:             c.Errors.Load(),
+		Deduped:            c.Deduped.Load(),
+		Shed:               c.Shed.Load(),
+		Timeouts:           c.Timeouts.Load(),
+		Abandoned:          c.Abandoned.Load(),
+		Inflight:           c.Inflight.Load(),
+		Queued:             c.Queued.Load(),
+		MachinesInterned:   c.MachinesInterned.Load(),
+		BlocksStitched:     c.BlocksStitched.Load(),
+		BlocksRecompiled:   c.BlocksRecompiled.Load(),
+		DeltaInvalidations: c.DeltaInvalidations.Load(),
 	}
 }
 

@@ -23,6 +23,7 @@ import (
 
 	"aviv"
 	"aviv/internal/cover"
+	"aviv/internal/delta"
 	"aviv/internal/diskcache"
 	"aviv/internal/isdl"
 	"aviv/internal/metrics"
@@ -62,6 +63,12 @@ type CompileResponse struct {
 	CacheHits int `json:"cache_hits,omitempty"`
 	// DiskHits counts blocks served from the persistent cache tier.
 	DiskHits int `json:"disk_hits,omitempty"`
+	// StitchedBlocks counts blocks stitched from the delta engine's
+	// artifact tiers (memory or disk) instead of being recompiled;
+	// RecompiledBlocks counts the rest. Both stay 0 when the server runs
+	// without the incremental path (Config.Delta off).
+	StitchedBlocks   int `json:"stitched_blocks,omitempty"`
+	RecompiledBlocks int `json:"recompiled_blocks,omitempty"`
 	// Error is the compile failure, if any.
 	Error string `json:"error,omitempty"`
 	// Deduped reports the response was shared with an identical
@@ -78,6 +85,9 @@ type StatsResponse struct {
 	// Disk reports the persistent tier, when it is an
 	// internal/diskcache store.
 	Disk *diskcache.Stats `json:"disk,omitempty"`
+	// Delta reports the incremental engine's per-tier block counters,
+	// when the server runs with Config.Delta.
+	Delta *metrics.CacheStats `json:"delta,omitempty"`
 }
 
 // Config configures a Server.
@@ -95,6 +105,18 @@ type Config struct {
 	// Timeout bounds each request's wait for its compile result;
 	// exceeding it answers 504. <= 0 selects 30s.
 	Timeout time.Duration
+	// Delta enables the incremental compile path: one delta.Engine,
+	// shared across all requests (machine and option fingerprints are
+	// part of its context keys), stitches unchanged blocks from cached
+	// artifacts instead of re-covering them. Served output stays
+	// byte-identical to a from-scratch compile — the engine's contract,
+	// held by the root differential tests — so the flag trades memory
+	// for edit latency, never fidelity. Options.DiskCache, when set,
+	// doubles as the engine's persistent artifact tier.
+	Delta bool
+	// DeltaEntries bounds the engine's in-memory artifact count;
+	// <= 0 selects 4096.
+	DeltaEntries int
 }
 
 // errShed rejects work when the queue is full.
@@ -111,6 +133,7 @@ type Server struct {
 	flight   flightGroup
 	machines machineInterner
 	counters metrics.ServerCounters
+	delta    *delta.Engine // nil when Config.Delta is off
 }
 
 // New builds a Server from cfg, applying defaults.
@@ -131,6 +154,13 @@ func New(cfg Config) *Server {
 		timeout:  timeout,
 		sem:      make(chan struct{}, workers),
 	}
+	if cfg.Delta {
+		entries := cfg.DeltaEntries
+		if entries <= 0 {
+			entries = 4096
+		}
+		s.delta = delta.New(entries, cfg.Options.DiskCache)
+	}
 	s.flight.onAbandon = func() { s.counters.Abandoned.Add(1) }
 	return s
 }
@@ -143,6 +173,11 @@ func (s *Server) Counters() *metrics.ServerCounters { return &s.counters }
 
 // Stats assembles the /stats payload.
 func (s *Server) Stats() StatsResponse {
+	if s.delta != nil {
+		// DeltaInvalidations mirrors the engine's own counter; syncing at
+		// snapshot time keeps it exact without per-request bookkeeping.
+		s.counters.DeltaInvalidations.Store(s.delta.Stats().Invalidations)
+	}
 	out := StatsResponse{Server: s.counters.Snapshot()}
 	if c := s.cfg.Options.Cache; c != nil {
 		st := c.Stats()
@@ -151,6 +186,10 @@ func (s *Server) Stats() StatsResponse {
 	if d, ok := s.cfg.Options.DiskCache.(interface{ Stats() diskcache.Stats }); ok {
 		st := d.Stats()
 		out.Disk = &st
+	}
+	if s.delta != nil {
+		st := s.delta.Stats()
+		out.Delta = &st
 	}
 	return out
 }
@@ -255,6 +294,29 @@ func (s *Server) compile(ctx context.Context, req CompileRequest) (*CompileRespo
 	unroll := req.Unroll
 	if unroll < 1 {
 		unroll = 1
+	}
+	if s.delta != nil {
+		// The incremental path: same front end, same options, same
+		// bytes — unchanged blocks are stitched from the engine's
+		// artifact tiers instead of re-covered.
+		res, err := s.delta.CompileSource(req.Source, m, unroll, opts)
+		if err != nil {
+			s.counters.Errors.Add(1)
+			return &CompileResponse{Error: err.Error()}, nil
+		}
+		s.counters.Completed.Add(1)
+		stitched := res.Stitched + res.DiskStitched
+		s.counters.BlocksStitched.Add(int64(stitched))
+		s.counters.BlocksRecompiled.Add(int64(res.Recompiled))
+		return &CompileResponse{
+			Assembly:         res.Program.String(),
+			CodeSize:         res.CodeSize(),
+			Blocks:           res.Blocks,
+			CacheHits:        res.CoverCacheHits,
+			DiskHits:         res.CoverDiskHits,
+			StitchedBlocks:   stitched,
+			RecompiledBlocks: res.Recompiled,
+		}, nil
 	}
 	res, err := aviv.CompileSource(req.Source, m, unroll, opts)
 	if err != nil {

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -440,5 +441,65 @@ func TestMachineInterningSharesPointers(t *testing.T) {
 	}
 	if got := s.Counters().MachinesInterned.Load(); got != 1 {
 		t.Errorf("machines interned = %d, want 1 across 3 requests", got)
+	}
+}
+
+// TestDeltaServerStitchesAndReportsStats drives the delta-enabled server
+// path end to end: the first compile of a source recompiles every block,
+// a repeat (with a cache-busting distinct machine text is NOT needed —
+// the request-level memo is what we bypass via distinct unroll) stitches
+// them, the response reports per-request stitch counts, and /stats grows
+// the "delta" section with the engine's counters.
+func TestDeltaServerStitchesAndReportsStats(t *testing.T) {
+	_, ts := testServer(t, Config{Delta: true})
+
+	_, first := postCompile(t, ts.URL, CompileRequest{Source: testSource, Machine: isdl.ExampleArchISDL})
+	if first.Error != "" {
+		t.Fatalf("first compile failed: %s", first.Error)
+	}
+	if first.RecompiledBlocks == 0 || first.StitchedBlocks != 0 {
+		t.Fatalf("first compile: stitched %d, recompiled %d; want all recompiled",
+			first.StitchedBlocks, first.RecompiledBlocks)
+	}
+	// A verify-enabled repeat misses the request-level memo (different
+	// request key) but hits the delta tier for every block.
+	_, second := postCompile(t, ts.URL, CompileRequest{Source: testSource, Machine: isdl.ExampleArchISDL, Verify: true})
+	if second.Error != "" {
+		t.Fatalf("second compile failed: %s", second.Error)
+	}
+	if second.Assembly != first.Assembly {
+		t.Fatalf("stitched assembly differs from first compile:\n%s\nvs\n%s", second.Assembly, first.Assembly)
+	}
+	if second.StitchedBlocks != second.Blocks || second.RecompiledBlocks != 0 {
+		t.Fatalf("second compile: stitched %d / recompiled %d of %d blocks, want all stitched",
+			second.StitchedBlocks, second.RecompiledBlocks, second.Blocks)
+	}
+
+	httpResp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer httpResp.Body.Close()
+	var raw bytes.Buffer
+	var stats StatsResponse
+	if err := json.NewDecoder(io.TeeReader(httpResp.Body, &raw)).Decode(&stats); err != nil {
+		t.Fatalf("decoding /stats: %v", err)
+	}
+	if stats.Delta == nil {
+		t.Fatalf("/stats lacks the delta section: %s", raw.String())
+	}
+	if stats.Delta.MemHits != int64(second.StitchedBlocks) || stats.Delta.Recompiled != int64(first.RecompiledBlocks) {
+		t.Fatalf("delta stats %+v disagree with responses (stitched %d, recompiled %d)",
+			stats.Delta, second.StitchedBlocks, first.RecompiledBlocks)
+	}
+	if stats.Server.BlocksStitched != int64(second.StitchedBlocks) ||
+		stats.Server.BlocksRecompiled != int64(first.RecompiledBlocks) {
+		t.Fatalf("server counters %+v disagree with responses", stats.Server)
+	}
+	// The JSON shape itself is the monitoring contract.
+	for _, field := range []string{`"delta"`, `"stitched"`, `"blocks_stitched"`, `"blocks_recompiled"`, `"delta_invalidations"`} {
+		if !strings.Contains(raw.String(), field) {
+			t.Fatalf("/stats JSON lacks %s: %s", field, raw.String())
+		}
 	}
 }

@@ -11,7 +11,7 @@ import (
 	"aviv/internal/sim"
 )
 
-// Regression test for the block-layout/codec interaction: layoutBlocks
+// Regression test for the block-layout/codec interaction: LayoutProgram
 // rewrites jumps-to-next as implicit fallthroughs, leaving blocks with
 // Branch{Kind: BranchNone, Target: ...}. That shape must survive both
 // serializations — the binary object format (Encode/Decode) and the

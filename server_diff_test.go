@@ -42,6 +42,10 @@ func TestServerDifferentialCorpus(t *testing.T) {
 			DiskCache: disk,
 		},
 		QueueLimit: 256,
+		// The delta engine is how avivd serves by default; running the
+		// whole differential corpus through it makes this test the
+		// byte-identity gate for the stitched path too.
+		Delta: true,
 	})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
