@@ -1,5 +1,5 @@
 # Convenience targets; `make check` is the gate ci.sh runs in CI.
-.PHONY: check test build vet lint lintfix lintsmoke toolinstall staticcheck fuzz bench benchsmoke benchjson servesmoke servejson zoosmoke zoojson editsmoke editjson
+.PHONY: check test build vet lint lintfix lintsmoke toolinstall staticcheck fuzz bench benchsmoke benchjson servesmoke servejson zoosmoke zoojson editsmoke editjson clustersmoke clusterjson
 
 check:
 	./ci.sh
@@ -89,3 +89,14 @@ editsmoke:
 # Regenerate the machine-readable incremental-compilation report.
 editjson:
 	go run ./cmd/avivbench -editjson BENCH_edit.json
+
+# Race-enabled cluster differential: the corpus through a 3-node
+# in-process cluster behind the router, concurrent clients, one node
+# killed mid-run (also part of ci.sh).
+clustersmoke:
+	go test -race -run '^TestClusterDifferentialCorpus$$' -count=1 .
+
+# Regenerate the machine-readable compile-cluster report (capacity
+# scaling at N=1,2,4,8, cluster-wide dedup, kill-one-node).
+clusterjson:
+	go run ./cmd/avivbench -clusterjson BENCH_cluster.json

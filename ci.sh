@@ -87,6 +87,13 @@ echo "== editsmoke: incremental-compilation differential (race, short) =="
 # tree-wide race stage above.
 go test -race -short -run '^TestEditDifferentialCorpus$' -count=1 .
 
+echo "== clustersmoke: cluster differential (race) =="
+# The cluster byte-identity gate: the 50-program corpus through a
+# 3-node in-process cluster behind the consistent-hash router, by
+# concurrent clients, cold + warm + after killing a node mid-run.
+# Under -race this is also the data-race gate for the cluster layer.
+go test -race -run '^TestClusterDifferentialCorpus$' -count=1 .
+
 if [ "${1:-}" != "-short" ]; then
     echo "== fuzz smoke (FuzzCompileSource, 10s) =="
     go test -run '^$' -fuzz='^FuzzCompileSource$' -fuzztime=10s .

@@ -11,6 +11,7 @@
 //	avivbench -stats -parallel 4  compile-metrics report at a pool size
 //	avivbench -zoo                per-machine-class bench matrix over the machine zoo
 //	avivbench -edit               incremental-compilation study (cold vs block-delta path)
+//	avivbench -cluster            compile-cluster study (capacity scaling, dedup, kill-one-node)
 //	avivbench -all                everything above
 package main
 
@@ -60,6 +61,11 @@ func main() {
 	serveJSON := flag.String("servejson", "", "run the compile-server study and write a JSON report to this file (implies -serve)")
 	servePrograms := flag.Int("serveprograms", 6, "distinct programs in the compile-server study")
 	serveOps := flag.Int("serveops", 12, "straight-line ops per block in the compile-server study workload")
+	clusterFlag := flag.Bool("cluster", false, "run the compile-cluster study (capacity scaling at N=1,2,4,8, cluster-wide single-flight dedup, kill-one-node availability) against in-process avivd fleets")
+	clusterJSON := flag.String("clusterjson", "", "run the compile-cluster study and write a JSON report to this file (implies -cluster)")
+	clusterPrograms := flag.Int("clusterprograms", 96, "distinct programs in the compile-cluster study working set")
+	clusterOps := flag.Int("clusterops", 12, "straight-line ops per block in the compile-cluster study workload")
+	clusterCap := flag.Int("clustercap", 0, "per-node cache capacity in entries for the cluster study (0 = a third of the working set)")
 	edit := flag.Bool("edit", false, "run the incremental-compilation study (edit stream of one-line mutations, cold vs delta-path latency, blocks-recompiled ratio)")
 	editJSON := flag.String("editjson", "", "run the incremental-compilation study and write a JSON report to this file (implies -edit)")
 	editPrograms := flag.Int("editprograms", 6, "distinct programs in the incremental-compilation study")
@@ -189,6 +195,12 @@ func main() {
 	if *serve || *serveJSON != "" {
 		ran = true
 		if err := serveStudy(*serveJSON, *servePrograms, *serveOps); err != nil {
+			fail(err)
+		}
+	}
+	if *clusterFlag || *clusterJSON != "" {
+		ran = true
+		if err := clusterStudy(*clusterJSON, *clusterPrograms, *clusterOps, *clusterCap); err != nil {
 			fail(err)
 		}
 	}

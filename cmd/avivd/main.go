@@ -9,15 +9,31 @@
 //	avivd [-listen :8377] [-cache-dir .avivcache] [-cache-max-mb 512]
 //	      [-mem-entries 4096] [-parallel N] [-queue N] [-timeout 30s]
 //	      [-delta=true] [-delta-entries 4096]
+//	      [-self URL -peers URL,URL,...] [-probe 1s]
+//	avivd -route URL,URL,...
+//
+// With -peers, the server joins a compile cluster: a consistent-hash
+// ring over the member URLs assigns every request key an owning node,
+// requests owned by a peer are forwarded there (making the owner's
+// single-flight group the cluster-wide dedup point), and cache entries
+// peer between nodes in the disk cache's checksummed framing. On
+// SIGTERM the node drains: /healthz flips to 503 and locally held
+// cache entries bleed to the surviving owners before exit.
+//
+// With -route, avivd is instead a thin router: it holds no compiler
+// and no cache, just computes each request's content key and proxies
+// it to the owning node, failing over along the ring when a node is
+// down.
 //
 // Endpoints:
 //
-//	POST /compile  {"source": "...", "machine": "<ISDL text>", ...}
-//	GET  /stats    server, memory-cache, and disk-cache counters
-//	GET  /healthz  liveness probe
+//	POST /compile     {"source": "...", "machine": "<ISDL text>", ...}
+//	GET  /stats       server, cache, delta, and cluster counters
+//	GET  /healthz     liveness probe (503 while draining)
+//	GET  /peer/entry  cluster cache peering (nodes only)
 //
 // Served output is byte-identical to a local `avivcc` compile of the
-// same source and machine.
+// same source and machine — standalone, clustered, or routed.
 package main
 
 import (
@@ -29,10 +45,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"aviv"
+	"aviv/internal/cluster"
 	"aviv/internal/cover"
 	"aviv/internal/diskcache"
 	"aviv/internal/server"
@@ -48,6 +66,10 @@ func main() {
 	timeout := flag.Duration("timeout", 30*time.Second, "per-request compile deadline")
 	deltaFlag := flag.Bool("delta", true, "serve compiles through the block-level incremental (delta) engine: blocks whose context fingerprint is unchanged since an earlier request stitch from cache")
 	deltaEntries := flag.Int("delta-entries", 4096, "delta-engine in-memory artifact entry cap (<= 0 selects the default)")
+	self := flag.String("self", "", "this node's advertised base URL within -peers (cluster mode)")
+	peers := flag.String("peers", "", "comma-separated cluster member base URLs, including -self (cluster mode)")
+	route := flag.String("route", "", "comma-separated node base URLs: run as a thin consistent-hash router instead of a compile server")
+	probe := flag.Duration("probe", time.Second, "cluster health re-probe interval")
 	flag.Parse()
 	if flag.NArg() > 0 {
 		fmt.Fprintf(os.Stderr, "avivd: unexpected arguments %v\n", flag.Args())
@@ -55,42 +77,92 @@ func main() {
 		os.Exit(1)
 	}
 
-	opts := aviv.Options{
-		Cache:       cover.NewBoundedCache(*memEntries),
-		Parallelism: *parallel,
-	}
-	if *cacheDir != "" {
-		disk, err := diskcache.Open(*cacheDir, *cacheMaxMB<<20)
-		if err != nil {
-			log.Fatalf("avivd: opening disk cache: %v", err)
+	var (
+		handler http.Handler
+		// preShutdown runs after the listener stops taking new work and
+		// before in-flight requests are drained (cluster drain).
+		preShutdown func()
+	)
+	switch {
+	case *route != "":
+		if *peers != "" || *self != "" {
+			log.Fatalf("avivd: -route is exclusive with -self/-peers (a router holds no compiler)")
 		}
-		opts.DiskCache = disk
-		log.Printf("avivd: disk cache at %s (max %d MiB)", disk.Dir(), *cacheMaxMB)
+		nodes := splitList(*route)
+		if len(nodes) == 0 {
+			log.Fatalf("avivd: -route needs at least one node URL")
+		}
+		rt := cluster.NewRouter(cluster.RouterConfig{Nodes: nodes, ProbeInterval: *probe})
+		defer rt.Close()
+		handler = rt.Handler()
+		log.Printf("avivd: routing over %d nodes: %s", len(nodes), strings.Join(nodes, ", "))
+
+	default:
+		opts := aviv.Options{
+			Cache:       cover.NewBoundedCache(*memEntries),
+			Parallelism: *parallel,
+		}
+		if *cacheDir != "" {
+			disk, err := diskcache.Open(*cacheDir, *cacheMaxMB<<20)
+			if err != nil {
+				log.Fatalf("avivd: opening disk cache: %v", err)
+			}
+			opts.DiskCache = disk
+			log.Printf("avivd: disk cache at %s (max %d MiB)", disk.Dir(), *cacheMaxMB)
+		}
+		cfg := server.Config{
+			Options:      opts,
+			QueueLimit:   *queue,
+			Timeout:      *timeout,
+			Delta:        *deltaFlag,
+			DeltaEntries: *deltaEntries,
+		}
+
+		if *peers != "" {
+			if *self == "" {
+				log.Fatalf("avivd: -peers requires -self (this node's URL within the peer list)")
+			}
+			node := cluster.New(cluster.Config{
+				Self:          *self,
+				Peers:         splitList(*peers),
+				Server:        cfg,
+				ProbeInterval: *probe,
+			})
+			defer node.Close()
+			handler = node.Handler()
+			preShutdown = func() {
+				moved := node.Drain()
+				log.Printf("avivd: drained %d cache entries to peers", moved)
+			}
+			log.Printf("avivd: cluster node %s among %v (%d workers, timeout %v, delta=%v)",
+				*self, splitList(*peers), node.Server().Workers(), *timeout, *deltaFlag)
+		} else {
+			srv := server.New(cfg)
+			handler = srv.Handler()
+			log.Printf("avivd: listening on %s (%d workers, queue %s, timeout %v, delta=%v)",
+				*listen, srv.Workers(), queueDesc(*queue, srv.Workers()), *timeout, *deltaFlag)
+		}
 	}
 
-	srv := server.New(server.Config{
-		Options:      opts,
-		QueueLimit:   *queue,
-		Timeout:      *timeout,
-		Delta:        *deltaFlag,
-		DeltaEntries: *deltaEntries,
-	})
-	log.Printf("avivd: listening on %s (%d workers, queue %s, timeout %v, delta=%v)",
-		*listen, srv.Workers(), queueDesc(*queue, srv.Workers()), *timeout, *deltaFlag)
 	httpSrv := &http.Server{
 		Addr:              *listen,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 
-	// Graceful shutdown: SIGINT/SIGTERM stops accepting connections and
-	// drains in-flight compiles (bounded by the shutdown deadline), so a
-	// redeploy does not sever requests mid-compile.
+	// Graceful shutdown: SIGINT/SIGTERM stops accepting connections,
+	// runs the cluster drain (when clustered), and finishes in-flight
+	// compiles (bounded by the shutdown deadline), so a redeploy does
+	// not sever requests mid-compile and does not strand cache entries
+	// on the leaving node.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go func() {
 		<-ctx.Done()
 		log.Printf("avivd: signal received, draining")
+		if preShutdown != nil {
+			preShutdown()
+		}
 		sctx, cancel := context.WithTimeout(context.Background(), 15*time.Second)
 		defer cancel()
 		if err := httpSrv.Shutdown(sctx); err != nil {
@@ -101,6 +173,17 @@ func main() {
 		log.Fatalf("avivd: %v", err)
 	}
 	log.Printf("avivd: stopped")
+}
+
+// splitList parses a comma-separated URL list, dropping empty items.
+func splitList(s string) []string {
+	var out []string
+	for _, item := range strings.Split(s, ",") {
+		if item = strings.TrimSpace(item); item != "" {
+			out = append(out, strings.TrimRight(item, "/"))
+		}
+	}
+	return out
 }
 
 func queueDesc(queue, workers int) string {

@@ -8,9 +8,10 @@ import (
 )
 
 // CtxFlow enforces context discipline on the request path: in the
-// compile service components (internal/server, internal/diskcache, and
-// cmd/avivd), a context.Context must actually flow into the blocking
-// work a function does. Three shapes are findings:
+// compile service components (internal/server, internal/cluster,
+// internal/diskcache, and cmd/avivd), a context.Context must actually
+// flow into the blocking work a function does. Three shapes are
+// findings:
 //
 //   - a function that takes a ctx parameter but calls
 //     context.Background() or context.TODO() — the request's deadline
@@ -27,7 +28,7 @@ var CtxFlow = &Analyzer{
 		"context.Background() on a request path, no unused ctx parameters, " +
 		"no blocking channel operations outside a select",
 	NeedTypes:  true,
-	Components: []string{"internal/server", "internal/diskcache", "cmd"},
+	Components: []string{"internal/server", "internal/cluster", "internal/diskcache", "cmd"},
 	Run:        runCtxFlow,
 }
 

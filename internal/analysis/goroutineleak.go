@@ -42,8 +42,9 @@ var GoroutineLeak = &Analyzer{
 // selectLoopComponents are the server-path components where a
 // non-terminating select loop must carry a cancellation case.
 var selectLoopComponents = map[string]bool{
-	"internal/server": true,
-	"cmd":             true,
+	"internal/server":  true,
+	"internal/cluster": true,
+	"cmd":              true,
 }
 
 func runGoroutineLeak(pass *Pass) error {

@@ -67,12 +67,16 @@ var layerOf = map[string]int{
 	// Layer 9 — the compile service.
 	"internal/server": 9,
 
-	// Layer 10 — binaries, examples, and test tooling: import anything,
+	// Layer 10 — the compile cluster: consistent-hash routing, cache
+	// peering, and cluster-wide single-flight over embedded servers.
+	"internal/cluster": 10,
+
+	// Layer 11 — binaries, examples, and test tooling: import anything,
 	// imported by nothing (the analysistest harness is imported only
 	// from _test files, which the layering pass does not load).
-	"cmd":                            10,
-	"examples":                       10,
-	"internal/analysis/analysistest": 10,
+	"cmd":                            11,
+	"examples":                       11,
+	"internal/analysis/analysistest": 11,
 }
 
 // allowedImports is the declared architecture: every legal
@@ -125,6 +129,8 @@ var allowedImports = map[string][]string{
 	},
 
 	"internal/server": {"aviv", "internal/cover", "internal/delta", "internal/diskcache", "internal/isdl", "internal/metrics"},
+
+	"internal/cluster": {"internal/cover", "internal/diskcache", "internal/metrics", "internal/server"},
 
 	"internal/analysis":              {},
 	"internal/analysis/analysistest": {"internal/analysis"},

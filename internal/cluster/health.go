@@ -1,0 +1,109 @@
+package cluster
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+// healthTracker keeps per-peer liveness. Peers start healthy; failures
+// (failed probes or failed forwards) accumulate, and at the threshold
+// the peer is ejected — ring lookups walk past its points until a
+// successful probe restores it. Tracking is reactive as well as
+// probed, so a node that dies between probes is ejected by the first
+// forward that hits it.
+type healthTracker struct {
+	mu        sync.Mutex
+	threshold int
+	fails     map[string]int
+	down      map[string]bool
+}
+
+func newHealthTracker(peers []string, threshold int) *healthTracker {
+	if threshold <= 0 {
+		threshold = 1
+	}
+	t := &healthTracker{
+		threshold: threshold,
+		fails:     make(map[string]int, len(peers)),
+		down:      make(map[string]bool, len(peers)),
+	}
+	return t
+}
+
+// healthy reports whether peer is currently in the ring's view.
+func (t *healthTracker) healthy(peer string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return !t.down[peer]
+}
+
+// healthyCount returns how many of peers are currently healthy.
+func (t *healthTracker) healthyCount(peers []string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for _, p := range peers {
+		if !t.down[p] {
+			n++
+		}
+	}
+	return n
+}
+
+// markSuccess clears peer's failure streak and restores it.
+func (t *healthTracker) markSuccess(peer string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.fails[peer] = 0
+	t.down[peer] = false
+}
+
+// markFailure records a failed probe or forward; at the threshold the
+// peer is ejected.
+func (t *healthTracker) markFailure(peer string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.fails[peer]++
+	if t.fails[peer] >= t.threshold {
+		t.down[peer] = true
+	}
+}
+
+// probe checks one peer's /healthz. Any transport error or non-200
+// (a draining node answers 503 exactly so this path ejects it) counts
+// as a failure.
+func (t *healthTracker) probe(client *http.Client, peer string) {
+	resp, err := client.Get(peer + "/healthz")
+	if err != nil {
+		t.markFailure(peer)
+		return
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.markFailure(peer)
+		return
+	}
+	t.markSuccess(peer)
+}
+
+// probeLoop re-probes every peer in peers (excluding self, which would
+// be pointless) each interval until done closes. It is the recovery
+// path: reactive failure marking ejects peers fast, the loop brings
+// them back.
+func (t *healthTracker) probeLoop(done <-chan struct{}, client *http.Client, peers []string, self string, interval time.Duration) {
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-done:
+			return
+		case <-ticker.C:
+			for _, p := range peers {
+				if p != self {
+					t.probe(client, p)
+				}
+			}
+		}
+	}
+}

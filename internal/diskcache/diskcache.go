@@ -31,7 +31,6 @@ import (
 	"encoding/hex"
 	"errors"
 	"fmt"
-	"io"
 	"io/fs"
 	"os"
 	"path/filepath"
@@ -180,36 +179,59 @@ func (c *Cache) Get(key [sha256.Size]byte) ([]byte, bool) {
 }
 
 func readEntry(path string) ([]byte, error) {
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	var hdr [headerSize]byte
-	if _, err := io.ReadFull(f, hdr[:]); err != nil {
-		return nil, fmt.Errorf("short header: %w", err)
+	return DecodeEntry(data)
+}
+
+// EncodeEntry frames payload exactly as an on-disk entry file is laid
+// out: magic, format version, length, sha256, payload. The framing
+// doubles as the cluster cache-peering wire format — an entry read
+// from one node's store can be shipped verbatim and re-verified by the
+// receiver with DecodeEntry, so a truncated or bit-flipped transfer
+// degrades to a miss, never to a wrong payload.
+func EncodeEntry(payload []byte) []byte {
+	out := make([]byte, headerSize+len(payload))
+	copy(out[:4], magic)
+	binary.BigEndian.PutUint32(out[4:8], formatVersion)
+	binary.BigEndian.PutUint64(out[8:16], uint64(len(payload)))
+	sum := sha256.Sum256(payload)
+	copy(out[16:], sum[:])
+	copy(out[headerSize:], payload)
+	return out
+}
+
+// DecodeEntry verifies a framed entry — magic, version, exact length,
+// checksum, no trailing bytes — and returns its payload. It is the
+// single validation path for entries however they arrive: read from
+// this node's disk, or transferred from a peer.
+func DecodeEntry(data []byte) ([]byte, error) {
+	if len(data) < headerSize {
+		return nil, fmt.Errorf("short header: %d bytes", len(data))
 	}
-	if string(hdr[:4]) != magic {
+	if string(data[:4]) != magic {
 		return nil, errors.New("bad magic")
 	}
-	if v := binary.BigEndian.Uint32(hdr[4:8]); v != formatVersion {
+	if v := binary.BigEndian.Uint32(data[4:8]); v != formatVersion {
 		return nil, fmt.Errorf("format version %d, want %d", v, formatVersion)
 	}
-	n := binary.BigEndian.Uint64(hdr[8:16])
+	n := binary.BigEndian.Uint64(data[8:16])
 	const maxEntry = 1 << 30 // defensive: no covering is a gigabyte
 	if n > maxEntry {
 		return nil, fmt.Errorf("implausible payload length %d", n)
 	}
-	payload := make([]byte, n)
-	if _, err := io.ReadFull(f, payload); err != nil {
-		return nil, fmt.Errorf("short payload: %w", err)
+	if uint64(len(data)-headerSize) < n {
+		return nil, fmt.Errorf("short payload: %d of %d bytes", len(data)-headerSize, n)
 	}
-	// Trailing garbage means the file is not what we wrote.
-	if extra, _ := f.Read(make([]byte, 1)); extra != 0 {
+	// Trailing garbage means the entry is not what a writer framed.
+	if uint64(len(data)-headerSize) > n {
 		return nil, errors.New("trailing bytes after payload")
 	}
+	payload := data[headerSize:]
 	sum := sha256.Sum256(payload)
-	if string(sum[:]) != string(hdr[16:16+sha256.Size]) {
+	if string(sum[:]) != string(data[16:16+sha256.Size]) {
 		return nil, errors.New("checksum mismatch")
 	}
 	return payload, nil
@@ -289,16 +311,7 @@ func (c *Cache) writeEntry(path string, payload []byte) error {
 			os.Remove(tmp.Name())
 		}
 	}()
-	var hdr [headerSize]byte
-	copy(hdr[:4], magic)
-	binary.BigEndian.PutUint32(hdr[4:8], formatVersion)
-	binary.BigEndian.PutUint64(hdr[8:16], uint64(len(payload)))
-	sum := sha256.Sum256(payload)
-	copy(hdr[16:], sum[:])
-	if _, err := tmp.Write(hdr[:]); err != nil {
-		return err
-	}
-	if _, err := tmp.Write(payload); err != nil {
+	if _, err := tmp.Write(EncodeEntry(payload)); err != nil {
 		return err
 	}
 	if err := tmp.Sync(); err != nil {
@@ -316,6 +329,33 @@ func (c *Cache) writeEntry(path string, payload []byte) error {
 		return err
 	}
 	return nil
+}
+
+// Keys lists the keys of every entry currently on disk, in sorted
+// order. It is the enumeration behind a cluster node's graceful drain:
+// each locally held entry is offered to its ring owner before the node
+// shuts down. Files that do not look like entries (temporaries,
+// foreign names) are skipped; concurrent eviction is tolerated — a key
+// may be gone by the time the caller Gets it, which is just a miss.
+func (c *Cache) Keys() [][sha256.Size]byte {
+	var keys [][sha256.Size]byte
+	filepath.WalkDir(c.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || strings.HasSuffix(path, ".tmp") {
+			return nil
+		}
+		raw, err := hex.DecodeString(filepath.Base(path))
+		if err != nil || len(raw) != sha256.Size {
+			return nil
+		}
+		var key [sha256.Size]byte
+		copy(key[:], raw)
+		keys = append(keys, key)
+		return nil
+	})
+	sort.Slice(keys, func(i, j int) bool {
+		return string(keys[i][:]) < string(keys[j][:])
+	})
+	return keys
 }
 
 // dropEntry removes a corrupted entry and un-accounts its payload bytes.

@@ -492,3 +492,76 @@ func TestDiskCacheDeltaHelperProcess(t *testing.T) {
 		t.Fatalf("helper observed %d corrupt reads", st.Corrupt)
 	}
 }
+
+// TestEntryWireCorruptionTable extends the corruption table to the
+// cluster peering wire path: EncodeEntry's framing is what a node ships
+// to a peer, and DecodeEntry must reject every mutation a lossy or
+// hostile transfer could produce — so a bad transfer can only ever
+// degrade to a miss (and a local compile), never to a wrong payload.
+func TestEntryWireCorruptionTable(t *testing.T) {
+	payload := []byte("peer-transferred covering payload")
+	framed := EncodeEntry(payload)
+
+	if got, err := DecodeEntry(append([]byte(nil), framed...)); err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("clean transfer rejected: %q, %v", got, err)
+	}
+
+	variants := []struct {
+		name   string
+		mutate func(d []byte) []byte
+	}{
+		{"truncated-header", func(d []byte) []byte { return d[:headerSize/2] }},
+		{"truncated-body", func(d []byte) []byte { return d[:len(d)-5] }},
+		{"empty-transfer", func(d []byte) []byte { return nil }},
+		{"bad-magic", func(d []byte) []byte { d[0] = 'X'; return d }},
+		{"wrong-version", func(d []byte) []byte { d[7] = formatVersion + 1; return d }},
+		{"bit-flipped-body", func(d []byte) []byte { d[headerSize+2] ^= 0x08; return d }},
+		{"bit-flipped-checksum", func(d []byte) []byte { d[20] ^= 0x01; return d }},
+		{"length-overstated", func(d []byte) []byte { d[15]++; return d }},
+		{"trailing-garbage", func(d []byte) []byte { return append(d, 0xEE) }},
+	}
+	for _, v := range variants {
+		t.Run(v.name, func(t *testing.T) {
+			data := v.mutate(append([]byte(nil), framed...))
+			if got, err := DecodeEntry(data); err == nil {
+				t.Fatalf("corrupted transfer accepted: %q", got)
+			}
+		})
+	}
+}
+
+// TestKeysEnumeratesEntries pins the drain enumeration: Keys returns
+// exactly the stored keys, sorted, and skips temporaries and foreign
+// files.
+func TestKeysEnumeratesEntries(t *testing.T) {
+	c := openTemp(t, 0)
+	want := map[[sha256.Size]byte]bool{}
+	for i := 0; i < 5; i++ {
+		key := keyOf(fmt.Sprintf("k%d", i))
+		c.Put(key, []byte{byte(i)})
+		want[key] = true
+	}
+	// Distractors: a stale temporary and a foreign file.
+	if err := os.MkdirAll(filepath.Join(c.Dir(), "aa"), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(c.Dir(), "aa", "stray.tmp"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(c.Dir(), "README"), []byte("not an entry"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	keys := c.Keys()
+	if len(keys) != len(want) {
+		t.Fatalf("Keys() returned %d keys, want %d", len(keys), len(want))
+	}
+	for i, k := range keys {
+		if !want[k] {
+			t.Errorf("Keys()[%d] = %x not a stored key", i, k)
+		}
+		if i > 0 && string(keys[i-1][:]) >= string(k[:]) {
+			t.Errorf("Keys() not sorted at %d", i)
+		}
+	}
+}

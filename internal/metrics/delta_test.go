@@ -46,8 +46,9 @@ func TestCacheStatsJSONShape(t *testing.T) {
 }
 
 // TestServerSnapshotHasDeltaCounters pins the ServerSnapshot field set:
-// the delta counters must be present (as zeros) even on a server run
-// without the engine, so dashboards see a stable shape.
+// the delta and cluster counters must be present (as zeros) even on a
+// server run without the engine or outside a cluster, so dashboards see
+// a stable shape.
 func TestServerSnapshotHasDeltaCounters(t *testing.T) {
 	var c ServerCounters
 	data, err := json.Marshal(c.Snapshot())
@@ -58,7 +59,11 @@ func TestServerSnapshotHasDeltaCounters(t *testing.T) {
 	if err := json.Unmarshal(data, &m); err != nil {
 		t.Fatal(err)
 	}
-	for _, field := range []string{"blocks_stitched", "blocks_recompiled", "delta_invalidations"} {
+	for _, field := range []string{
+		"blocks_stitched", "blocks_recompiled", "delta_invalidations",
+		"forwarded", "local_fallbacks", "peer_hits", "peer_misses",
+		"forward_errors", "drained",
+	} {
 		if _, ok := m[field]; !ok {
 			t.Fatalf("ServerSnapshot JSON lacks %q: %s", field, data)
 		}

@@ -43,6 +43,22 @@ type ServerCounters struct {
 	// DeltaInvalidations counts persistent block entries the delta
 	// engine deleted because they no longer decoded (deletion-as-miss).
 	DeltaInvalidations atomic.Int64
+	// Forwarded counts compile requests answered by forwarding to the
+	// owning cluster shard; LocalFallbacks counts requests compiled
+	// locally because the owning shard was unreachable. Both stay 0 on
+	// a node running outside a cluster.
+	Forwarded      atomic.Int64
+	LocalFallbacks atomic.Int64
+	// PeerHits / PeerMisses count cache entries fetched from (or
+	// missed at) the owning shard over the wire.
+	PeerHits   atomic.Int64
+	PeerMisses atomic.Int64
+	// ForwardErrors counts peer RPCs that failed in transit; each
+	// degrades to a local compile or a cache miss, never an error.
+	ForwardErrors atomic.Int64
+	// Drained counts cache entries bled to their ring owners during a
+	// graceful drain.
+	Drained atomic.Int64
 }
 
 // ServerSnapshot is the JSON shape of ServerCounters for /stats.
@@ -62,6 +78,14 @@ type ServerSnapshot struct {
 	BlocksStitched     int64 `json:"blocks_stitched"`
 	BlocksRecompiled   int64 `json:"blocks_recompiled"`
 	DeltaInvalidations int64 `json:"delta_invalidations"`
+	// The cluster counters likewise stay 0 (but present) on a node
+	// running outside a cluster.
+	Forwarded      int64 `json:"forwarded"`
+	LocalFallbacks int64 `json:"local_fallbacks"`
+	PeerHits       int64 `json:"peer_hits"`
+	PeerMisses     int64 `json:"peer_misses"`
+	ForwardErrors  int64 `json:"forward_errors"`
+	Drained        int64 `json:"drained"`
 }
 
 // Snapshot reads every counter atomically.
@@ -80,6 +104,12 @@ func (c *ServerCounters) Snapshot() ServerSnapshot {
 		BlocksStitched:     c.BlocksStitched.Load(),
 		BlocksRecompiled:   c.BlocksRecompiled.Load(),
 		DeltaInvalidations: c.DeltaInvalidations.Load(),
+		Forwarded:          c.Forwarded.Load(),
+		LocalFallbacks:     c.LocalFallbacks.Load(),
+		PeerHits:           c.PeerHits.Load(),
+		PeerMisses:         c.PeerMisses.Load(),
+		ForwardErrors:      c.ForwardErrors.Load(),
+		Drained:            c.Drained.Load(),
 	}
 }
 

@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -88,6 +89,27 @@ type StatsResponse struct {
 	// Delta reports the incremental engine's per-tier block counters,
 	// when the server runs with Config.Delta.
 	Delta *metrics.CacheStats `json:"delta,omitempty"`
+	// Cluster reports ring membership and the peer-path counters when
+	// the server runs as a cluster node (internal/cluster fills it in;
+	// a standalone server omits the section).
+	Cluster *metrics.ClusterStats `json:"cluster,omitempty"`
+}
+
+// PeerCompiler lets a cluster layer claim compiles whose content key
+// is owned by another node. It is consulted inside the single-flight
+// group and before admission control, so concurrent identical requests
+// collapse into one peer RPC and a forwarded compile never holds a
+// local worker slot while the owning shard does the work.
+//
+// Compile returns (resp, true, nil) when the owning peer served the
+// request, and (nil, false, nil) to hand the compile back to the local
+// path — because this node owns the key, the request already arrived
+// over a forwarding hop, or the owner is unreachable (the
+// fallback-to-local contract: a dead peer costs latency, never
+// availability). A non-nil error is reserved for the caller's context
+// expiring mid-forward.
+type PeerCompiler interface {
+	Compile(ctx context.Context, key string, req CompileRequest) (*CompileResponse, bool, error)
 }
 
 // Config configures a Server.
@@ -117,6 +139,10 @@ type Config struct {
 	// DeltaEntries bounds the engine's in-memory artifact count;
 	// <= 0 selects 4096.
 	DeltaEntries int
+	// Peer, when set, is consulted before admission control for every
+	// compile: a cluster layer forwards keys owned by other nodes to
+	// the owning shard (see PeerCompiler). Nil means standalone.
+	Peer PeerCompiler
 }
 
 // errShed rejects work when the queue is full.
@@ -231,16 +257,20 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 
 	ctx, cancel := context.WithTimeout(r.Context(), s.timeout)
 	defer cancel()
-	resp, shared, err := s.flight.do(ctx, requestKey(req), func(runCtx context.Context) (*CompileResponse, error) {
-		return s.compile(runCtx, req)
+	key := RequestKey(req)
+	resp, shared, err := s.flight.do(ctx, key, func(runCtx context.Context) (*CompileResponse, error) {
+		return s.compile(runCtx, key, req)
 	})
 	if shared {
 		s.counters.Deduped.Add(1)
 	}
 	switch {
 	case errors.Is(err, errShed):
-		s.counters.Shed.Add(1)
-		w.Header().Set("Retry-After", "1")
+		// The hint carries per-rejection jitter so a burst of shed
+		// clients retries staggered instead of in lockstep; deriving it
+		// from the shed counter keeps it deterministic for tests.
+		n := s.counters.Shed.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(1+int(n&3)))
 		http.Error(w, "queue full, retry later", http.StatusTooManyRequests)
 		return
 	case errors.Is(err, context.DeadlineExceeded):
@@ -263,7 +293,23 @@ func (s *Server) handleCompile(w http.ResponseWriter, r *http.Request) {
 // consuming queue capacity. Compile failures are in-band (see
 // CompileResponse); the error return is reserved for admission
 // decisions.
-func (s *Server) compile(ctx context.Context, req CompileRequest) (*CompileResponse, error) {
+//
+// When a cluster peer claims the key, the response comes back over the
+// wire without touching local admission control — the owning shard runs
+// its own queue, worker pool, and single-flight group, which is what
+// makes dedup cluster-wide: every replica of a request funnels into one
+// compile on one node.
+func (s *Server) compile(ctx context.Context, key string, req CompileRequest) (*CompileResponse, error) {
+	if s.cfg.Peer != nil {
+		resp, handled, err := s.cfg.Peer.Compile(ctx, key, req)
+		if err != nil {
+			return nil, err
+		}
+		if handled {
+			s.counters.Completed.Add(1)
+			return resp, nil
+		}
+	}
 	if s.counters.Queued.Add(1) > int64(s.queueCap) {
 		s.counters.Queued.Add(-1)
 		return nil, errShed
@@ -361,10 +407,12 @@ func (s *Server) requestOptions(req CompileRequest) (aviv.Options, error) {
 	return opts, nil
 }
 
-// requestKey fingerprints everything that determines a compile's
+// RequestKey fingerprints everything that determines a compile's
 // output, so the single-flight group only merges requests whose results
-// are interchangeable.
-func requestKey(req CompileRequest) string {
+// are interchangeable. The cluster layer reuses it as the ring key:
+// ownership follows content, so identical requests land on the same
+// shard no matter which node receives them.
+func RequestKey(req CompileRequest) string {
 	h := sha256.New()
 	put := func(s string) {
 		var n [8]byte

@@ -9,6 +9,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"sync"
 	"testing"
@@ -502,4 +503,63 @@ func TestDeltaServerStitchesAndReportsStats(t *testing.T) {
 			t.Fatalf("/stats JSON lacks %s: %s", field, raw.String())
 		}
 	}
+}
+
+// TestRetryAfterJitter pins the 429 backoff hint's jitter: two shed
+// requests must receive distinct Retry-After values, so a burst of
+// rejected clients retries staggered instead of hammering the server
+// again in lockstep one second later.
+func TestRetryAfterJitter(t *testing.T) {
+	s, ts := testServer(t, Config{
+		Options:    aviv.Options{Parallelism: 1},
+		QueueLimit: 1,
+		Timeout:    5 * time.Second,
+	})
+	// Occupy the only worker slot so compiles queue behind it.
+	s.sem <- struct{}{}
+	defer func() { <-s.sem }()
+
+	// One request fills the queue (it blocks waiting for the slot).
+	queuedResp := make(chan int, 1)
+	go func() {
+		httpResp, _ := postCompile(t, ts.URL, CompileRequest{Source: "a = 1;", Machine: isdl.ExampleArchISDL})
+		queuedResp <- httpResp.StatusCode
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.Counters().Queued.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first request never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	var hints []string
+	for i := 0; i < 2; i++ {
+		httpResp, _ := postCompile(t, ts.URL, CompileRequest{
+			Source:  fmt.Sprintf("x = %d;", i),
+			Machine: isdl.ExampleArchISDL,
+		})
+		if httpResp.StatusCode != http.StatusTooManyRequests {
+			t.Fatalf("request %d: status = %d, want 429", i, httpResp.StatusCode)
+		}
+		hint := httpResp.Header.Get("Retry-After")
+		secs, err := strconv.Atoi(hint)
+		if err != nil {
+			t.Fatalf("request %d: Retry-After %q is not an integer: %v", i, hint, err)
+		}
+		if secs < 1 || secs > 4 {
+			t.Fatalf("request %d: Retry-After = %d, want within [1, 4]", i, secs)
+		}
+		hints = append(hints, hint)
+	}
+	if hints[0] == hints[1] {
+		t.Fatalf("both shed requests got Retry-After %q; want distinct hints", hints[0])
+	}
+
+	// Release the slot; the queued request completes normally.
+	<-s.sem
+	if code := <-queuedResp; code != http.StatusOK {
+		t.Errorf("queued request finished with %d, want 200", code)
+	}
+	s.sem <- struct{}{} // restore for the deferred release
 }
